@@ -1,0 +1,53 @@
+//! # coop-attacks
+//!
+//! Free-riding attack behaviors for the incentive-mechanism simulator
+//! (Sections IV-C and V-B2 of the paper).
+//!
+//! The paper evaluates each algorithm against the attack that maximizes its
+//! vulnerability:
+//!
+//! * **Simple free-riding** — request everything, upload nothing. Exploits
+//!   any bandwidth given without a reciprocity requirement (altruism,
+//!   BitTorrent's optimistic unchoking, the reputation algorithm's `α_R`
+//!   share, FairTorrent's zero-deficit service).
+//! * **Collusion** (T-Chain) — a free-rider's accomplice falsely confirms
+//!   receipt of a forwarded piece, tricking the uploader into releasing
+//!   the decryption key.
+//! * **Whitewashing** (FairTorrent) — periodically rejoin under a fresh
+//!   identity, resetting the positive deficits other peers hold against
+//!   the free-rider.
+//! * **False praise** (reputation) — colluders report fictitious uploads
+//!   for each other, inflating reputations and attracting the
+//!   reputation-weighted bandwidth share (offered as an ablation; the
+//!   paper's Fig. 5 uses simple free-riding against reputation).
+//! * **Large-view exploit** — connect to every peer in the swarm instead
+//!   of a bounded neighbor set, multiplying exposure to altruistic and
+//!   optimistic-unchoke bandwidth (Fig. 6 adds this to all attacks).
+//!
+//! The substrate features (identity churn, collusion rings, unbounded
+//! neighbor sets) live in `coop-swarm`; this crate provides the free-rider
+//! client behavior and composes populations for the paper's scenarios.
+//!
+//! # Example
+//!
+//! ```
+//! use coop_attacks::{apply_attack, AttackPlan};
+//! use coop_incentives::MechanismKind;
+//! use coop_swarm::{flash_crowd, Simulation, SwarmConfig};
+//!
+//! let config = SwarmConfig::tiny_test();
+//! let mut population = flash_crowd(&config, 10, MechanismKind::Altruism, 3);
+//! let plan = AttackPlan::most_effective(MechanismKind::Altruism, 0.2);
+//! apply_attack(&mut population, &plan, 7);
+//! let result = Simulation::new(config, population).unwrap().run();
+//! assert!(result.final_susceptibility() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod freerider;
+mod plan;
+
+pub use freerider::FreeRider;
+pub use plan::{apply_attack, AttackPlan};

@@ -1,0 +1,97 @@
+//! Micro-benchmarks of the simulator's hot components: bitfield set
+//! algebra, rarest-first piece picking, per-mechanism allocation, and the
+//! log-space combinatorics behind the exchange probabilities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use coop_incentives::analysis::combin::ln_choose;
+use coop_incentives::analysis::exchange::q;
+use coop_piece::{AvailabilityMap, Bitfield, PiecePicker, RarestFirstPicker};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_bitfield(len: u32, fill: f64, rng: &mut SmallRng) -> Bitfield {
+    let mut bf = Bitfield::new(len);
+    for i in 0..len {
+        if rng.gen_bool(fill) {
+            bf.set(i);
+        }
+    }
+    bf
+}
+
+fn bench_bitfield(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let a = random_bitfield(512, 0.5, &mut rng);
+    let b = random_bitfield(512, 0.5, &mut rng);
+    c.bench_function("bitfield/intersects_512", |bch| {
+        bch.iter(|| black_box(black_box(&a).intersects(black_box(&b))))
+    });
+    c.bench_function("bitfield/wants_from_512", |bch| {
+        bch.iter(|| black_box(black_box(&a).wants_from(black_box(&b))))
+    });
+    c.bench_function("bitfield/count_ones_512", |bch| {
+        bch.iter(|| black_box(black_box(&a).count_ones()))
+    });
+}
+
+fn bench_picker(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let down = random_bitfield(512, 0.4, &mut rng);
+    let up = random_bitfield(512, 0.7, &mut rng);
+    let mut avail = AvailabilityMap::new(512);
+    for _ in 0..50 {
+        let peer = random_bitfield(512, 0.5, &mut rng);
+        avail.add_peer(&peer);
+    }
+    c.bench_function("picker/rarest_first_512_pieces", |bch| {
+        let mut r = SmallRng::seed_from_u64(5);
+        bch.iter(|| {
+            black_box(RarestFirstPicker.pick(
+                black_box(&down),
+                black_box(&up),
+                black_box(&avail),
+                &mut r,
+            ))
+        })
+    });
+}
+
+fn bench_combinatorics(c: &mut Criterion) {
+    c.bench_function("combin/ln_choose_512_256", |b| {
+        b.iter(|| black_box(ln_choose(black_box(512), black_box(256))))
+    });
+    c.bench_function("exchange/q_mid_swarm_m512", |b| {
+        b.iter(|| black_box(q(black_box(200), black_box(300), 512)))
+    });
+}
+
+fn bench_one_round(c: &mut Criterion) {
+    // Cost of a single simulation round at a mid-swarm state, per
+    // mechanism: build once, step by limiting max_rounds.
+    use coop_incentives::MechanismKind;
+    use coop_swarm::{flash_crowd, Simulation, SwarmConfig};
+    let mut group = c.benchmark_group("sim/full_run_40_peers");
+    group.sample_size(10);
+    for kind in [MechanismKind::TChain, MechanismKind::Altruism] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| {
+                let mut config = SwarmConfig::tiny_test();
+                config.max_rounds = 120;
+                let population = flash_crowd(&config, 40, k, 11);
+                black_box(Simulation::new(config, population).unwrap().run())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bitfield,
+    bench_picker,
+    bench_combinatorics,
+    bench_one_round
+);
+criterion_main!(benches);

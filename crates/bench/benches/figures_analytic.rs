@@ -1,0 +1,60 @@
+//! Benchmarks regenerating the analytic figures: Fig. 2 (idealized
+//! fairness/efficiency ranking) and Fig. 3 (piece-exchange probabilities
+//! and the Prop. 3 reputation panel).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coop_incentives::analysis::capacity::CapacityClassMix;
+use coop_incentives::analysis::equilibrium::{equilibrium_summary, EquilibriumParams};
+use coop_incentives::analysis::exchange::{
+    expected_exchange_probability, pi_tc, PieceCountDistribution,
+};
+use coop_incentives::analysis::reputation::{prop3_efficiency, prop3_fairness};
+use coop_incentives::MechanismKind;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mix = CapacityClassMix::paper_default();
+    let mut rng = coop_des::rng::SeedTree::new(2).rng(0);
+    let caps = mix.sample(1000, &mut rng);
+    let params = EquilibriumParams::default();
+    c.bench_function("fig2/equilibrium_summary_all_algorithms_n1000", |b| {
+        b.iter(|| {
+            for kind in MechanismKind::ALL {
+                black_box(equilibrium_summary(kind, black_box(&caps), &params));
+            }
+        })
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let dist = PieceCountDistribution::uniform(128);
+    c.bench_function("fig3/pi_tc_single_pair_m128_n1000", |b| {
+        b.iter(|| black_box(pi_tc(64, 80, 128, black_box(&dist), 1000)))
+    });
+    let small = PieceCountDistribution::uniform(32);
+    c.bench_function("fig3/expected_exchange_probability_m32_n1000", |b| {
+        b.iter(|| {
+            black_box(expected_exchange_probability(
+                MechanismKind::TChain,
+                black_box(&small),
+                1000,
+                0.2,
+            ))
+        })
+    });
+    let caps: Vec<f64> = (0..100).map(|i| 16_000.0 * (1 + i % 5) as f64).collect();
+    let mut reps = caps.clone();
+    for r in reps.iter_mut().take(20) {
+        *r *= 0.01;
+    }
+    c.bench_function("fig3/prop3_fairness_efficiency_n100", |b| {
+        b.iter(|| {
+            black_box(prop3_fairness(black_box(&reps), black_box(&caps)));
+            black_box(prop3_efficiency(black_box(&reps), black_box(&caps)));
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig2, bench_fig3);
+criterion_main!(benches);

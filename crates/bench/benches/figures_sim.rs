@@ -1,0 +1,72 @@
+//! Benchmarks regenerating the simulated figures (Figs. 4–6) at a reduced
+//! swarm size: full flash-crowd runs with and without free-riding attacks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use coop_attacks::{apply_attack, AttackPlan};
+use coop_incentives::MechanismKind;
+use coop_piece::FileSpec;
+use coop_swarm::{flash_crowd, Simulation, SwarmConfig};
+
+fn bench_config() -> SwarmConfig {
+    let mut c = SwarmConfig::scaled_default();
+    c.file = FileSpec::new(2 * 1024 * 1024, 64 * 1024);
+    c.neighbor_degree = 16;
+    c.seeder_bps = 128_000.0;
+    c.max_rounds = 400;
+    c
+}
+
+fn run(kind: MechanismKind, plan: Option<&AttackPlan>) -> coop_swarm::SimResult {
+    let config = bench_config();
+    let mut population = flash_crowd(&config, 40, kind, 7);
+    if let Some(plan) = plan {
+        apply_attack(&mut population, plan, 7);
+    }
+    Simulation::new(config, population)
+        .expect("valid config")
+        .run()
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_compliant_swarm");
+    group.sample_size(10);
+    for kind in MechanismKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| black_box(run(k, None)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_worst_attack");
+    group.sample_size(10);
+    for kind in [
+        MechanismKind::TChain,
+        MechanismKind::FairTorrent,
+        MechanismKind::Altruism,
+    ] {
+        let plan = AttackPlan::most_effective(kind, 0.2);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| black_box(run(k, Some(&plan))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_large_view");
+    group.sample_size(10);
+    for kind in [MechanismKind::TChain, MechanismKind::BitTorrent] {
+        let plan = AttackPlan::with_large_view(kind, 0.2);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| black_box(run(k, Some(&plan))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4, bench_fig5, bench_fig6);
+criterion_main!(benches);

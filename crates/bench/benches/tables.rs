@@ -1,0 +1,79 @@
+//! Benchmarks regenerating the paper's Tables I, II and III (the analytic
+//! closed forms of Section IV).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coop_incentives::analysis::bootstrap::{
+    bootstrap_probability, expected_bootstrap_time, BootstrapParams,
+};
+use coop_incentives::analysis::capacity::CapacityClassMix;
+use coop_incentives::analysis::equilibrium::{download_rates, EquilibriumParams};
+use coop_incentives::analysis::exchange::{pi_ir, PieceCountDistribution};
+use coop_incentives::analysis::freeride::{
+    collusion_probability, exploitable_resources, FreeRideParams,
+};
+use coop_incentives::MechanismKind;
+
+fn bench_table1(c: &mut Criterion) {
+    let mix = CapacityClassMix::paper_default();
+    let mut rng = coop_des::rng::SeedTree::new(1).rng(0);
+    let caps = mix.sample(1000, &mut rng);
+    let params = EquilibriumParams::default();
+    c.bench_function("table1/download_rates_all_algorithms_n1000", |b| {
+        b.iter(|| {
+            for kind in MechanismKind::ALL {
+                black_box(download_rates(kind, black_box(&caps), &params));
+            }
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let params = BootstrapParams::paper_example();
+    c.bench_function("table2/bootstrap_probabilities_example_column", |b| {
+        b.iter(|| {
+            for kind in MechanismKind::ALL {
+                black_box(bootstrap_probability(kind, black_box(&params)));
+            }
+        })
+    });
+    c.bench_function("table2/lemma3_expected_time_1000_newcomers", |b| {
+        b.iter(|| {
+            black_box(expected_bootstrap_time(
+                black_box(1000),
+                |_| 0.3,
+                1e-9,
+                10_000,
+            ))
+        })
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let dist = PieceCountDistribution::uniform(512);
+    let params = FreeRideParams {
+        total_capacity: 1e9,
+        ..FreeRideParams::default()
+    };
+    c.bench_function("table3/exploitable_resources_all_algorithms", |b| {
+        b.iter(|| {
+            for kind in MechanismKind::ALL {
+                black_box(exploitable_resources(kind, black_box(&params)));
+            }
+        })
+    });
+    c.bench_function("table3/pi_ir_512_pieces_n1000", |b| {
+        b.iter(|| black_box(pi_ir(256, 256, 512, black_box(&dist), 1000)))
+    });
+    c.bench_function("table3/collusion_probabilities", |b| {
+        b.iter(|| {
+            for kind in MechanismKind::ALL {
+                black_box(collusion_probability(kind, 0.1, 200, 1000));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_table1, bench_table2, bench_table3);
+criterion_main!(benches);

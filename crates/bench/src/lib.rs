@@ -1,0 +1,15 @@
+//! # coop-bench
+//!
+//! Criterion benchmarks that regenerate (and time) each of the paper's
+//! tables and figures, plus micro-benchmarks of the hot simulator
+//! components:
+//!
+//! * `benches/tables.rs` — Tables I, II, III (analytic closed forms).
+//! * `benches/figures_analytic.rs` — Figs. 2 and 3 (equilibrium summaries
+//!   and piece-exchange probability sweeps).
+//! * `benches/figures_sim.rs` — Figs. 4, 5 and 6 (full swarm simulations
+//!   at quick scale, with and without attacks).
+//! * `benches/components.rs` — bitfields, piece picking, mechanism
+//!   allocation and single simulation rounds.
+//!
+//! Run with `cargo bench --workspace`.

@@ -1,0 +1,175 @@
+//! Log-space combinatorics.
+//!
+//! The piece-exchange probabilities (Eqs. 4–5) involve ratios of binomial
+//! coefficients with arguments up to the number of pieces `M` (hundreds) or
+//! users `N` (thousands). Direct evaluation overflows; all ratios are
+//! therefore computed via `ln Γ`.
+
+/// Natural log of the gamma function, by the Lanczos approximation
+/// (g = 7, n = 9 coefficients; absolute error below 1e-13 for x > 0).
+///
+/// # Panics
+///
+/// Panics if `x <= 0` (the analysis only needs positive arguments).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
+    // Lanczos coefficients for g = 7.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln n!` via `ln Γ(n + 1)`.
+pub fn ln_factorial(n: u64) -> f64 {
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// `ln C(n, k)`; returns negative infinity when `k > n` (the coefficient is
+/// zero), so ratios of impossible configurations vanish cleanly.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// The ratio `C(n1, k1) / C(n2, k2)` computed in log space.
+///
+/// Returns 0 when the numerator is an impossible configuration.
+///
+/// # Panics
+///
+/// Panics if the denominator is an impossible configuration (`k2 > n2`).
+pub fn choose_ratio(n1: u64, k1: u64, n2: u64, k2: u64) -> f64 {
+    let denom = ln_choose(n2, k2);
+    assert!(
+        denom.is_finite(),
+        "choose_ratio denominator C({n2}, {k2}) is zero"
+    );
+    let num = ln_choose(n1, k1);
+    if num.is_finite() {
+        (num - denom).exp()
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn gamma_matches_factorials() {
+        // Γ(n+1) = n!
+        let facts: [f64; 8] = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (n, &f) in facts.iter().enumerate() {
+            assert!(
+                close(ln_gamma(n as f64 + 1.0), f.ln(), 1e-12),
+                "Γ({}) mismatch",
+                n + 1
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_half() {
+        // Γ(1/2) = √π.
+        assert!(close(
+            ln_gamma(0.5),
+            (std::f64::consts::PI.sqrt()).ln(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn gamma_large_argument_stirling_regime() {
+        // ln Γ(171) = ln 170! ≈ ln(7.2574 × 10^306); Stirling with
+        // correction terms gives 706.5725 to 4 decimal places.
+        let reference = 706.5725;
+        assert!(close(ln_gamma(171.0), reference, 1e-6));
+        // And the recurrence Γ(z + 1) = z Γ(z) must hold across the range.
+        for z in [1.5f64, 10.0, 100.0, 170.0, 512.0, 2000.0] {
+            let lhs = ln_gamma(z + 1.0);
+            let rhs = ln_gamma(z) + z.ln();
+            assert!(close(lhs, rhs, 1e-12), "recurrence fails at z = {z}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive argument")]
+    fn gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn choose_small_values() {
+        assert_eq!(ln_choose(5, 0), 0.0);
+        assert_eq!(ln_choose(5, 5), 0.0);
+        assert!(close(ln_choose(5, 2), 10f64.ln(), 1e-12));
+        assert!(close(ln_choose(10, 3), 120f64.ln(), 1e-12));
+        assert_eq!(ln_choose(3, 4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn choose_symmetry_and_pascal() {
+        for n in [10u64, 50, 500] {
+            for k in [1u64, 3, n / 2] {
+                assert!(close(ln_choose(n, k), ln_choose(n, n - k), 1e-10));
+                // Pascal: C(n,k) = C(n-1,k-1) + C(n-1,k) — verify in linear
+                // space for moderate n.
+                if n <= 50 {
+                    let lhs = ln_choose(n, k).exp();
+                    let rhs = ln_choose(n - 1, k - 1).exp() + ln_choose(n - 1, k).exp();
+                    assert!(close(lhs, rhs, 1e-9));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_handles_impossible_numerator() {
+        assert_eq!(choose_ratio(3, 5, 10, 2), 0.0);
+        assert!(close(choose_ratio(10, 2, 10, 2), 1.0, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn ratio_rejects_impossible_denominator() {
+        choose_ratio(10, 2, 3, 5);
+    }
+
+    #[test]
+    fn large_ratio_is_stable() {
+        // C(512, 256)/C(512, 255) = (512-255)/256 — a huge-coefficient
+        // ratio that must come out exactly.
+        let expect = 257.0 / 256.0;
+        assert!(close(choose_ratio(512, 256, 512, 255), expect, 1e-9));
+    }
+}

@@ -1,0 +1,407 @@
+//! Piece-exchange probabilities under imperfect piece availability
+//! (Section IV-A2: Eqs. 4–8, Proposition 2, Corollary 2).
+//!
+//! Users hold uniformly random piece sets (as produced by local-rarest-
+//! first selection); `q(i, j)` is the probability that a user holding `m_i`
+//! of `M` pieces needs at least one of the `m_j` pieces held by another
+//! user.
+//!
+//! **Erratum handling.** Eq. (5) as printed divides by `C(M, m_j)`, but the
+//! derivation (and Eq. (4)'s stated `m = 0` special case) require the
+//! denominator `C(M, m_i)`: the probability that `j`'s `m_j` pieces all lie
+//! inside `i`'s `m_i`-piece set is `C(M−m_j, m_i−m_j)/C(M, m_i)`. We
+//! implement the corrected form, which reproduces every downstream claim in
+//! the paper (Eq. 4's factorization, the zero cases, and Corollary 2).
+
+use crate::analysis::combin::choose_ratio;
+use crate::MechanismKind;
+
+/// Eq. (5) (corrected, see module docs): the probability `q(i, j)` that a
+/// user with `m_i` uniformly-random pieces out of `M` needs at least one of
+/// the `m_j` pieces held by another user.
+///
+/// Edge cases: `q = 1` when `m_i < m_j` (a smaller set cannot contain a
+/// larger one) and `q = 0` when `m_j = 0` (nothing to need).
+///
+/// # Panics
+///
+/// Panics if `m_i > M` or `m_j > M`.
+pub fn q(m_i: u32, m_j: u32, big_m: u32) -> f64 {
+    assert!(m_i <= big_m, "m_i = {m_i} exceeds M = {big_m}");
+    assert!(m_j <= big_m, "m_j = {m_j} exceeds M = {big_m}");
+    if m_j == 0 {
+        return 0.0;
+    }
+    if m_i < m_j {
+        return 1.0;
+    }
+    // P(j's set ⊆ i's set) = C(M − m_j, m_i − m_j) / C(M, m_i).
+    1.0 - choose_ratio(
+        (big_m - m_j) as u64,
+        (m_i - m_j) as u64,
+        big_m as u64,
+        m_i as u64,
+    )
+}
+
+/// Eq. (4): the probability `π_DR(j, i) = q(i, j)·q(j, i)` that users `i`
+/// and `j` can exchange pieces with direct reciprocation.
+pub fn pi_dr(m_i: u32, m_j: u32, big_m: u32) -> f64 {
+    q(m_i, m_j, big_m) * q(m_j, m_i, big_m)
+}
+
+/// The distribution `p_k` of the number of pieces held by a user
+/// (`p[k]` = probability of holding exactly `k` pieces, `k = 0..=M`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PieceCountDistribution {
+    p: Vec<f64>,
+}
+
+impl PieceCountDistribution {
+    /// Creates a distribution from probabilities `p[0..=M]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the probabilities are negative or do not sum to
+    /// 1 (±1e-6).
+    pub fn new(p: Vec<f64>) -> Result<Self, String> {
+        if p.is_empty() {
+            return Err("distribution must be nonempty".to_string());
+        }
+        if p.iter().any(|&x| x < 0.0) {
+            return Err("probabilities must be nonnegative".to_string());
+        }
+        let total: f64 = p.iter().sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(format!("probabilities must sum to 1, got {total}"));
+        }
+        Ok(PieceCountDistribution { p })
+    }
+
+    /// A uniform distribution over `0..=M` pieces — the flash-crowd
+    /// mid-download regime used in the harness's Fig. 3 sweeps.
+    pub fn uniform(big_m: u32) -> Self {
+        let n = big_m as usize + 1;
+        PieceCountDistribution {
+            p: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// A point mass at `k` pieces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > M`.
+    pub fn point(k: u32, big_m: u32) -> Self {
+        assert!(k <= big_m);
+        let mut p = vec![0.0; big_m as usize + 1];
+        p[k as usize] = 1.0;
+        PieceCountDistribution { p }
+    }
+
+    /// Builds the empirical distribution from a histogram of piece counts
+    /// (`hist[k]` = number of users with `k` pieces).
+    pub fn from_histogram(hist: &[u32], big_m: u32) -> Self {
+        let total: u32 = hist.iter().sum();
+        let mut p = vec![0.0; big_m as usize + 1];
+        if total > 0 {
+            for (k, &c) in hist.iter().enumerate().take(p.len()) {
+                p[k] = c as f64 / total as f64;
+            }
+        }
+        PieceCountDistribution { p }
+    }
+
+    /// `M` (the distribution covers `0..=M`).
+    pub fn max_pieces(&self) -> u32 {
+        (self.p.len() - 1) as u32
+    }
+
+    /// The probability of holding exactly `k` pieces.
+    pub fn prob(&self, k: u32) -> f64 {
+        self.p.get(k as usize).copied().unwrap_or(0.0)
+    }
+}
+
+/// The inner sum of Eq. (6): `Σ_l p_l q(j, l)(1 − q(l, j))` — the
+/// probability that a random third user `l` needs a piece from `j` while
+/// `j` needs nothing from `l` (an indirect-reciprocity opportunity).
+///
+/// Note: in Eq. (6)'s notation `q(j, l)` means "l needs from j"; we keep
+/// the paper's argument order by calling [`q`]`(m_l, m_j, M)` for "l needs
+/// at least one of j's pieces".
+fn indirect_opportunity(m_j: u32, dist: &PieceCountDistribution, big_m: u32) -> f64 {
+    (0..=big_m)
+        .map(|l| {
+            let p_l = dist.prob(l);
+            if p_l == 0.0 {
+                0.0
+            } else {
+                // l needs from j, while j does not need from l.
+                p_l * q(l, m_j, big_m) * (1.0 - q(m_j, l, big_m))
+            }
+        })
+        .sum()
+}
+
+/// Eq. (6): the probability `π_TC(j, i)` that user `j` can upload to user
+/// `i` under T-Chain — direct reciprocity, plus indirect reciprocity
+/// through at least one of the other `N − 2` users.
+pub fn pi_tc(m_i: u32, m_j: u32, big_m: u32, dist: &PieceCountDistribution, n: usize) -> f64 {
+    let q_ij = q(m_i, m_j, big_m); // i needs from j
+    let q_ji = q(m_j, m_i, big_m); // j needs from i
+    let direct = q_ij * q_ji;
+    let redirect = indirect_exists(m_j, dist, big_m, n);
+    direct + q_ij * (1.0 - q_ji) * redirect
+}
+
+/// The probability that at least one of `N − 2` third users offers an
+/// indirect-reciprocity opportunity with `j`:
+/// `1 − (1 − Σ_l p_l q(j,l)(1 − q(l,j)))^{N−2}`.
+pub fn indirect_exists(m_j: u32, dist: &PieceCountDistribution, big_m: u32, n: usize) -> f64 {
+    let single = indirect_opportunity(m_j, dist, big_m).clamp(0.0, 1.0);
+    let exponent = n.saturating_sub(2) as f64;
+    1.0 - (1.0 - single).powf(exponent)
+}
+
+/// Eq. (7): the probability `π_BT(j, i)` that user `j` can upload to user
+/// `i` under BitTorrent — tit-for-tat requires mutual interest, and the
+/// `α_BT` optimistic share requires only `i`'s interest.
+pub fn pi_bt(m_i: u32, m_j: u32, big_m: u32, alpha_bt: f64) -> f64 {
+    let q_ij = q(m_i, m_j, big_m);
+    let q_ji = q(m_j, m_i, big_m);
+    q_ij * ((1.0 - alpha_bt) * q_ji + alpha_bt)
+}
+
+/// Altruism's exchange probability: only the receiver's interest matters,
+/// `π_A(j, i) = q(i, j)` (Corollary 2's upper bound).
+pub fn pi_altruism(m_i: u32, m_j: u32, big_m: u32) -> f64 {
+    q(m_i, m_j, big_m)
+}
+
+/// Eq. (8): the largest `α_BT` for which `π_TC ≥ π_BT` is guaranteed —
+/// the indirect-reciprocity availability term.
+pub fn alpha_bt_threshold(m_j: u32, dist: &PieceCountDistribution, big_m: u32, n: usize) -> f64 {
+    indirect_exists(m_j, dist, big_m, n)
+}
+
+/// The probability of *indirect* reciprocity occurring between `j` and `i`
+/// (the second summand of Eq. 6 alone) — the window in which T-Chain's
+/// collusion attack can fire (Table III).
+pub fn pi_ir(m_i: u32, m_j: u32, big_m: u32, dist: &PieceCountDistribution, n: usize) -> f64 {
+    let q_ij = q(m_i, m_j, big_m);
+    let q_ji = q(m_j, m_i, big_m);
+    q_ij * (1.0 - q_ji) * indirect_exists(m_j, dist, big_m, n)
+}
+
+/// Evaluates the expected exchange probability of an algorithm with both
+/// endpoints' piece counts drawn from `dist` — the scalar the Fig. 3
+/// efficiency ranking compares.
+///
+/// Reciprocity's probability is identically zero (no exchange can be
+/// initiated); FairTorrent is availability-limited like altruism but must
+/// honor deficit order, which the simulator (not this formula) captures.
+pub fn expected_exchange_probability(
+    kind: MechanismKind,
+    dist: &PieceCountDistribution,
+    n: usize,
+    alpha_bt: f64,
+) -> f64 {
+    let big_m = dist.max_pieces();
+    let mut acc = 0.0;
+    for m_i in 0..=big_m {
+        let p_i = dist.prob(m_i);
+        if p_i == 0.0 {
+            continue;
+        }
+        for m_j in 0..=big_m {
+            let p_j = dist.prob(m_j);
+            if p_j == 0.0 {
+                continue;
+            }
+            let pi = match kind {
+                MechanismKind::Reciprocity => 0.0,
+                MechanismKind::TChain => pi_tc(m_i, m_j, big_m, dist, n),
+                MechanismKind::BitTorrent => pi_bt(m_i, m_j, big_m, alpha_bt),
+                MechanismKind::FairTorrent | MechanismKind::Altruism => {
+                    pi_altruism(m_i, m_j, big_m)
+                }
+                MechanismKind::Reputation => {
+                    // Reputation-weighted targets still require the
+                    // receiver's interest only.
+                    pi_altruism(m_i, m_j, big_m)
+                }
+            };
+            acc += p_i * p_j * pi;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: u32 = 64;
+
+    #[test]
+    fn q_edge_cases() {
+        assert_eq!(q(0, 0, M), 0.0); // nothing to need
+        assert_eq!(q(0, 5, M), 1.0); // empty set needs anything
+        assert_eq!(q(5, 0, M), 0.0);
+        assert_eq!(q(M, 5, M), 0.0); // complete user needs nothing
+        assert_eq!(q(M, M, M), 0.0);
+    }
+
+    #[test]
+    fn q_is_a_probability_and_monotone_in_m_j() {
+        for m_i in [0u32, 1, 10, 32, 63, 64] {
+            let mut prev = 0.0;
+            for m_j in 0..=M {
+                let v = q(m_i, m_j, M);
+                assert!((0.0..=1.0).contains(&v), "q({m_i},{m_j}) = {v}");
+                assert!(
+                    v >= prev - 1e-12,
+                    "q should not decrease as j holds more pieces"
+                );
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn q_hand_computed_small_case() {
+        // M = 4, m_i = 2, m_j = 1: P(j's 1 piece ∈ i's 2) = C(3,1)/C(4,2)
+        // = 3/6 = 1/2, so q = 1/2.
+        assert!((q(2, 1, 4) - 0.5).abs() < 1e-12);
+        // M = 4, m_i = 3, m_j = 1: C(3,2)/C(4,3) = 3/4 ⊂ → q = 1/4.
+        assert!((q(3, 1, 4) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pi_dr_matches_eq4_closed_form() {
+        // Eq. (4): π_DR = 1 − C(M−min, max−min)/C(M, max).
+        for (m_i, m_j) in [(10u32, 20u32), (32, 32), (5, 60), (0, 10), (7, 0)] {
+            let lhs = pi_dr(m_i, m_j, M);
+            let mn = m_i.min(m_j);
+            let mx = m_i.max(m_j);
+            let rhs = if mn == 0 {
+                0.0
+            } else {
+                1.0 - crate::analysis::combin::choose_ratio(
+                    (M - mn) as u64,
+                    (mx - mn) as u64,
+                    M as u64,
+                    mx as u64,
+                )
+            };
+            assert!(
+                (lhs - rhs).abs() < 1e-9,
+                "π_DR({m_i},{m_j}) = {lhs} vs Eq.4 {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn newcomers_cannot_directly_reciprocate() {
+        // The paper's flash-crowd observation: with m_i or m_j = 0,
+        // π_DR = 0 — users cannot exchange unless each has a piece.
+        assert_eq!(pi_dr(0, 10, M), 0.0);
+        assert_eq!(pi_dr(10, 0, M), 0.0);
+        assert!(pi_dr(1, 1, M) > 0.0);
+    }
+
+    #[test]
+    fn corollary2_altruism_dominates() {
+        let dist = PieceCountDistribution::uniform(M);
+        for m_i in [0u32, 5, 30, 60] {
+            for m_j in [1u32, 8, 40, 64] {
+                let pa = pi_altruism(m_i, m_j, M);
+                let ptc = pi_tc(m_i, m_j, M, &dist, 100);
+                let pbt = pi_bt(m_i, m_j, M, 0.2);
+                assert!(pa >= ptc - 1e-12, "π_A ≥ π_TC at ({m_i},{m_j})");
+                assert!(pa >= pbt - 1e-12, "π_A ≥ π_BT at ({m_i},{m_j})");
+            }
+        }
+    }
+
+    #[test]
+    fn corollary2_tchain_approaches_altruism_as_n_grows() {
+        let dist = PieceCountDistribution::uniform(M);
+        let (m_i, m_j) = (20u32, 30u32);
+        let pa = pi_altruism(m_i, m_j, M);
+        let small = pi_tc(m_i, m_j, M, &dist, 5);
+        let large = pi_tc(m_i, m_j, M, &dist, 100_000);
+        assert!(large > small);
+        assert!(
+            (pa - large).abs() < 1e-6,
+            "π_TC → π_A as N → ∞ ({large} vs {pa})"
+        );
+    }
+
+    #[test]
+    fn proposition2_threshold_orders_tc_and_bt() {
+        let dist = PieceCountDistribution::uniform(M);
+        let n = 1000;
+        let (m_i, m_j) = (20u32, 25u32);
+        let threshold = alpha_bt_threshold(m_j, &dist, M, n);
+        // α_BT below the threshold: T-Chain wins.
+        let alpha_low = threshold * 0.5;
+        assert!(pi_tc(m_i, m_j, M, &dist, n) >= pi_bt(m_i, m_j, M, alpha_low) - 1e-12);
+        // α_BT above the threshold: BitTorrent can win.
+        let alpha_high = (threshold * 1.5).min(1.0);
+        if alpha_high > threshold {
+            assert!(pi_bt(m_i, m_j, M, alpha_high) >= pi_tc(m_i, m_j, M, &dist, n) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn pi_ir_is_the_indirect_component() {
+        let dist = PieceCountDistribution::uniform(M);
+        let (m_i, m_j) = (20u32, 30u32);
+        let total = pi_tc(m_i, m_j, M, &dist, 500);
+        let direct = pi_dr(m_i, m_j, M);
+        // Careful: pi_tc's direct term is q(i,j)q(j,i) = pi_dr.
+        let indirect = pi_ir(m_i, m_j, M, &dist, 500);
+        assert!((total - (direct + indirect)).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&indirect));
+    }
+
+    #[test]
+    fn distribution_constructors_validate() {
+        assert!(PieceCountDistribution::new(vec![]).is_err());
+        assert!(PieceCountDistribution::new(vec![0.5, 0.4]).is_err());
+        assert!(PieceCountDistribution::new(vec![-0.1, 1.1]).is_err());
+        let u = PieceCountDistribution::uniform(4);
+        assert_eq!(u.max_pieces(), 4);
+        assert!((u.prob(2) - 0.2).abs() < 1e-12);
+        let pt = PieceCountDistribution::point(3, 4);
+        assert_eq!(pt.prob(3), 1.0);
+        assert_eq!(pt.prob(2), 0.0);
+    }
+
+    #[test]
+    fn distribution_from_histogram() {
+        let d = PieceCountDistribution::from_histogram(&[2, 0, 2], 4);
+        assert_eq!(d.prob(0), 0.5);
+        assert_eq!(d.prob(2), 0.5);
+        assert_eq!(d.prob(4), 0.0);
+    }
+
+    #[test]
+    fn expected_probability_ranking_matches_fig3() {
+        // Fig. 3: altruism ≥ T-Chain ≥ FairTorrent-class ≥ BitTorrent,
+        // reciprocity = 0. (FairTorrent shares altruism's formula here; its
+        // extra deficit constraint only appears in simulation.)
+        let dist = PieceCountDistribution::uniform(32);
+        let n = 1000;
+        let e = |kind| expected_exchange_probability(kind, &dist, n, 0.2);
+        let alt = e(MechanismKind::Altruism);
+        let tc = e(MechanismKind::TChain);
+        let bt = e(MechanismKind::BitTorrent);
+        let rec = e(MechanismKind::Reciprocity);
+        assert!(alt >= tc && tc >= bt, "alt={alt} tc={tc} bt={bt}");
+        assert!(tc > 0.9 * alt, "T-Chain nearly matches altruism at N=1000");
+        assert_eq!(rec, 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! The paper's analytical performance model (Section IV).
+//!
+//! Every closed form in the paper is implemented here:
+//!
+//! | Paper artifact | Module |
+//! |----------------|--------|
+//! | Capacity assumptions (`U_1 ≥ … ≥ U_N`, `U_i ≤ Σ_{j≠i} U_j`) | [`capacity`] |
+//! | Lemma 1 (optimal fairness/efficiency), Lemma 2, Table I, Corollary 1 | [`equilibrium`] |
+//! | Eqs. (4)–(8): `q(i,j)`, `π_DR`, `π_TC`, `π_BT`, Prop. 2, Cor. 2, `π_IR` | [`exchange`] |
+//! | Table II, Lemma 3, Prop. 4 (bootstrapping) | [`bootstrap`] |
+//! | Prop. 3 (reputation fairness/efficiency) | [`reputation`] |
+//! | Table III (exploitable resources, collusion) | [`freeride`] |
+//! | Qiu–Srikant fluid dynamics (footnote 3's \[27\], with `η` = Prop. 2's exchange probability) | [`fluid`] |
+//!
+//! The combinatorial quantities are computed in log-space
+//! ([`combin`]) so they remain accurate for the thousands of pieces and
+//! users in the paper's experiments.
+
+pub mod bootstrap;
+pub mod capacity;
+pub mod combin;
+pub mod equilibrium;
+pub mod exchange;
+pub mod fluid;
+pub mod freeride;
+pub mod reputation;

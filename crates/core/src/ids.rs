@@ -1,0 +1,72 @@
+//! Peer identifiers.
+
+use std::fmt;
+
+/// Identifies a peer within one simulation.
+///
+/// Identifiers are dense indices assigned in arrival order; whitewashing
+/// free-riders obtain a *new* `PeerId` when they rejoin (the old identity is
+/// retired), exactly as a new user ID in a real system.
+///
+/// # Example
+///
+/// ```
+/// use coop_incentives::PeerId;
+/// let p = PeerId::new(7);
+/// assert_eq!(p.index(), 7);
+/// assert_eq!(p.to_string(), "peer#7");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerId(u32);
+
+impl PeerId {
+    /// Creates a peer id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        PeerId(index)
+    }
+
+    /// Returns the dense index backing this id.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer#{}", self.0)
+    }
+}
+
+impl From<u32> for PeerId {
+    fn from(i: u32) -> Self {
+        PeerId(i)
+    }
+}
+
+impl From<PeerId> for u32 {
+    fn from(p: PeerId) -> u32 {
+        p.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_u32() {
+        let p = PeerId::from(9u32);
+        assert_eq!(u32::from(p), 9);
+        assert_eq!(p, PeerId::new(9));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(PeerId::new(1) < PeerId::new(2));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(PeerId::new(0).to_string(), "peer#0");
+    }
+}

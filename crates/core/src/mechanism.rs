@@ -1,0 +1,302 @@
+//! The common allocation interface implemented by all six algorithms.
+
+use rand::RngCore;
+
+use crate::view::SwarmView;
+use crate::{MechanismKind, PeerId};
+
+/// Why an upload grant was made — used by the simulator's accounting and by
+/// the experiments to attribute bandwidth to mechanism components.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GrantReason {
+    /// Pure direct reciprocity against outstanding credit.
+    Reciprocity,
+    /// T-Chain indirect reciprocity (reciprocating a received piece to a
+    /// third peer, or opportunistically initiating a chain).
+    IndirectReciprocity,
+    /// Fulfilling a T-Chain obligation (forwarding to unlock a piece).
+    Obligation,
+    /// BitTorrent tit-for-tat toward a top contributor.
+    TitForTat,
+    /// BitTorrent optimistic unchoke / altruistic share.
+    OptimisticUnchoke,
+    /// Pure altruism to a random interested peer.
+    Altruism,
+    /// Reputation-weighted upload.
+    Reputation,
+    /// FairTorrent lowest-deficit upload.
+    Deficit,
+    /// Seeder upload.
+    Seeding,
+}
+
+impl GrantReason {
+    /// All reasons, for iteration/accounting.
+    pub const ALL: [GrantReason; 9] = [
+        GrantReason::Reciprocity,
+        GrantReason::IndirectReciprocity,
+        GrantReason::Obligation,
+        GrantReason::TitForTat,
+        GrantReason::OptimisticUnchoke,
+        GrantReason::Altruism,
+        GrantReason::Reputation,
+        GrantReason::Deficit,
+        GrantReason::Seeding,
+    ];
+
+    /// Dense index of this reason within [`GrantReason::ALL`].
+    pub fn index(self) -> usize {
+        GrantReason::ALL
+            .iter()
+            .position(|&r| r == self)
+            .expect("reason listed in ALL")
+    }
+
+    /// Short label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            GrantReason::Reciprocity => "reciprocity",
+            GrantReason::IndirectReciprocity => "indirect-reciprocity",
+            GrantReason::Obligation => "obligation",
+            GrantReason::TitForTat => "tit-for-tat",
+            GrantReason::OptimisticUnchoke => "optimistic-unchoke",
+            GrantReason::Altruism => "altruism",
+            GrantReason::Reputation => "reputation",
+            GrantReason::Deficit => "deficit",
+            GrantReason::Seeding => "seeding",
+        }
+    }
+}
+
+/// Requires the receiver of a conditional (encrypted) upload to reciprocate
+/// before the piece is usable — T-Chain's enforcement device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ReciprocationCondition {
+    /// The peer the receiver must upload a piece to. Equal to the uploader
+    /// for direct reciprocity; a third peer for indirect reciprocity.
+    pub reciprocate_to: PeerId,
+}
+
+/// One upload decision: send `bytes` toward `to`.
+///
+/// Grants are byte-granular; the simulator accumulates them into piece
+/// transfers, so capacities below one piece per round still make progress.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grant {
+    /// Receiving peer.
+    pub to: PeerId,
+    /// Bytes of upload bandwidth committed.
+    pub bytes: u64,
+    /// Mechanism component responsible for this grant.
+    pub reason: GrantReason,
+    /// If set, the transferred piece is delivered encrypted and locked
+    /// until the receiver reciprocates (T-Chain).
+    pub condition: Option<ReciprocationCondition>,
+}
+
+impl Grant {
+    /// An unconditional grant.
+    pub fn new(to: PeerId, bytes: u64, reason: GrantReason) -> Self {
+        Grant {
+            to,
+            bytes,
+            reason,
+            condition: None,
+        }
+    }
+
+    /// A conditional (encrypted) grant requiring reciprocation to
+    /// `reciprocate_to`.
+    pub fn conditional(to: PeerId, bytes: u64, reason: GrantReason, reciprocate_to: PeerId) -> Self {
+        Grant {
+            to,
+            bytes,
+            reason,
+            condition: Some(ReciprocationCondition { reciprocate_to }),
+        }
+    }
+}
+
+/// Tunable parameters shared by the mechanism implementations, with the
+/// defaults used by the paper's experiments (Section V-A).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MechanismParams {
+    /// Fraction of BitTorrent bandwidth used for optimistic unchoking
+    /// (the paper simulates 20%).
+    pub alpha_bt: f64,
+    /// Number of simultaneous tit-for-tat unchoke slots (`n_BT`, 4 in the
+    /// paper's Table II example).
+    pub n_bt: usize,
+    /// Fraction of reputation-algorithm bandwidth reserved for altruistic
+    /// bootstrapping (`α_R`).
+    pub alpha_r: f64,
+    /// Rounds before an unfulfilled T-Chain obligation expires and the
+    /// locked piece is discarded.
+    pub tchain_obligation_ttl: u64,
+    /// Maximum pending reciprocation backlog (obligations plus conditional
+    /// in-flight pieces) a T-Chain receiver may hold; uploaders do not
+    /// initiate chains beyond it. Low enough that a slow peer can clear
+    /// its backlog within the obligation TTL.
+    pub tchain_max_backlog: usize,
+}
+
+impl Default for MechanismParams {
+    fn default() -> Self {
+        MechanismParams {
+            alpha_bt: 0.2,
+            n_bt: 4,
+            alpha_r: 0.1,
+            tchain_obligation_ttl: 16,
+            tchain_max_backlog: 4,
+        }
+    }
+}
+
+impl MechanismParams {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field: fractions must be
+    /// within `[0, 1]`, `n_bt` and the obligation TTL must be positive.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.alpha_bt) {
+            return Err(format!("alpha_bt must be in [0,1], got {}", self.alpha_bt));
+        }
+        if !(0.0..=1.0).contains(&self.alpha_r) {
+            return Err(format!("alpha_r must be in [0,1], got {}", self.alpha_r));
+        }
+        if self.n_bt == 0 {
+            return Err("n_bt must be positive".to_string());
+        }
+        if self.tchain_obligation_ttl == 0 {
+            return Err("tchain_obligation_ttl must be positive".to_string());
+        }
+        if self.tchain_max_backlog == 0 {
+            return Err("tchain_max_backlog must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// An incentive mechanism: the per-round upload-allocation policy of one
+/// peer (Section III-A of the paper).
+///
+/// Each round the simulator calls [`Mechanism::allocate`] with the peer's
+/// remaining upload budget in bytes; the mechanism returns grants whose
+/// total must not exceed the budget (the simulator clamps regardless).
+pub trait Mechanism: std::fmt::Debug + Send {
+    /// Which of the six algorithms this is.
+    fn kind(&self) -> MechanismKind;
+
+    /// Decides this round's upload grants.
+    fn allocate(&mut self, view: &dyn SwarmView, budget: u64, rng: &mut dyn RngCore) -> Vec<Grant>;
+
+    /// Hook called at the end of every round (after transfers execute).
+    fn on_round_end(&mut self, _view: &dyn SwarmView) {}
+
+    /// Hook called when a conditional (encrypted) upload this peer made is
+    /// resolved: `honored = true` when the receiver reciprocated (key
+    /// released), `false` when the obligation expired unfulfilled.
+    /// T-Chain's local-reputation component feeds on this signal.
+    fn on_chain_outcome(&mut self, _receiver: PeerId, _honored: bool) {}
+}
+
+/// Builds a boxed mechanism of the given kind with the given parameters.
+///
+/// # Panics
+///
+/// Panics if `params.validate()` fails.
+///
+/// # Example
+///
+/// ```
+/// use coop_incentives::{build_mechanism, MechanismKind, MechanismParams};
+/// let m = build_mechanism(MechanismKind::TChain, MechanismParams::default());
+/// assert_eq!(m.kind(), MechanismKind::TChain);
+/// ```
+pub fn build_mechanism(kind: MechanismKind, params: MechanismParams) -> Box<dyn Mechanism> {
+    params
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid mechanism parameters: {e}"));
+    use crate::mechanisms::*;
+    match kind {
+        MechanismKind::Reciprocity => Box::new(Reciprocity::new()),
+        MechanismKind::Altruism => Box::new(Altruism::new()),
+        MechanismKind::Reputation => Box::new(Reputation::new(params)),
+        MechanismKind::BitTorrent => Box::new(BitTorrent::new(params)),
+        MechanismKind::FairTorrent => Box::new(FairTorrent::new()),
+        MechanismKind::TChain => Box::new(TChain::new(params)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_match_paper() {
+        let p = MechanismParams::default();
+        assert_eq!(p.alpha_bt, 0.2);
+        assert_eq!(p.n_bt, 4);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_fractions() {
+        let bad_alpha = MechanismParams {
+            alpha_bt: 1.5,
+            ..MechanismParams::default()
+        };
+        assert!(bad_alpha.validate().is_err());
+        let bad_r = MechanismParams {
+            alpha_r: -0.1,
+            ..MechanismParams::default()
+        };
+        assert!(bad_r.validate().is_err());
+        let bad_n = MechanismParams {
+            n_bt: 0,
+            ..MechanismParams::default()
+        };
+        assert!(bad_n.validate().is_err());
+    }
+
+    #[test]
+    fn build_covers_all_kinds() {
+        for kind in MechanismKind::ALL {
+            let m = build_mechanism(kind, MechanismParams::default());
+            assert_eq!(m.kind(), kind);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid mechanism parameters")]
+    fn build_panics_on_invalid_params() {
+        let p = MechanismParams {
+            alpha_bt: 2.0,
+            ..MechanismParams::default()
+        };
+        build_mechanism(MechanismKind::BitTorrent, p);
+    }
+
+    #[test]
+    fn grant_reason_index_round_trips() {
+        for (i, &r) in GrantReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert!(!r.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn grant_constructors() {
+        let a = Grant::new(PeerId::new(1), 100, GrantReason::Altruism);
+        assert!(a.condition.is_none());
+        let c = Grant::conditional(
+            PeerId::new(1),
+            100,
+            GrantReason::IndirectReciprocity,
+            PeerId::new(2),
+        );
+        assert_eq!(c.condition.unwrap().reciprocate_to, PeerId::new(2));
+    }
+}

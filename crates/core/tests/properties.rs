@@ -1,0 +1,207 @@
+//! Property-based tests for the analytical model and metrics: the paper's
+//! inequalities must hold over randomized inputs, not just hand-picked
+//! examples.
+
+use coop_incentives::analysis::bootstrap::{bootstrap_probability, BootstrapParams};
+use coop_incentives::analysis::capacity::CapacityVector;
+use coop_incentives::analysis::combin::{ln_choose, ln_gamma};
+use coop_incentives::analysis::equilibrium::{
+    download_rates, equilibrium_summary, optimal_download_rates, EquilibriumParams,
+};
+use coop_incentives::analysis::exchange::{pi_bt, pi_dr, pi_tc, q, PieceCountDistribution};
+use coop_incentives::metrics::{
+    avg_fairness_ratio, efficiency_from_rates, fairness_stat, jain_index, Cdf,
+};
+use coop_incentives::MechanismKind;
+use proptest::prelude::*;
+
+fn capacity_strategy() -> impl Strategy<Value = CapacityVector> {
+    proptest::collection::vec(1.0f64..1000.0, 3..40)
+        .prop_map(|v| CapacityVector::new(v).expect("positive"))
+}
+
+proptest! {
+    /// Lemma 1: the equal-split allocation minimizes E among all the
+    /// algorithms' equilibria.
+    #[test]
+    fn lemma1_optimum_dominates(caps in capacity_strategy()) {
+        let params = EquilibriumParams::default();
+        let e_opt = efficiency_from_rates(&optimal_download_rates(&caps, 0.0));
+        for kind in MechanismKind::ALL {
+            let s = equilibrium_summary(kind, &caps, &params);
+            prop_assert!(s.efficiency >= e_opt - 1e-9, "{kind}");
+        }
+    }
+
+    /// Eq. (1): the Table I rates conserve bandwidth for every
+    /// transferring algorithm.
+    #[test]
+    fn table1_conserves_bandwidth(caps in capacity_strategy()) {
+        let params = EquilibriumParams::default();
+        for kind in MechanismKind::ALL {
+            if kind == MechanismKind::Reciprocity {
+                continue;
+            }
+            let d: f64 = download_rates(kind, &caps, &params).iter().sum();
+            prop_assert!(
+                (d - caps.total()).abs() <= 1e-6 * caps.total(),
+                "{kind}: Σd = {d} vs ΣU = {}",
+                caps.total()
+            );
+        }
+    }
+
+    /// Corollary 1: T-Chain and FairTorrent are perfectly fair in the
+    /// idealized equilibrium; altruism is the most efficient algorithm.
+    /// The corollary assumes no dominant user, sufficiently similar
+    /// capacities (`Σ U_j ≫ U_i`, `U_i ≈ U_{i+n_BT}`) and `N ≫ n_BT`
+    /// (otherwise BitTorrent's tit-for-tat window spans the whole swarm
+    /// and degenerates into global averaging), so the generator stays
+    /// within one order of magnitude with at least 4 windows of users.
+    #[test]
+    fn corollary1_over_random_capacities(
+        caps in proptest::collection::vec(10.0f64..100.0, 16..48)
+            .prop_map(|v| CapacityVector::new(v).expect("positive"))
+    ) {
+        prop_assume!(caps.no_dominant_user());
+        let params = EquilibriumParams::default();
+        prop_assert_eq!(
+            equilibrium_summary(MechanismKind::TChain, &caps, &params).fairness,
+            0.0
+        );
+        prop_assert_eq!(
+            equilibrium_summary(MechanismKind::FairTorrent, &caps, &params).fairness,
+            0.0
+        );
+        let e_alt = equilibrium_summary(MechanismKind::Altruism, &caps, &params).efficiency;
+        for kind in [
+            MechanismKind::TChain,
+            MechanismKind::FairTorrent,
+            MechanismKind::BitTorrent,
+            MechanismKind::Reputation,
+        ] {
+            let e = equilibrium_summary(kind, &caps, &params).efficiency;
+            prop_assert!(e_alt <= e + 1e-9, "{kind}: {e_alt} vs {e}");
+        }
+    }
+
+    /// `q` is a probability, monotone in the holder's pieces, and
+    /// anti-monotone in the needer's pieces.
+    #[test]
+    fn q_bounds_and_monotonicity(m in 2u32..200, a in 0u32..200, b in 0u32..200) {
+        let m_i = a.min(m);
+        let m_j = b.min(m);
+        let v = q(m_i, m_j, m);
+        prop_assert!((0.0..=1.0).contains(&v));
+        if m_j < m {
+            prop_assert!(q(m_i, m_j + 1, m) >= v - 1e-12, "monotone in m_j");
+        }
+        if m_i < m {
+            prop_assert!(q(m_i + 1, m_j, m) <= v + 1e-12, "anti-monotone in m_i");
+        }
+    }
+
+    /// Corollary 2 over random piece counts: π_A ≥ π_TC and π_A ≥ π_BT,
+    /// and π_DR ≤ both.
+    #[test]
+    fn corollary2_over_random_states(
+        m in 4u32..128,
+        a in 0u32..128,
+        b in 0u32..128,
+        n in 3usize..500,
+        alpha in 0.0f64..1.0,
+    ) {
+        let m_i = a.min(m);
+        let m_j = b.min(m);
+        let dist = PieceCountDistribution::uniform(m);
+        let pa = q(m_i, m_j, m);
+        let tc = pi_tc(m_i, m_j, m, &dist, n);
+        let bt = pi_bt(m_i, m_j, m, alpha);
+        let dr = pi_dr(m_i, m_j, m);
+        prop_assert!(pa >= tc - 1e-12);
+        prop_assert!(pa >= bt - 1e-12);
+        prop_assert!(tc >= dr - 1e-12, "T-Chain adds indirect reciprocity");
+        prop_assert!((0.0..=1.0).contains(&tc));
+        prop_assert!((0.0..=1.0).contains(&bt));
+    }
+
+    /// Table II bootstrap probabilities are valid and altruism dominates
+    /// T-Chain for any π_DR (Prop. 4's first comparison).
+    #[test]
+    fn table2_bounds(
+        n in 10u64..5000,
+        z in 1u64..5000,
+        k in 1u64..10,
+        pi_dr_v in 0.0f64..1.0,
+        omega in 0.0f64..1.0,
+    ) {
+        let params = BootstrapParams {
+            n,
+            n_s: 1,
+            k,
+            z: z.min(n),
+            pi_dr: pi_dr_v,
+            n_bt: 4,
+            omega,
+            n_ft: (n / 2).max(k + 2),
+        };
+        prop_assume!(params.validate().is_ok());
+        for kind in MechanismKind::ALL {
+            let p = bootstrap_probability(kind, &params);
+            prop_assert!((0.0..=1.0).contains(&p), "{kind}: {p}");
+        }
+        let alt = bootstrap_probability(MechanismKind::Altruism, &params);
+        let tc = bootstrap_probability(MechanismKind::TChain, &params);
+        prop_assert!(alt >= tc - 1e-12, "altruism ≥ T-Chain (Prop. 4)");
+    }
+
+    /// Fairness metrics: F = 0 iff u = d (over positive pairs), and the
+    /// average ratio is 1 for balanced pairs.
+    #[test]
+    fn fairness_metrics_properties(pairs in proptest::collection::vec((0.1f64..100.0, 0.1f64..100.0), 1..30)) {
+        let (f, skipped) = fairness_stat(&pairs);
+        prop_assert_eq!(skipped, 0);
+        prop_assert!(f >= 0.0);
+        let balanced: Vec<(f64, f64)> = pairs.iter().map(|&(u, _)| (u, u)).collect();
+        let (f0, _) = fairness_stat(&balanced);
+        prop_assert!(f0.abs() < 1e-12);
+        let avg = avg_fairness_ratio(&balanced).unwrap();
+        prop_assert!((avg - 1.0).abs() < 1e-12);
+    }
+
+    /// Jain's index lies in [1/n, 1].
+    #[test]
+    fn jain_bounds(values in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+        if let Some(j) = jain_index(&values) {
+            let n = values.len() as f64;
+            prop_assert!(j <= 1.0 + 1e-12);
+            prop_assert!(j >= 1.0 / n - 1e-12);
+        }
+    }
+
+    /// CDF: fraction_at_or_below is monotone and hits 0/1 at the extremes.
+    #[test]
+    fn cdf_is_monotone(samples in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let cdf = Cdf::from_samples(samples.clone());
+        let lo = cdf.quantile(0.0).unwrap();
+        let hi = cdf.quantile(1.0).unwrap();
+        prop_assert_eq!(cdf.fraction_at_or_below(lo - 1.0), 0.0);
+        prop_assert_eq!(cdf.fraction_at_or_below(hi), 1.0);
+        let mid = (lo + hi) / 2.0;
+        prop_assert!(cdf.fraction_at_or_below(mid) <= cdf.fraction_at_or_below(hi));
+        prop_assert!(cdf.fraction_at_or_below(lo) <= cdf.fraction_at_or_below(mid) + 1e-12);
+    }
+
+    /// ln Γ satisfies the recurrence and ln C(n,k) the symmetry, over wide
+    /// ranges.
+    #[test]
+    fn combinatorics_identities(z in 0.5f64..5000.0, n in 1u64..5000, k in 0u64..5000) {
+        let lhs = ln_gamma(z + 1.0);
+        let rhs = ln_gamma(z) + z.ln();
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * lhs.abs().max(1.0));
+        let k = k.min(n);
+        let a = ln_choose(n, k);
+        let b = ln_choose(n, n - k);
+        prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+    }
+}

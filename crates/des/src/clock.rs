@@ -1,0 +1,211 @@
+//! Simulation clock types.
+//!
+//! The simulator counts time in integer milliseconds. Integer time makes
+//! event ordering exact (no floating-point ties) and keeps runs reproducible
+//! across platforms.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in milliseconds since the start of
+/// the simulation.
+///
+/// `SimTime` is a transparent newtype over `u64`; it implements the usual
+/// ordering and arithmetic with [`Duration`].
+///
+/// # Example
+///
+/// ```
+/// use coop_des::{Duration, SimTime};
+/// let t = SimTime::from_secs(3) + Duration::from_millis(250);
+/// assert_eq!(t.as_millis(), 3250);
+/// assert_eq!(t.as_secs_f64(), 3.25);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero time — the instant the simulation starts.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable simulation time.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1000)
+    }
+
+    /// Returns the time in milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Returns the duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        assert!(
+            earlier <= self,
+            "SimTime::since called with a later time ({earlier} > {self})"
+        );
+        Duration(self.0 - earlier.0)
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// A span of simulated time in milliseconds.
+///
+/// # Example
+///
+/// ```
+/// use coop_des::Duration;
+/// assert_eq!(Duration::from_secs(2).as_millis(), 2000);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// A zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration(secs * 1000)
+    }
+
+    /// Returns the duration in milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Multiplies the duration by an integer factor.
+    pub const fn times(self, n: u64) -> Duration {
+        Duration(self.0 * n)
+    }
+
+    /// Returns true if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl From<Duration> for SimTime {
+    fn from(d: Duration) -> SimTime {
+        SimTime(d.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(4).as_millis(), 4000);
+        assert_eq!(SimTime::from_millis(1500).as_secs_f64(), 1.5);
+        assert_eq!(Duration::from_secs(1).times(3), Duration::from_millis(3000));
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_secs(1) + Duration::from_millis(500);
+        assert_eq!(t, SimTime::from_millis(1500));
+        assert_eq!(t.since(SimTime::from_secs(1)), Duration::from_millis(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "later time")]
+    fn since_panics_on_later_time() {
+        SimTime::ZERO.since(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime::from_millis(999) < SimTime::from_secs(1));
+        assert!(Duration::from_secs(1) > Duration::from_millis(999));
+    }
+
+    #[test]
+    fn saturating_add_does_not_overflow() {
+        let t = SimTime::MAX.saturating_add(Duration::from_secs(1));
+        assert_eq!(t, SimTime::MAX);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_millis(1250).to_string(), "1.250s");
+        assert_eq!(Duration::from_millis(30).to_string(), "0.030s");
+    }
+
+    #[test]
+    fn duration_subtraction_saturates() {
+        let d = Duration::from_secs(1) - Duration::from_secs(2);
+        assert!(d.is_zero());
+    }
+}

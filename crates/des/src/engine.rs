@@ -1,0 +1,176 @@
+//! The simulation run loop.
+
+use crate::{EventQueue, SimTime};
+
+/// A discrete-event simulation engine.
+///
+/// The engine owns an [`EventQueue`] and a clock. [`Engine::run_until`]
+/// repeatedly pops the earliest event, advances the clock to its timestamp
+/// and hands it to a handler closure. The handler may schedule further
+/// events through the `&mut Engine` it is given.
+///
+/// # Example
+///
+/// ```
+/// use coop_des::{Duration, Engine, SimTime};
+///
+/// // A self-rescheduling "tick" event that counts to five.
+/// let mut engine = Engine::new();
+/// engine.schedule(SimTime::ZERO, ());
+/// let mut ticks = 0;
+/// engine.run_until(SimTime::from_secs(10), |now, (), eng| {
+///     ticks += 1;
+///     if ticks < 5 {
+///         eng.schedule(now + Duration::from_secs(1), ());
+///     }
+/// });
+/// assert_eq!(ticks, 5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with an empty queue and the clock at zero.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time; the past
+    /// cannot be changed.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule an event in the past ({at} < {now})",
+            now = self.now
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Runs events in time order until the queue is exhausted or the next
+    /// event would fire after `deadline`. Events exactly at `deadline` are
+    /// processed. Returns the number of events processed by this call.
+    pub fn run_until<F>(&mut self, deadline: SimTime, mut handler: F) -> u64
+    where
+        F: FnMut(SimTime, E, &mut Engine<E>),
+    {
+        let start = self.processed;
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
+                break;
+            }
+            // Pop without holding a borrow across the handler call.
+            let ev = self.queue.pop().expect("peeked event must exist");
+            self.now = ev.at;
+            self.processed += 1;
+            handler(ev.at, ev.event, self);
+        }
+        // Leave the clock at the deadline so a subsequent run resumes there.
+        if self.now < deadline && deadline != SimTime::MAX {
+            self.now = deadline;
+        }
+        self.processed - start
+    }
+
+    /// Runs until the queue is empty (use with care: self-rescheduling
+    /// events will never terminate). Returns the number of events processed.
+    pub fn run_to_completion<F>(&mut self, handler: F) -> u64
+    where
+        F: FnMut(SimTime, E, &mut Engine<E>),
+    {
+        self.run_until(SimTime::MAX, handler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Duration;
+
+    #[test]
+    fn processes_events_in_order_and_advances_clock() {
+        let mut eng = Engine::new();
+        eng.schedule(SimTime::from_millis(20), "late");
+        eng.schedule(SimTime::from_millis(10), "early");
+        let mut log = Vec::new();
+        eng.run_to_completion(|now, ev, _| log.push((now.as_millis(), ev)));
+        assert_eq!(log, vec![(10, "early"), (20, "late")]);
+        assert_eq!(eng.events_processed(), 2);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_inclusive() {
+        let mut eng = Engine::new();
+        eng.schedule(SimTime::from_millis(5), 1);
+        eng.schedule(SimTime::from_millis(10), 2);
+        eng.schedule(SimTime::from_millis(11), 3);
+        let mut seen = Vec::new();
+        let n = eng.run_until(SimTime::from_millis(10), |_, ev, _| seen.push(ev));
+        assert_eq!(n, 2);
+        assert_eq!(seen, vec![1, 2]);
+        assert_eq!(eng.pending(), 1);
+        assert_eq!(eng.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn handler_can_schedule_new_events() {
+        let mut eng = Engine::new();
+        eng.schedule(SimTime::ZERO, 0u32);
+        let mut count = 0;
+        eng.run_to_completion(|now, depth, e| {
+            count += 1;
+            if depth < 3 {
+                e.schedule(now + Duration::from_millis(1), depth + 1);
+            }
+        });
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut eng = Engine::new();
+        eng.schedule(SimTime::from_millis(10), ());
+        eng.run_to_completion(|_, (), _| {});
+        eng.schedule(SimTime::from_millis(5), ());
+    }
+
+    #[test]
+    fn clock_jumps_to_deadline_when_queue_runs_dry() {
+        let mut eng: Engine<()> = Engine::new();
+        eng.run_until(SimTime::from_secs(9), |_, (), _| {});
+        assert_eq!(eng.now(), SimTime::from_secs(9));
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the DES engine.
+
+use coop_des::rng::SeedTree;
+use coop_des::{Duration, Engine, EventQueue, RoundDriver, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// The queue releases events in nondecreasing time order regardless of
+    /// insertion order.
+    #[test]
+    fn queue_is_time_ordered(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.push(SimTime::from_millis(t), t);
+        }
+        let mut last = 0;
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.at.as_millis() >= last);
+            last = ev.at.as_millis();
+        }
+    }
+
+    /// Every scheduled event is delivered exactly once.
+    #[test]
+    fn engine_delivers_every_event(times in proptest::collection::vec(0u64..5_000, 0..100)) {
+        let mut eng = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            eng.schedule(SimTime::from_millis(t), i);
+        }
+        let mut seen = vec![false; times.len()];
+        eng.run_to_completion(|_, i, _| { seen[i] = true; });
+        prop_assert!(seen.iter().all(|&s| s));
+        prop_assert_eq!(eng.events_processed(), times.len() as u64);
+    }
+
+    /// round_of and start_of are consistent: a round starts within itself,
+    /// and times map to the round whose window contains them.
+    #[test]
+    fn round_mapping_consistent(len_ms in 1u64..5_000, t in 0u64..1_000_000) {
+        let rd = RoundDriver::new(Duration::from_millis(len_ms));
+        let r = rd.round_of(SimTime::from_millis(t));
+        let start = rd.start_of(r).as_millis();
+        prop_assert!(start <= t);
+        prop_assert!(t < start + len_ms);
+    }
+
+    /// Child seeds are a pure function of (root, label).
+    #[test]
+    fn seed_tree_is_deterministic(root in any::<u64>(), label in any::<u64>()) {
+        let a = SeedTree::new(root).child_seed(label);
+        let b = SeedTree::new(root).child_seed(label);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Distinct labels essentially never collide.
+    #[test]
+    fn seed_tree_labels_distinct(root in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let t = SeedTree::new(root);
+        prop_assert_ne!(t.child_seed(a), t.child_seed(b));
+    }
+}
+
+/// Splitting the run at an arbitrary deadline must not change the delivery
+/// order (resumability).
+#[test]
+fn split_runs_equal_single_run() {
+    let times: Vec<u64> = vec![5, 1, 9, 9, 3, 7, 2, 9, 0, 4];
+    let collect = |split: Option<u64>| {
+        let mut eng = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            eng.schedule(SimTime::from_millis(t), i);
+        }
+        let mut log = Vec::new();
+        if let Some(s) = split {
+            eng.run_until(SimTime::from_millis(s), |_, i, _| log.push(i));
+        }
+        eng.run_to_completion(|_, i, _| log.push(i));
+        log
+    };
+    let whole = collect(None);
+    for split in 0..=10 {
+        assert_eq!(collect(Some(split)), whole, "split at {split}");
+    }
+}

@@ -1,0 +1,46 @@
+//! # coop-experiments
+//!
+//! The experiment harness that regenerates **every table and figure** of
+//! *“A Performance Analysis of Incentive Mechanisms for Cooperative
+//! Computing”* (ICDCS 2016). Each runner prints the same rows/series the
+//! paper reports and writes machine-readable CSV/JSON artifacts.
+//!
+//! | Runner | Paper artifact |
+//! |--------|----------------|
+//! | [`runners::fig1`]   | Fig. 1 — classification + expectation-vs-measurement cross-check |
+//! | [`runners::table1`] | Table I — equilibrium download utilizations (analytic + measured) |
+//! | [`runners::fig2`]   | Fig. 2 — idealized fairness/efficiency ranking |
+//! | [`runners::fig3`]   | Fig. 3 — exchange probabilities under piece availability + Prop. 3 |
+//! | [`runners::table2`] | Table II — bootstrap probabilities (incl. the example column) + Lemma 3 |
+//! | [`runners::table3`] | Table III — exploitable resources and collusion probabilities |
+//! | [`runners::fig4`]   | Fig. 4 — compliant-swarm simulation (efficiency, fairness, bootstrapping) |
+//! | [`runners::fig5`]   | Fig. 5 — 20 % free-riders with per-algorithm worst attacks |
+//! | [`runners::fig6`]   | Fig. 6 — Fig. 5 attacks plus the large-view exploit |
+//! | [`runners::fluid`]  | Qiu–Srikant fluid dynamics per mechanism (footnote 3's \[27\]) vs the simulator |
+//! | [`runners::ablations`] | Beyond the paper: parameter sweeps and extra attacks |
+//! | [`runners::extensions`] | Beyond the paper: PropShare/BitTyrant clients, EigenTrust false-praise defense |
+//!
+//! Runners accept a [`Scale`]: `Quick` for CI, `Default` for laptop runs
+//! with the paper's shape intact, `Paper` for the full 1000-peer, 128 MB
+//! setup of Section V-A.
+//!
+//! # Example
+//!
+//! ```
+//! use coop_experiments::{runners::table2, Scale};
+//! let report = table2::run(Scale::Quick, 42);
+//! assert!(report.render().contains("Altruism"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod output;
+pub mod plot;
+pub mod runners;
+mod scale;
+mod table;
+
+pub use output::{write_csv, write_json, OutputDir};
+pub use scale::Scale;
+pub use table::Table;

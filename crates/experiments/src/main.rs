@@ -1,0 +1,106 @@
+//! `coop-experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! coop-experiments <table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fluid|ablations|extensions|all>
+//!                  [--scale quick|default|paper] [--seed N]
+//! ```
+//!
+//! Reports print to stdout; CSV/JSON series land in `target/experiments/`.
+
+use coop_experiments::{runners, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: coop-experiments <table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fluid|ablations|extensions|all> \
+         [--scale quick|default|paper] [--seed N] [--replicates N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command: Option<String> = None;
+    let mut scale = Scale::Default;
+    let mut seed = 42u64;
+    let mut replicates = 1u64;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                scale = Scale::parse(&v).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid seed '{v}'");
+                    usage()
+                });
+            }
+            "--replicates" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                replicates = v.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid replicate count '{v}'");
+                    usage()
+                });
+                if replicates == 0 {
+                    eprintln!("replicates must be positive");
+                    usage();
+                }
+            }
+            "--help" | "-h" => usage(),
+            other if command.is_none() && !other.starts_with('-') => {
+                command = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                usage();
+            }
+        }
+    }
+    let command = command.unwrap_or_else(|| usage());
+    let run_one = |name: &str| match name {
+        "table1" => println!("{}", runners::table1::run(scale, seed).render()),
+        "table2" => println!("{}", runners::table2::run(scale, seed).render()),
+        "table3" => println!("{}", runners::table3::run(scale, seed).render()),
+        "fig1" => println!("{}", runners::fig1::run(scale, seed).render()),
+        "fig2" => println!("{}", runners::fig2::run(scale, seed).render()),
+        "fig3" => println!("{}", runners::fig3::run(scale, seed).render()),
+        "fig4" if replicates > 1 => {
+            let seeds: Vec<u64> = (0..replicates).map(|i| seed + i).collect();
+            println!("{}", runners::fig4::run_replicated(scale, &seeds).render());
+        }
+        "fig5" if replicates > 1 => {
+            let seeds: Vec<u64> = (0..replicates).map(|i| seed + i).collect();
+            println!("{}", runners::fig5::run_replicated(scale, &seeds).render());
+        }
+        "fig6" if replicates > 1 => {
+            let seeds: Vec<u64> = (0..replicates).map(|i| seed + i).collect();
+            println!("{}", runners::fig6::run_replicated(scale, &seeds).render());
+        }
+        "fig4" => println!("{}", runners::fig4::run(scale, seed).render()),
+        "fig5" => println!("{}", runners::fig5::run(scale, seed).render()),
+        "fig6" => println!("{}", runners::fig6::run(scale, seed).render()),
+        "ablations" => println!("{}", runners::ablations::run(scale, seed).render()),
+        "extensions" => println!("{}", runners::extensions::run(scale, seed).render()),
+        "fluid" => println!("{}", runners::fluid::run(scale, seed).render()),
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            usage();
+        }
+    };
+    if command == "all" {
+        for name in [
+            "table1", "fig1", "fig2", "fig3", "table2", "table3", "fig4", "fig5", "fig6", "fluid",
+            "ablations", "extensions",
+        ] {
+            run_one(name);
+        }
+        println!("artifacts written to target/experiments/");
+    } else {
+        run_one(&command);
+    }
+}

@@ -1,0 +1,160 @@
+//! Machine-readable experiment artifacts (CSV series, JSON summaries).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// A directory experiment artifacts are written into (created on demand).
+///
+/// # Example
+///
+/// ```no_run
+/// use coop_experiments::OutputDir;
+/// let out = OutputDir::new("target/experiments");
+/// out.csv("fig4a_completion_cdf", &["time_s", "fraction"], &[(1.0, 0.5)])
+///     .unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct OutputDir {
+    root: PathBuf,
+}
+
+impl OutputDir {
+    /// Creates a handle rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        OutputDir { root: root.into() }
+    }
+
+    /// The default artifact directory, `target/experiments`.
+    pub fn default_dir() -> Self {
+        OutputDir::new("target/experiments")
+    }
+
+    /// The root path.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    /// Writes a two-column CSV (e.g. a figure series).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error.
+    pub fn csv(
+        &self,
+        name: &str,
+        headers: &[&str],
+        rows: &[(f64, f64)],
+    ) -> std::io::Result<PathBuf> {
+        let rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|&(a, b)| vec![format!("{a}"), format!("{b}")])
+            .collect();
+        self.csv_rows(name, headers, &rows)
+    }
+
+    /// Writes a CSV with arbitrary stringified rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error.
+    pub fn csv_rows(
+        &self,
+        name: &str,
+        headers: &[&str],
+        rows: &[Vec<String>],
+    ) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(&self.root)?;
+        let path = self.root.join(format!("{name}.csv"));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", headers.join(","))?;
+        for row in rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+
+    /// Serializes `value` as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or serialization error.
+    pub fn json<T: Serialize>(&self, name: &str, value: &T) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(&self.root)?;
+        let path = self.root.join(format!("{name}.json"));
+        let data = serde_json::to_string_pretty(value)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        fs::write(&path, data)?;
+        Ok(path)
+    }
+}
+
+/// Convenience: writes a series CSV into the default directory.
+///
+/// # Errors
+///
+/// Returns any I/O error.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[(f64, f64)]) -> std::io::Result<PathBuf> {
+    OutputDir::default_dir().csv(name, headers, rows)
+}
+
+/// Convenience: writes a JSON summary into the default directory.
+///
+/// # Errors
+///
+/// Returns any I/O or serialization error.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    OutputDir::default_dir().json(name, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> OutputDir {
+        let dir = std::env::temp_dir().join(format!(
+            "coop-exp-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        OutputDir::new(dir)
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let out = tmp();
+        let path = out
+            .csv("series", &["x", "y"], &[(1.0, 2.0), (3.0, 4.0)])
+            .unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text, "x,y\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        #[derive(serde::Serialize)]
+        struct S {
+            a: u32,
+        }
+        let out = tmp();
+        let path = out.json("summary", &S { a: 7 }).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"a\": 7"));
+    }
+
+    #[test]
+    fn csv_rows_arbitrary_width() {
+        let out = tmp();
+        let path = out
+            .csv_rows(
+                "wide",
+                &["a", "b", "c"],
+                &[vec!["1".into(), "2".into(), "3".into()]],
+            )
+            .unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+    }
+}

@@ -1,0 +1,457 @@
+//! **Fig. 4** — simulated performance with all users compliant:
+//! (a) download completion times, (b) average fairness over time,
+//! (c) fraction of users bootstrapped over time.
+
+use coop_attacks::AttackPlan;
+use coop_incentives::MechanismKind;
+use serde::Serialize;
+
+use crate::runners::run_sim;
+use crate::table::num;
+use crate::{Scale, Table};
+
+/// Summary of one algorithm's simulated run.
+#[derive(Clone, Debug, Serialize)]
+pub struct SimRow {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Fraction of compliant peers that completed the download.
+    pub completed_fraction: f64,
+    /// Mean completion time (seconds) over completed compliant peers.
+    pub mean_completion_s: Option<f64>,
+    /// Median completion time in seconds.
+    pub median_completion_s: Option<f64>,
+    /// Mean bootstrap time in seconds.
+    pub mean_bootstrap_s: Option<f64>,
+    /// Final average fairness `(Σ u_i/d_i)/N` (1 = perfectly fair).
+    pub avg_fairness: Option<f64>,
+    /// Final fairness statistic `F` (0 = perfectly fair).
+    pub fairness_f: f64,
+    /// Cumulative susceptibility (free-rider share of peer upload bytes).
+    pub susceptibility: f64,
+    /// Peak susceptibility over the run.
+    pub peak_susceptibility: f64,
+}
+
+/// A full simulated-figure report (shared by Figs. 4, 5 and 6).
+#[derive(Clone, Debug, Serialize)]
+pub struct SimFigureReport {
+    /// Which figure this is ("fig4" / "fig5" / "fig6").
+    pub figure: String,
+    /// Scale used.
+    pub scale: String,
+    /// Seed used.
+    pub seed: u64,
+    /// Rows in the paper's algorithm order.
+    pub rows: Vec<SimRow>,
+}
+
+impl SimFigureReport {
+    /// The row for `kind`.
+    pub fn get(&self, kind: MechanismKind) -> &SimRow {
+        self.rows
+            .iter()
+            .find(|r| r.algorithm == kind.name())
+            .expect("all kinds present")
+    }
+
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "Algorithm",
+            "completed",
+            "mean ct (s)",
+            "median ct (s)",
+            "mean bootstrap (s)",
+            "avg fairness",
+            "F",
+            "susceptibility",
+            "peak susc.",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.algorithm.clone(),
+                num(r.completed_fraction),
+                r.mean_completion_s.map_or("n/a".into(), num),
+                r.median_completion_s.map_or("n/a".into(), num),
+                r.mean_bootstrap_s.map_or("n/a".into(), num),
+                r.avg_fairness.map_or("n/a".into(), num),
+                num(r.fairness_f),
+                num(r.susceptibility),
+                num(r.peak_susceptibility),
+            ]);
+        }
+        format!(
+            "{} — simulated comparison ({} scale, seed {})\n{}",
+            self.figure,
+            self.scale,
+            self.seed,
+            t.render()
+        )
+    }
+}
+
+/// Runs the six algorithms and collects the figure series (completion CDF,
+/// fairness-vs-time, bootstrap-vs-time, susceptibility-vs-time) as CSV
+/// artifacts named `{figure}{panel}_{algorithm}_{scale}.csv`.
+pub(crate) fn run_figure(
+    figure: &str,
+    scale: Scale,
+    seed: u64,
+    plan_for: impl Fn(MechanismKind) -> Option<AttackPlan>,
+) -> SimFigureReport {
+    let out = crate::OutputDir::default_dir();
+    // Panel charts collecting every algorithm's series (the shape of the
+    // paper's figures).
+    let mut panel_cdf = crate::plot::LineChart::new(
+        format!("{figure}a — completion CDF ({} scale)", scale.name()),
+        "completion time (s)",
+        "fraction completed",
+    );
+    let mut panel_fair = crate::plot::LineChart::new(
+        format!("{figure}b — average fairness over time"),
+        "time (s)",
+        "avg u/d",
+    );
+    let mut panel_boot = crate::plot::LineChart::new(
+        format!("{figure}c — bootstrapped fraction over time"),
+        "time (s)",
+        "fraction bootstrapped",
+    );
+    let mut panel_susc = crate::plot::LineChart::new(
+        format!("{figure}d — susceptibility over time"),
+        "time (s)",
+        "free-rider share",
+    );
+    let rows = MechanismKind::ALL
+        .iter()
+        .map(|&kind| {
+            let plan = plan_for(kind);
+            let result = run_sim(kind, scale, plan.as_ref(), seed);
+            let slug = kind.name().to_lowercase().replace('-', "");
+            let tag = format!("{figure}_{slug}_{}", scale.name());
+            let cdf_series = result.completion_cdf().series(50);
+            let _ = out.csv(
+                &format!("{tag}_completion_cdf"),
+                &["completion_s", "fraction"],
+                &cdf_series,
+            );
+            let _ = out.csv(
+                &format!("{tag}_fairness_vs_time"),
+                &["time_s", "avg_fairness"],
+                result.fairness_avg.points(),
+            );
+            let _ = out.csv(
+                &format!("{tag}_bootstrapped_vs_time"),
+                &["time_s", "fraction_bootstrapped"],
+                result.bootstrapped_frac.points(),
+            );
+            let _ = out.csv(
+                &format!("{tag}_susceptibility_vs_time"),
+                &["time_s", "susceptibility"],
+                result.susceptibility.points(),
+            );
+            // Per-peer records (capacity vs completion scatter data).
+            let peer_rows: Vec<Vec<String>> = result
+                .peers
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.id.index().to_string(),
+                        format!("{}", p.capacity_bps),
+                        p.compliant.to_string(),
+                        format!("{}", p.arrival_s),
+                        p.bootstrap_s.map_or(String::new(), |v| format!("{v}")),
+                        p.completion_s.map_or(String::new(), |v| format!("{v}")),
+                        p.bytes_sent.to_string(),
+                        p.bytes_received_usable.to_string(),
+                        p.bytes_received_raw.to_string(),
+                    ]
+                })
+                .collect();
+            let _ = out.csv_rows(
+                &format!("{tag}_peers"),
+                &[
+                    "peer_id",
+                    "capacity_bps",
+                    "compliant",
+                    "arrival_s",
+                    "bootstrap_s",
+                    "completion_s",
+                    "bytes_sent",
+                    "bytes_received_usable",
+                    "bytes_received_raw",
+                ],
+                &peer_rows,
+            );
+            // Bandwidth attribution per mechanism component.
+            let reason_rows: Vec<Vec<String>> = coop_incentives::GrantReason::ALL
+                .iter()
+                .map(|&reason| {
+                    vec![
+                        reason.name().to_string(),
+                        result.totals.bytes_by_reason[reason.index()].to_string(),
+                        format!("{:.6}", result.reason_fraction(reason)),
+                    ]
+                })
+                .collect();
+            let _ = out.csv_rows(
+                &format!("{tag}_bandwidth_by_reason"),
+                &["reason", "bytes", "fraction_of_peer_bytes"],
+                &reason_rows,
+            );
+            panel_cdf.push_series(crate::plot::Series::new(kind.name(), cdf_series));
+            panel_fair.push_series(crate::plot::Series::new(
+                kind.name(),
+                result.fairness_avg.points().to_vec(),
+            ));
+            panel_boot.push_series(crate::plot::Series::new(
+                kind.name(),
+                result.bootstrapped_frac.points().to_vec(),
+            ));
+            panel_susc.push_series(crate::plot::Series::new(
+                kind.name(),
+                result.susceptibility.points().to_vec(),
+            ));
+            SimRow {
+                algorithm: kind.name().to_string(),
+                completed_fraction: result.completed_fraction(),
+                mean_completion_s: result.mean_completion_time(),
+                median_completion_s: result.completion_cdf().quantile(0.5),
+                mean_bootstrap_s: result.mean_bootstrap_time(),
+                avg_fairness: result.final_avg_fairness(),
+                fairness_f: result.final_fairness_stat(),
+                susceptibility: result.final_susceptibility(),
+                peak_susceptibility: result.peak_susceptibility(),
+            }
+        })
+        .collect();
+    let report = SimFigureReport {
+        figure: figure.to_string(),
+        scale: scale.name().to_string(),
+        seed,
+        rows,
+    };
+    let _ = out.json(&format!("{figure}_{}", scale.name()), &report);
+    for (suffix, chart) in [
+        ("a_completion_cdf", &panel_cdf),
+        ("b_fairness", &panel_fair),
+        ("c_bootstrapped", &panel_boot),
+        ("d_susceptibility", &panel_susc),
+    ] {
+        let _ = out.svg(&format!("{figure}{suffix}_{}", scale.name()), chart);
+    }
+    report
+}
+
+/// Runs Fig. 4 (no free-riders).
+pub fn run(scale: Scale, seed: u64) -> SimFigureReport {
+    run_figure("fig4", scale, seed, |_| None)
+}
+
+/// Mean and sample standard deviation of one metric across replicates.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MeanStd {
+    /// Mean over replicates.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single replicate).
+    pub std: f64,
+}
+
+impl MeanStd {
+    fn from_samples(xs: &[f64]) -> Option<MeanStd> {
+        if xs.is_empty() {
+            return None;
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let std = if xs.len() < 2 {
+            0.0
+        } else {
+            (xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)).sqrt()
+        };
+        Some(MeanStd { mean, std })
+    }
+}
+
+/// One algorithm's metrics aggregated over seeds.
+#[derive(Clone, Debug, Serialize)]
+pub struct ReplicatedRow {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Mean completion time (seconds), over replicates where peers
+    /// completed.
+    pub mean_completion_s: Option<MeanStd>,
+    /// Mean bootstrap time (seconds).
+    pub mean_bootstrap_s: Option<MeanStd>,
+    /// Fairness `F`.
+    pub fairness_f: Option<MeanStd>,
+    /// Susceptibility.
+    pub susceptibility: Option<MeanStd>,
+}
+
+/// A figure aggregated over several seeds — the error bars the paper's
+/// plots imply but do not show.
+#[derive(Clone, Debug, Serialize)]
+pub struct ReplicatedReport {
+    /// Which figure.
+    pub figure: String,
+    /// Scale used.
+    pub scale: String,
+    /// Seeds used.
+    pub seeds: Vec<u64>,
+    /// Aggregated rows.
+    pub rows: Vec<ReplicatedRow>,
+}
+
+impl ReplicatedReport {
+    /// The row for `kind`.
+    pub fn get(&self, kind: MechanismKind) -> &ReplicatedRow {
+        self.rows
+            .iter()
+            .find(|r| r.algorithm == kind.name())
+            .expect("all kinds present")
+    }
+
+    /// Renders the report (mean ± std).
+    pub fn render(&self) -> String {
+        let fmt = |m: &Option<MeanStd>| match m {
+            None => "n/a".to_string(),
+            Some(ms) => format!("{:.2} ± {:.2}", ms.mean, ms.std),
+        };
+        let mut t = Table::new(vec![
+            "Algorithm",
+            "mean ct (s)",
+            "mean bootstrap (s)",
+            "F",
+            "susceptibility",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.algorithm.clone(),
+                fmt(&r.mean_completion_s),
+                fmt(&r.mean_bootstrap_s),
+                fmt(&r.fairness_f),
+                fmt(&r.susceptibility),
+            ]);
+        }
+        format!(
+            "{} — {} replicates (seeds {:?}, {} scale)
+{}",
+            self.figure,
+            self.seeds.len(),
+            self.seeds,
+            self.scale,
+            t.render()
+        )
+    }
+}
+
+/// Aggregates a figure over several seeds.
+pub(crate) fn replicate(
+    figure: &str,
+    scale: Scale,
+    seeds: &[u64],
+    run_one: impl Fn(Scale, u64) -> SimFigureReport,
+) -> ReplicatedReport {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let reports: Vec<SimFigureReport> = seeds.iter().map(|&s| run_one(scale, s)).collect();
+    let rows = MechanismKind::ALL
+        .iter()
+        .map(|&kind| {
+            let collect = |f: &dyn Fn(&SimRow) -> Option<f64>| -> Vec<f64> {
+                reports
+                    .iter()
+                    .filter_map(|r| f(r.get(kind)))
+                    .collect()
+            };
+            ReplicatedRow {
+                algorithm: kind.name().to_string(),
+                mean_completion_s: MeanStd::from_samples(&collect(&|r| r.mean_completion_s)),
+                mean_bootstrap_s: MeanStd::from_samples(&collect(&|r| r.mean_bootstrap_s)),
+                fairness_f: MeanStd::from_samples(&collect(&|r| {
+                    r.fairness_f.is_finite().then_some(r.fairness_f)
+                })),
+                susceptibility: MeanStd::from_samples(&collect(&|r| Some(r.susceptibility))),
+            }
+        })
+        .collect();
+    let report = ReplicatedReport {
+        figure: format!("{figure} (replicated)"),
+        scale: scale.name().to_string(),
+        seeds: seeds.to_vec(),
+        rows,
+    };
+    let _ = crate::write_json(
+        &format!("{figure}_replicated_{}", scale.name()),
+        &report,
+    );
+    report
+}
+
+/// Runs Fig. 4 over several seeds and aggregates.
+pub fn run_replicated(scale: Scale, seeds: &[u64]) -> ReplicatedReport {
+    replicate("fig4", scale, seeds, run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_shapes_match_paper() {
+        let r = run(Scale::Quick, 21);
+        // (a) Altruism is the most efficient; reciprocity never completes.
+        let alt_ct = r.get(MechanismKind::Altruism).mean_completion_s.unwrap();
+        assert_eq!(r.get(MechanismKind::Reciprocity).completed_fraction, 0.0);
+        for kind in [
+            MechanismKind::TChain,
+            MechanismKind::BitTorrent,
+            MechanismKind::FairTorrent,
+        ] {
+            let row = r.get(kind);
+            assert!(row.completed_fraction > 0.9, "{kind} completes");
+            let ct = row.mean_completion_s.unwrap();
+            assert!(ct >= alt_ct * 0.8, "altruism at least ties {kind}");
+            assert!(
+                ct < alt_ct * 4.0,
+                "{kind} stays comparable to altruism: {ct} vs {alt_ct}"
+            );
+        }
+        // (b) T-Chain and FairTorrent are the most fair (lowest F).
+        let f = |k: MechanismKind| r.get(k).fairness_f;
+        assert!(f(MechanismKind::TChain) < f(MechanismKind::Altruism));
+        assert!(f(MechanismKind::FairTorrent) < f(MechanismKind::Altruism));
+        // (c) Altruism bootstraps fastest; reciprocity slowest.
+        let b = |k: MechanismKind| r.get(k).mean_bootstrap_s.unwrap();
+        assert!(b(MechanismKind::Altruism) < b(MechanismKind::Reputation));
+        assert!(b(MechanismKind::Reputation) < b(MechanismKind::Reciprocity));
+        // No free-riders: susceptibility identically zero.
+        for row in &r.rows {
+            assert_eq!(row.susceptibility, 0.0, "{}", row.algorithm);
+        }
+    }
+
+    #[test]
+    fn replicated_run_aggregates_and_orders() {
+        let r = run_replicated(Scale::Quick, &[71, 72]);
+        assert_eq!(r.seeds.len(), 2);
+        let alt = r.get(MechanismKind::Altruism);
+        let rec = r.get(MechanismKind::Reciprocity);
+        assert!(alt.mean_completion_s.is_some());
+        assert!(rec.mean_completion_s.is_none(), "reciprocity never completes");
+        // Std is finite and nonnegative.
+        let ms = alt.mean_completion_s.unwrap();
+        assert!(ms.std >= 0.0 && ms.std.is_finite());
+        assert!(r.render().contains("±"));
+    }
+
+    #[test]
+    fn report_render_lists_all_algorithms() {
+        let r = run(Scale::Quick, 22);
+        let text = r.render();
+        for kind in MechanismKind::ALL {
+            assert!(text.contains(kind.name()));
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! **Fig. 6** — the Fig. 5 attacks plus the large-view exploit: free-riders
+//! connect to the entire swarm, multiplying their exposure to altruistic
+//! and optimistic-unchoke bandwidth.
+
+use coop_attacks::AttackPlan;
+
+use crate::runners::fig4::{run_figure, SimFigureReport};
+use crate::runners::fig5::FREERIDER_FRACTION;
+use crate::Scale;
+
+/// Runs Fig. 6.
+pub fn run(scale: Scale, seed: u64) -> SimFigureReport {
+    run_figure("fig6", scale, seed, |kind| {
+        Some(AttackPlan::with_large_view(kind, FREERIDER_FRACTION))
+    })
+}
+
+/// Runs Fig. 6 over several seeds and aggregates.
+pub fn run_replicated(scale: Scale, seeds: &[u64]) -> crate::runners::fig4::ReplicatedReport {
+    crate::runners::fig4::replicate("fig6", scale, seeds, run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runners::fig5;
+    use coop_incentives::MechanismKind;
+
+    #[test]
+    fn large_view_increases_susceptibility() {
+        let seed = 41;
+        let base = fig5::run(Scale::Quick, seed);
+        let lv = run(Scale::Quick, seed);
+        // The large-view exploit increases (or at least does not reduce)
+        // what free-riders extract from the susceptible algorithms, and
+        // altruism/FairTorrent/BitTorrent leak visibly more at their peak.
+        let mut strictly_higher = 0;
+        for kind in [
+            MechanismKind::Altruism,
+            MechanismKind::BitTorrent,
+            MechanismKind::FairTorrent,
+            MechanismKind::Reputation,
+        ] {
+            let before = base.get(kind).susceptibility;
+            let after = lv.get(kind).susceptibility;
+            assert!(
+                after > before * 0.8,
+                "{kind}: large view should not materially reduce leakage ({before} → {after})"
+            );
+            if after > before * 1.1 {
+                strictly_higher += 1;
+            }
+        }
+        assert!(
+            strictly_higher >= 2,
+            "large view should visibly amplify at least two algorithms"
+        );
+    }
+
+    #[test]
+    fn tchain_remains_near_immune_under_large_view() {
+        let r = run(Scale::Quick, 42);
+        assert!(
+            r.get(MechanismKind::TChain).susceptibility < 0.06,
+            "{}",
+            r.get(MechanismKind::TChain).susceptibility
+        );
+        assert_eq!(r.get(MechanismKind::Reciprocity).susceptibility, 0.0);
+    }
+
+    #[test]
+    fn tchain_beats_bittorrent_on_fairness_under_large_view() {
+        // The paper's Fig. 6 observation: with the large-view exploit,
+        // T-Chain is visibly more fair (and efficient) than BitTorrent.
+        let r = run(Scale::Quick, 43);
+        assert!(
+            r.get(MechanismKind::TChain).fairness_f
+                < r.get(MechanismKind::BitTorrent).fairness_f
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! One runner per paper table/figure, plus ablations beyond the paper.
+
+pub mod ablations;
+pub mod extensions;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fluid;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+use coop_attacks::{apply_attack, AttackPlan};
+use coop_incentives::MechanismKind;
+use coop_swarm::{flash_crowd_with, SimResult, Simulation};
+
+use crate::Scale;
+
+/// Runs one swarm simulation of `kind` at `scale`, optionally under an
+/// attack plan. The seed controls population, arrivals and every random
+/// draw; identical inputs give identical results.
+pub(crate) fn run_sim(
+    kind: MechanismKind,
+    scale: Scale,
+    plan: Option<&AttackPlan>,
+    seed: u64,
+) -> SimResult {
+    let config = scale.config(seed);
+    let mix = coop_incentives::analysis::capacity::CapacityClassMix::paper_default();
+    let mut population = flash_crowd_with(
+        &config,
+        scale.peers(),
+        kind,
+        seed,
+        &mix,
+        scale.arrival_window(),
+    );
+    if let Some(plan) = plan {
+        apply_attack(&mut population, plan, seed);
+    }
+    Simulation::new(config, population)
+        .expect("scale configs validate")
+        .run()
+}
+
+/// The capacity vector used by the analytic runners: one sampled
+/// population at the given scale, sorted descending as the analysis
+/// requires.
+pub(crate) fn analytic_capacities(
+    scale: Scale,
+    seed: u64,
+) -> coop_incentives::analysis::capacity::CapacityVector {
+    use coop_des::rng::SeedTree;
+    let mix = coop_incentives::analysis::capacity::CapacityClassMix::paper_default();
+    let mut rng = SeedTree::new(seed).rng(0xCAFE);
+    mix.sample(scale.peers(), &mut rng)
+}

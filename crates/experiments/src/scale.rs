@@ -1,0 +1,116 @@
+//! Experiment scales.
+
+use coop_des::Duration;
+use coop_piece::FileSpec;
+use coop_swarm::SwarmConfig;
+use serde::{Deserialize, Serialize};
+
+/// How large to run the simulation experiments.
+///
+/// The paper's absolute numbers depend on its (unpublished) testbed; what
+/// must be preserved across scales is the *shape* — who wins, by roughly
+/// what factor, where crossovers fall. `Quick` keeps every ordering at a
+/// size suitable for CI; `Paper` reproduces Section V-A's setup exactly
+/// (1000 users, 128 MB file, flash crowd within 10 s).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// ~40 peers, 2 MiB file. Seconds per run; used by tests and benches.
+    Quick,
+    /// ~200 peers, 8 MiB file. The default for interactive use.
+    Default,
+    /// 1000 peers, 128 MB file — the paper's Section V-A setup.
+    Paper,
+}
+
+impl Scale {
+    /// Parses a CLI string.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "quick" => Ok(Scale::Quick),
+            "default" => Ok(Scale::Default),
+            "paper" | "full" => Ok(Scale::Paper),
+            other => Err(format!("unknown scale '{other}' (quick|default|paper)")),
+        }
+    }
+
+    /// Number of peers in the flash crowd.
+    pub fn peers(self) -> usize {
+        match self {
+            Scale::Quick => 80,
+            Scale::Default => 200,
+            Scale::Paper => 1000,
+        }
+    }
+
+    /// The swarm configuration for this scale.
+    pub fn config(self, seed: u64) -> SwarmConfig {
+        let mut config = match self {
+            Scale::Quick => {
+                let mut c = SwarmConfig::scaled_default();
+                c.file = FileSpec::new(4 * 1024 * 1024, 64 * 1024);
+                c.neighbor_degree = 20;
+                c.seeder_bps = 128_000.0;
+                c.max_rounds = 900;
+                c.sample_every = 2;
+                c
+            }
+            Scale::Default => {
+                let mut c = SwarmConfig::scaled_default();
+                c.max_rounds = 1500;
+                c
+            }
+            Scale::Paper => SwarmConfig::paper_scale(),
+        };
+        config.seed = seed;
+        config
+    }
+
+    /// The flash-crowd arrival window (the paper uses 10 seconds).
+    pub fn arrival_window(self) -> Duration {
+        Duration::from_secs(10)
+    }
+
+    /// Short name for output files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Default => "default",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_known_scales() {
+        assert_eq!(Scale::parse("quick").unwrap(), Scale::Quick);
+        assert_eq!(Scale::parse("DEFAULT").unwrap(), Scale::Default);
+        assert_eq!(Scale::parse("paper").unwrap(), Scale::Paper);
+        assert_eq!(Scale::parse("full").unwrap(), Scale::Paper);
+        assert!(Scale::parse("huge").is_err());
+    }
+
+    #[test]
+    fn configs_validate_and_grow() {
+        for scale in [Scale::Quick, Scale::Default, Scale::Paper] {
+            scale.config(1).validate().unwrap();
+        }
+        assert!(Scale::Quick.peers() < Scale::Default.peers());
+        assert!(Scale::Default.peers() < Scale::Paper.peers());
+        assert!(
+            Scale::Quick.config(1).file.size_bytes() < Scale::Paper.config(1).file.size_bytes()
+        );
+    }
+
+    #[test]
+    fn seed_is_propagated() {
+        assert_eq!(Scale::Quick.config(99).seed, 99);
+    }
+}

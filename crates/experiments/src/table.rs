@@ -1,0 +1,157 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// A simple ASCII table: headers plus rows of strings, padded per column.
+///
+/// # Example
+///
+/// ```
+/// use coop_experiments::Table;
+/// let mut t = Table::new(vec!["Algorithm", "E"]);
+/// t.row(vec!["Altruism".into(), "0.91".into()]);
+/// let s = t.render();
+/// assert!(s.contains("Altruism"));
+/// assert!(s.contains('|'));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns true if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with `|` separators and a header rule.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (i, w) in widths.iter().enumerate().take(cols) {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!(" {cell:<w$} |"));
+            }
+            line
+        };
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('\n');
+        let mut rule = String::from("|");
+        for w in &widths {
+            rule.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push_str(&rule);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float with sensible defaults for report cells (4 significant
+/// decimals, `inf`/`nan` spelled out).
+pub(crate) fn num(x: f64) -> String {
+    if x.is_nan() {
+        "n/a".to_string()
+    } else if x.is_infinite() {
+        "inf".to_string()
+    } else if x != 0.0 && x.abs() < 0.001 {
+        format!("{x:.2e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Formats a probability as a percentage with one decimal.
+pub(crate) fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_padded_columns() {
+        let mut t = Table::new(vec!["a", "long header"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer cell".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have equal width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        Table::new(vec!["a"]).row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn empty_table_renders_headers() {
+        let t = Table::new(vec!["only"]);
+        assert!(t.is_empty());
+        assert!(t.render().contains("only"));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(num(f64::INFINITY), "inf");
+        assert_eq!(num(f64::NAN), "n/a");
+        assert_eq!(num(0.5), "0.5000");
+        assert_eq!(num(0.0), "0.0000");
+        assert!(num(1e-9).contains('e'));
+        assert_eq!(pct(0.714), "71.4%");
+    }
+}

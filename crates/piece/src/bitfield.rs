@@ -1,0 +1,390 @@
+//! A compact fixed-size bitset for tracking piece possession.
+
+use std::fmt;
+
+use crate::PieceId;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length bitset over piece indices `0..len`.
+///
+/// `Bitfield` supports the set algebra the simulator and the analytical
+/// model need: membership, counting, and the "does peer *i* need anything
+/// from peer *j*" test (`wants_from`), which underlies the paper's
+/// piece-exchange probabilities (Eq. 5).
+///
+/// # Example
+///
+/// ```
+/// use coop_piece::Bitfield;
+///
+/// let mut a = Bitfield::new(10);
+/// let mut b = Bitfield::new(10);
+/// a.set(1);
+/// b.set(1);
+/// b.set(2);
+/// // a needs piece 2, which b has:
+/// assert!(a.wants_from(&b));
+/// // b needs nothing a has:
+/// assert!(!b.wants_from(&a));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bitfield {
+    words: Vec<u64>,
+    len: u32,
+}
+
+impl Bitfield {
+    /// Creates an all-zero bitfield over `len` pieces.
+    pub fn new(len: u32) -> Self {
+        let words = vec![0u64; (len as usize).div_ceil(WORD_BITS)];
+        Bitfield { words, len }
+    }
+
+    /// Creates an all-one bitfield over `len` pieces (a seeder's bitfield).
+    pub fn full(len: u32) -> Self {
+        let mut bf = Bitfield::new(len);
+        for w in &mut bf.words {
+            *w = u64::MAX;
+        }
+        bf.clear_tail();
+        bf
+    }
+
+    /// The number of pieces this bitfield covers.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Returns true if the bitfield covers zero pieces.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns whether piece `i` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: PieceId) -> bool {
+        self.check(i);
+        let (w, b) = Self::locate(i);
+        self.words[w] >> b & 1 == 1
+    }
+
+    /// Sets piece `i`. Returns whether the bit was previously unset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: PieceId) -> bool {
+        self.check(i);
+        let (w, b) = Self::locate(i);
+        let was_unset = self.words[w] >> b & 1 == 0;
+        self.words[w] |= 1 << b;
+        was_unset
+    }
+
+    /// Clears piece `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn unset(&mut self, i: PieceId) {
+        self.check(i);
+        let (w, b) = Self::locate(i);
+        self.words[w] &= !(1 << b);
+    }
+
+    /// The number of set pieces.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// The number of unset pieces.
+    pub fn count_zeros(&self) -> u32 {
+        self.len - self.count_ones()
+    }
+
+    /// Returns true if every piece is set (download complete).
+    pub fn is_complete(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Iterates over the indices of set pieces in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = PieceId> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+
+    /// Iterates over the indices of unset pieces in increasing order.
+    pub fn iter_zeros(&self) -> impl Iterator<Item = PieceId> + '_ {
+        (0..self.len).filter(move |&i| !self.get(i))
+    }
+
+    /// Returns true if `other` has at least one piece this bitfield lacks —
+    /// i.e. whether the owner of `self` *needs* something from the owner of
+    /// `other`. This is the event whose probability is `q(i, j)` in Eq. (5)
+    /// of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitfields have different lengths.
+    pub fn wants_from(&self, other: &Bitfield) -> bool {
+        self.check_same_len(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(mine, theirs)| !mine & theirs != 0)
+    }
+
+    /// The number of pieces `other` has that this bitfield lacks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitfields have different lengths.
+    pub fn missing_from(&self, other: &Bitfield) -> u32 {
+        self.check_same_len(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(mine, theirs)| (!mine & theirs).count_ones())
+            .sum()
+    }
+
+    /// Iterates over pieces that `other` has and this bitfield lacks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitfields have different lengths.
+    pub fn iter_missing_from<'a>(&'a self, other: &'a Bitfield) -> impl Iterator<Item = PieceId> + 'a {
+        self.check_same_len(other);
+        (0..self.len).filter(move |&i| !self.get(i) && other.get(i))
+    }
+
+    /// Returns true if the two bitfields share at least one set piece —
+    /// word-level, so this is the fast path for interest tests on hot
+    /// simulator loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitfields have different lengths.
+    pub fn intersects(&self, other: &Bitfield) -> bool {
+        self.check_same_len(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates over pieces set in both bitfields, skipping all-zero words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitfields have different lengths.
+    pub fn iter_common<'a>(&'a self, other: &'a Bitfield) -> impl Iterator<Item = PieceId> + 'a {
+        self.check_same_len(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .enumerate()
+            .flat_map(|(w, (a, b))| {
+                let mut bits = a & b;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        None
+                    } else {
+                        let tz = bits.trailing_zeros();
+                        bits &= bits - 1;
+                        Some((w * WORD_BITS) as PieceId + tz)
+                    }
+                })
+            })
+    }
+
+    /// In-place union: afterwards every piece set in `other` is set here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitfields have different lengths.
+    pub fn union_with(&mut self, other: &Bitfield) {
+        self.check_same_len(other);
+        for (mine, theirs) in self.words.iter_mut().zip(&other.words) {
+            *mine |= theirs;
+        }
+    }
+
+    fn locate(i: PieceId) -> (usize, usize) {
+        (i as usize / WORD_BITS, i as usize % WORD_BITS)
+    }
+
+    fn check(&self, i: PieceId) {
+        assert!(i < self.len, "piece index {i} out of range 0..{}", self.len);
+    }
+
+    fn check_same_len(&self, other: &Bitfield) {
+        assert_eq!(
+            self.len, other.len,
+            "bitfield length mismatch: {} vs {}",
+            self.len, other.len
+        );
+    }
+
+    fn clear_tail(&mut self) {
+        let tail_bits = self.len as usize % WORD_BITS;
+        if tail_bits != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Bitfield {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitfield({}/{} ", self.count_ones(), self.len)?;
+        // Show at most the first 64 bits to keep output readable.
+        for i in 0..self.len.min(64) {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        if self.len > 64 {
+            write!(f, "…")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<PieceId> for Bitfield {
+    /// Builds a bitfield sized to the maximum index plus one.
+    fn from_iter<T: IntoIterator<Item = PieceId>>(iter: T) -> Self {
+        let ids: Vec<PieceId> = iter.into_iter().collect();
+        let len = ids.iter().copied().max().map_or(0, |m| m + 1);
+        let mut bf = Bitfield::new(len);
+        for i in ids {
+            bf.set(i);
+        }
+        bf
+    }
+}
+
+impl Extend<PieceId> for Bitfield {
+    fn extend<T: IntoIterator<Item = PieceId>>(&mut self, iter: T) {
+        for i in iter {
+            self.set(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty_full_is_complete() {
+        let empty = Bitfield::new(100);
+        assert_eq!(empty.count_ones(), 0);
+        assert!(!empty.is_complete());
+        let full = Bitfield::full(100);
+        assert_eq!(full.count_ones(), 100);
+        assert!(full.is_complete());
+    }
+
+    #[test]
+    fn full_clears_tail_bits() {
+        // 70 pieces spans two words; the top 58 bits of word 1 must be zero.
+        let full = Bitfield::full(70);
+        assert_eq!(full.count_ones(), 70);
+    }
+
+    #[test]
+    fn set_get_unset() {
+        let mut bf = Bitfield::new(130);
+        assert!(bf.set(129));
+        assert!(!bf.set(129)); // already set
+        assert!(bf.get(129));
+        bf.unset(129);
+        assert!(!bf.get(129));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bitfield::new(10).get(10);
+    }
+
+    #[test]
+    fn wants_from_detects_needed_pieces() {
+        let mut a = Bitfield::new(200);
+        let mut b = Bitfield::new(200);
+        for i in 0..100 {
+            a.set(i);
+            b.set(i);
+        }
+        assert!(!a.wants_from(&b));
+        b.set(150);
+        assert!(a.wants_from(&b));
+        assert!(!b.wants_from(&a));
+        assert_eq!(a.missing_from(&b), 1);
+        assert_eq!(a.iter_missing_from(&b).collect::<Vec<_>>(), vec![150]);
+    }
+
+    #[test]
+    fn newcomer_wants_from_anyone_with_pieces() {
+        let newcomer = Bitfield::new(64);
+        let mut veteran = Bitfield::new(64);
+        assert!(!newcomer.wants_from(&veteran)); // veteran has nothing yet
+        veteran.set(0);
+        assert!(newcomer.wants_from(&veteran));
+    }
+
+    #[test]
+    fn union_accumulates() {
+        let mut a = Bitfield::new(64);
+        let b: Bitfield = [1u32, 2, 3].into_iter().collect::<Bitfield>();
+        let mut b_resized = Bitfield::new(64);
+        for i in b.iter_ones() {
+            b_resized.set(i);
+        }
+        a.union_with(&b_resized);
+        assert_eq!(a.count_ones(), 3);
+    }
+
+    #[test]
+    fn iterators_agree_with_counts() {
+        let mut bf = Bitfield::new(300);
+        for i in (0..300).step_by(7) {
+            bf.set(i);
+        }
+        assert_eq!(bf.iter_ones().count() as u32, bf.count_ones());
+        assert_eq!(bf.iter_zeros().count() as u32, bf.count_zeros());
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut bf: Bitfield = [0u32, 5, 9].into_iter().collect();
+        assert_eq!(bf.len(), 10);
+        assert_eq!(bf.count_ones(), 3);
+        bf.extend([1u32, 2]);
+        assert_eq!(bf.count_ones(), 5);
+    }
+
+    #[test]
+    fn intersects_and_iter_common_agree() {
+        let mut a = Bitfield::new(200);
+        let mut b = Bitfield::new(200);
+        assert!(!a.intersects(&b));
+        a.set(5);
+        b.set(6);
+        assert!(!a.intersects(&b));
+        b.set(5);
+        a.set(150);
+        b.set(150);
+        assert!(a.intersects(&b));
+        assert_eq!(a.iter_common(&b).collect::<Vec<_>>(), vec![5, 150]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let bf = Bitfield::new(3);
+        assert!(!format!("{bf:?}").is_empty());
+    }
+}

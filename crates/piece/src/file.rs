@@ -1,0 +1,127 @@
+//! File geometry: size, piece size, piece count.
+
+use std::fmt;
+
+use crate::PieceId;
+
+/// Describes the file being distributed: total size and piece size.
+///
+/// The paper's experiments use a 128 MB file; piece sizes follow BitTorrent
+/// convention (256 KiB by default in the experiment harness).
+///
+/// # Example
+///
+/// ```
+/// use coop_piece::FileSpec;
+/// let f = FileSpec::new(1_000_000, 256 * 1024);
+/// assert_eq!(f.num_pieces(), 4);            // three full pieces + remainder
+/// assert_eq!(f.piece_len(3), 1_000_000 - 3 * 256 * 1024);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FileSpec {
+    size_bytes: u64,
+    piece_size: u64,
+}
+
+impl FileSpec {
+    /// Creates a file spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero, or if the file would have more
+    /// than `u32::MAX` pieces.
+    pub fn new(size_bytes: u64, piece_size: u64) -> Self {
+        assert!(size_bytes > 0, "file size must be positive");
+        assert!(piece_size > 0, "piece size must be positive");
+        let pieces = size_bytes.div_ceil(piece_size);
+        assert!(
+            pieces <= u32::MAX as u64,
+            "file has too many pieces ({pieces})"
+        );
+        FileSpec {
+            size_bytes,
+            piece_size,
+        }
+    }
+
+    /// Total file size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Nominal piece size in bytes (the final piece may be shorter).
+    pub fn piece_size(&self) -> u64 {
+        self.piece_size
+    }
+
+    /// Number of pieces in the file.
+    pub fn num_pieces(&self) -> u32 {
+        self.size_bytes.div_ceil(self.piece_size) as u32
+    }
+
+    /// The byte length of piece `i` (the final piece may be a remainder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn piece_len(&self, i: PieceId) -> u64 {
+        let n = self.num_pieces();
+        assert!(i < n, "piece index {i} out of range 0..{n}");
+        if i + 1 == n {
+            self.size_bytes - (n as u64 - 1) * self.piece_size
+        } else {
+            self.piece_size
+        }
+    }
+}
+
+impl fmt::Display for FileSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} bytes in {} pieces of {} bytes",
+            self.size_bytes,
+            self.num_pieces(),
+            self.piece_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let f = FileSpec::new(128 * 1024 * 1024, 256 * 1024);
+        assert_eq!(f.num_pieces(), 512);
+        assert_eq!(f.piece_len(511), 256 * 1024);
+    }
+
+    #[test]
+    fn remainder_piece() {
+        let f = FileSpec::new(1000, 256);
+        assert_eq!(f.num_pieces(), 4);
+        assert_eq!(f.piece_len(0), 256);
+        assert_eq!(f.piece_len(3), 1000 - 768);
+    }
+
+    #[test]
+    fn piece_lengths_sum_to_file_size() {
+        let f = FileSpec::new(123_457, 1000);
+        let total: u64 = (0..f.num_pieces()).map(|i| f.piece_len(i)).sum();
+        assert_eq!(total, f.size_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_panics() {
+        FileSpec::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn piece_len_out_of_range_panics() {
+        FileSpec::new(100, 50).piece_len(2);
+    }
+}

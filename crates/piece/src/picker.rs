@@ -1,0 +1,200 @@
+//! Piece-selection strategies.
+//!
+//! The paper assumes local-rarest-first selection ("we suppose that users
+//! are equally likely to have a given piece, e.g., as achieved in
+//! local-rarest-first piece selection", Section IV-A2), so
+//! [`RarestFirstPicker`] is the default. [`RandomFirstPicker`] and
+//! [`SequentialPicker`] are provided for ablation experiments.
+
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+use crate::{AvailabilityMap, Bitfield, PieceId};
+
+/// The outcome of asking a picker for the next piece to transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PieceSelection {
+    /// Transfer this piece.
+    Piece(PieceId),
+    /// The downloader needs nothing the uploader has.
+    NothingNeeded,
+}
+
+/// Strategy for choosing which needed piece to transfer next.
+///
+/// `pick` receives the downloader's bitfield, the uploader's bitfield, and
+/// the swarm availability map; it must return a piece the downloader lacks
+/// and the uploader has (or [`PieceSelection::NothingNeeded`]).
+pub trait PiecePicker: Send + std::fmt::Debug {
+    /// Chooses the next piece for `downloader` to fetch from `uploader`.
+    fn pick(
+        &self,
+        downloader: &Bitfield,
+        uploader: &Bitfield,
+        availability: &AvailabilityMap,
+        rng: &mut dyn RngCore,
+    ) -> PieceSelection;
+}
+
+/// Local-rarest-first selection: among the pieces the downloader needs and
+/// the uploader has, choose one with minimal swarm-wide availability,
+/// breaking ties uniformly at random.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RarestFirstPicker;
+
+impl PiecePicker for RarestFirstPicker {
+    fn pick(
+        &self,
+        downloader: &Bitfield,
+        uploader: &Bitfield,
+        availability: &AvailabilityMap,
+        rng: &mut dyn RngCore,
+    ) -> PieceSelection {
+        let mut best: Vec<PieceId> = Vec::new();
+        let mut best_count = u32::MAX;
+        for i in downloader.iter_missing_from(uploader) {
+            let c = availability.count(i);
+            if c < best_count {
+                best_count = c;
+                best.clear();
+                best.push(i);
+            } else if c == best_count {
+                best.push(i);
+            }
+        }
+        match best.choose(rng) {
+            Some(&i) => PieceSelection::Piece(i),
+            None => PieceSelection::NothingNeeded,
+        }
+    }
+}
+
+/// Uniform-random selection among needed pieces.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RandomFirstPicker;
+
+impl PiecePicker for RandomFirstPicker {
+    fn pick(
+        &self,
+        downloader: &Bitfield,
+        uploader: &Bitfield,
+        _availability: &AvailabilityMap,
+        rng: &mut dyn RngCore,
+    ) -> PieceSelection {
+        let candidates: Vec<PieceId> = downloader.iter_missing_from(uploader).collect();
+        match candidates.choose(rng) {
+            Some(&i) => PieceSelection::Piece(i),
+            None => PieceSelection::NothingNeeded,
+        }
+    }
+}
+
+/// In-order selection: the lowest-indexed needed piece (streaming-style).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SequentialPicker;
+
+impl PiecePicker for SequentialPicker {
+    fn pick(
+        &self,
+        downloader: &Bitfield,
+        uploader: &Bitfield,
+        _availability: &AvailabilityMap,
+        _rng: &mut dyn RngCore,
+    ) -> PieceSelection {
+        match downloader.iter_missing_from(uploader).next() {
+            Some(i) => PieceSelection::Piece(i),
+            None => PieceSelection::NothingNeeded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn bf(len: u32, ones: &[u32]) -> Bitfield {
+        let mut b = Bitfield::new(len);
+        for &i in ones {
+            b.set(i);
+        }
+        b
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn rarest_first_picks_minimum_availability() {
+        let down = bf(4, &[]);
+        let up = bf(4, &[0, 1, 2]);
+        let mut avail = AvailabilityMap::new(4);
+        avail.add_peer(&bf(4, &[0, 1]));
+        avail.add_peer(&bf(4, &[0]));
+        // Counts: piece0=2, piece1=1, piece2=0 → rarest needed is 2.
+        assert_eq!(
+            RarestFirstPicker.pick(&down, &up, &avail, &mut rng()),
+            PieceSelection::Piece(2)
+        );
+    }
+
+    #[test]
+    fn rarest_first_ties_stay_within_tied_set() {
+        let down = bf(4, &[]);
+        let up = bf(4, &[1, 2]);
+        let avail = AvailabilityMap::new(4); // all counts 0 → tie between 1, 2
+        let mut r = rng();
+        for _ in 0..20 {
+            match RarestFirstPicker.pick(&down, &up, &avail, &mut r) {
+                PieceSelection::Piece(i) => assert!(i == 1 || i == 2),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn nothing_needed_when_uploader_has_no_new_pieces() {
+        let down = bf(4, &[0, 1]);
+        let up = bf(4, &[0, 1]);
+        let avail = AvailabilityMap::new(4);
+        assert_eq!(
+            RarestFirstPicker.pick(&down, &up, &avail, &mut rng()),
+            PieceSelection::NothingNeeded
+        );
+        assert_eq!(
+            RandomFirstPicker.pick(&down, &up, &avail, &mut rng()),
+            PieceSelection::NothingNeeded
+        );
+        assert_eq!(
+            SequentialPicker.pick(&down, &up, &avail, &mut rng()),
+            PieceSelection::NothingNeeded
+        );
+    }
+
+    #[test]
+    fn random_picker_only_returns_needed_pieces() {
+        let down = bf(8, &[0, 2, 4, 6]);
+        let up = Bitfield::full(8);
+        let avail = AvailabilityMap::new(8);
+        let mut r = rng();
+        for _ in 0..50 {
+            match RandomFirstPicker.pick(&down, &up, &avail, &mut r) {
+                PieceSelection::Piece(i) => assert!(i % 2 == 1),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_picker_is_lowest_index() {
+        let down = bf(8, &[0]);
+        let up = bf(8, &[0, 3, 5]);
+        let avail = AvailabilityMap::new(8);
+        assert_eq!(
+            SequentialPicker.pick(&down, &up, &avail, &mut rng()),
+            PieceSelection::Piece(3)
+        );
+    }
+}

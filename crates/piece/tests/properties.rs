@@ -1,0 +1,115 @@
+//! Property-based tests for the piece substrate.
+
+use coop_piece::{
+    AvailabilityMap, Bitfield, FileSpec, PiecePicker, PieceSelection, RarestFirstPicker,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bitfield_strategy(len: u32) -> impl Strategy<Value = Bitfield> {
+    proptest::collection::vec(any::<bool>(), len as usize).prop_map(move |bits| {
+        let mut bf = Bitfield::new(len);
+        for (i, b) in bits.into_iter().enumerate() {
+            if b {
+                bf.set(i as u32);
+            }
+        }
+        bf
+    })
+}
+
+proptest! {
+    /// count_ones + count_zeros == len for arbitrary bitfields.
+    #[test]
+    fn counts_partition_len(bf in bitfield_strategy(97)) {
+        prop_assert_eq!(bf.count_ones() + bf.count_zeros(), bf.len());
+    }
+
+    /// wants_from(a, b) holds iff the explicit missing set is nonempty, and
+    /// missing_from agrees with the iterator.
+    #[test]
+    fn wants_from_agrees_with_missing_set(a in bitfield_strategy(80), b in bitfield_strategy(80)) {
+        let missing: Vec<u32> = a.iter_missing_from(&b).collect();
+        prop_assert_eq!(a.wants_from(&b), !missing.is_empty());
+        prop_assert_eq!(a.missing_from(&b) as usize, missing.len());
+        for i in missing {
+            prop_assert!(!a.get(i));
+            prop_assert!(b.get(i));
+        }
+    }
+
+    /// Union is idempotent, commutative in its effect on count, and a
+    /// superset of both operands.
+    #[test]
+    fn union_is_superset(a in bitfield_strategy(70), b in bitfield_strategy(70)) {
+        let mut u = a.clone();
+        u.union_with(&b);
+        for i in a.iter_ones() {
+            prop_assert!(u.get(i));
+        }
+        for i in b.iter_ones() {
+            prop_assert!(u.get(i));
+        }
+        prop_assert!(!u.wants_from(&a));
+        prop_assert!(!u.wants_from(&b));
+        let mut again = u.clone();
+        again.union_with(&b);
+        prop_assert_eq!(again, u);
+    }
+
+    /// The rarest-first picker always returns a piece the downloader lacks
+    /// and the uploader holds, with minimal availability over that set.
+    #[test]
+    fn rarest_first_is_valid_and_minimal(
+        down in bitfield_strategy(40),
+        up in bitfield_strategy(40),
+        others in proptest::collection::vec(bitfield_strategy(40), 0..5),
+        seed in any::<u64>(),
+    ) {
+        let mut avail = AvailabilityMap::new(40);
+        for o in &others {
+            avail.add_peer(o);
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match RarestFirstPicker.pick(&down, &up, &avail, &mut rng) {
+            PieceSelection::Piece(i) => {
+                prop_assert!(!down.get(i));
+                prop_assert!(up.get(i));
+                let min = down
+                    .iter_missing_from(&up)
+                    .map(|j| avail.count(j))
+                    .min()
+                    .unwrap();
+                prop_assert_eq!(avail.count(i), min);
+            }
+            PieceSelection::NothingNeeded => {
+                prop_assert!(!down.wants_from(&up));
+            }
+        }
+    }
+
+    /// Piece lengths always sum to the file size.
+    #[test]
+    fn file_piece_lengths_sum(size in 1u64..10_000_000, piece in 1u64..100_000) {
+        let f = FileSpec::new(size, piece);
+        let total: u64 = (0..f.num_pieces()).map(|i| f.piece_len(i)).sum();
+        prop_assert_eq!(total, size);
+    }
+
+    /// Adding then removing a peer leaves the availability map unchanged.
+    #[test]
+    fn availability_add_remove_roundtrip(
+        base in proptest::collection::vec(bitfield_strategy(30), 0..4),
+        extra in bitfield_strategy(30),
+    ) {
+        let mut m = AvailabilityMap::new(30);
+        for b in &base {
+            m.add_peer(b);
+        }
+        let snapshot = m.clone();
+        m.add_peer(&extra);
+        m.remove_peer(&extra);
+        prop_assert_eq!(m, snapshot);
+    }
+}

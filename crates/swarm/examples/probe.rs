@@ -1,0 +1,65 @@
+//! Internal debugging probe: prints mechanism comparison metrics.
+use coop_incentives::MechanismKind;
+use coop_swarm::*;
+
+fn main() {
+    let mut config = SwarmConfig::scaled_default();
+    config.file = coop_piece::FileSpec::new(4 * 1024 * 1024, 64 * 1024); // 64 pieces
+    config.max_rounds = 900;
+    config.neighbor_degree = 20;
+    let only: Option<String> = std::env::var("PROBE_ONLY").ok();
+    for kind in MechanismKind::ALL {
+        if let Some(ref o) = only {
+            if kind.name() != o {
+                continue;
+            }
+        }
+        let population = flash_crowd(&config, 80, kind, 99);
+        let t0 = std::time::Instant::now();
+        let r = Simulation::new(config.clone(), population).unwrap().run();
+        println!(
+            "{:<12} compl={:.2} mean_ct={:>7.1?} boot={:.2} mean_bt={:>6.2?} avg_fair={:.3?} F={:.3} rounds={} wall={:?}",
+            kind.name(),
+            r.completed_fraction(),
+            r.mean_completion_time().unwrap_or(f64::NAN),
+            r.bootstrapped_fraction(),
+            r.mean_bootstrap_time().unwrap_or(f64::NAN),
+            r.final_avg_fairness().unwrap_or(f64::NAN),
+            r.final_fairness_stat(),
+            r.rounds_run,
+            t0.elapsed(),
+        );
+        println!(
+            "   aborted={} ({:.1}% of upload)",
+            r.totals.aborted_bytes,
+            100.0 * r.totals.aborted_bytes as f64 / r.totals.uploaded_total().max(1) as f64
+        );
+        if kind == MechanismKind::TChain {
+            per_class(&r);
+        }
+    }
+}
+
+#[allow(dead_code)]
+fn per_class(r: &SimResult) {
+    use std::collections::BTreeMap;
+    let mut by: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    let mut waste: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for p in r.compliant() {
+        if let Some(c) = p.completion_s {
+            by.entry(p.capacity_bps as u64).or_default().push(c);
+        }
+        let w = waste.entry(p.capacity_bps as u64).or_insert((0, 0));
+        w.0 += p.bytes_received_raw;
+        w.1 += p.bytes_received_usable;
+    }
+    for (cap, v) in by {
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let (raw, usable) = waste[&cap];
+        println!(
+            "  cap={:>7} n={:>2} mean_ct={:>7.1} raw={:>9} usable={:>9} waste={:.2}",
+            cap, v.len(), mean, raw, usable,
+            1.0 - usable as f64 / raw.max(1) as f64
+        );
+    }
+}

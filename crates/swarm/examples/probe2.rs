@@ -1,0 +1,34 @@
+//! Internal probe: susceptibility under per-algorithm worst attacks.
+use coop_attacks::{apply_attack, AttackPlan};
+use coop_incentives::MechanismKind;
+use coop_swarm::*;
+
+fn main() {
+    let mut config = SwarmConfig::scaled_default();
+    config.file = coop_piece::FileSpec::new(4 * 1024 * 1024, 64 * 1024);
+    config.max_rounds = 900;
+    config.neighbor_degree = 20;
+    for large_view in [false, true] {
+        println!("--- large_view={large_view}");
+        for kind in MechanismKind::ALL {
+            let mut population = flash_crowd(&config, 80, kind, 99);
+            let plan = if large_view {
+                AttackPlan::with_large_view(kind, 0.2)
+            } else {
+                AttackPlan::most_effective(kind, 0.2)
+            };
+            apply_attack(&mut population, &plan, 99);
+            let r = Simulation::new(config.clone(), population).unwrap().run();
+            println!(
+                "{:<12} susc={:.4} peak={:.4} compl={:.2} mean_ct={:>7.1} avg_fair={:.3?} F={:.3}",
+                kind.name(),
+                r.final_susceptibility(),
+                r.peak_susceptibility(),
+                r.completed_fraction(),
+                r.mean_completion_time().unwrap_or(f64::NAN),
+                r.final_avg_fairness().unwrap_or(f64::NAN),
+                r.final_fairness_stat(),
+            );
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Debug probe for large-view wiring.
+use coop_attacks::FreeRider;
+use coop_des::Duration;
+use coop_incentives::analysis::capacity::CapacityClassMix;
+use coop_incentives::MechanismKind;
+use coop_swarm::*;
+
+fn main() {
+    for large_view in [false, true] {
+        let mut config = SwarmConfig::tiny_test();
+        config.seed = 301;
+        config.neighbor_degree = 4;
+        config.file = coop_piece::FileSpec::new(4 * 1024 * 1024, 16 * 1024);
+        config.seeder_bps = 256_000.0;
+        config.max_rounds = 25;
+        let mut pop = flash_crowd_with(
+            &config, 40, MechanismKind::Altruism, 301,
+            &CapacityClassMix::paper_default(), Duration::from_secs(3),
+        );
+        pop[0].tags = PeerTags { compliant: false, large_view, ..PeerTags::compliant() };
+        pop[0].mechanism = Box::new(|| Box::new(FreeRider::new(MechanismKind::Altruism)));
+        eprintln!("lv={large_view} fr_arrival={:?}", pop[0].arrival);
+        let r = Simulation::new(config, pop).unwrap().run();
+        let fr: Vec<_> = r.freeriders().collect();
+        let fingerprint: u64 = r
+            .peers
+            .iter()
+            .map(|p| p.bytes_sent.wrapping_mul(31).wrapping_add(p.bytes_received_raw))
+            .fold(0u64, |a, x| a.wrapping_mul(1000003).wrapping_add(x));
+        eprintln!(
+            "lv={large_view} fr_id={:?} fr_recv_peers={} fr_raw={} rounds={} fp={fingerprint}",
+            fr[0].id,
+            r.totals.freerider_received_from_peers,
+            fr[0].bytes_received_raw,
+            r.rounds_run,
+        );
+    }
+}

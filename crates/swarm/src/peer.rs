@@ -1,0 +1,334 @@
+//! Per-peer simulator state.
+//!
+//! Piece possession is tracked in three synchronized bitfields:
+//!
+//! * `have` — usable pieces (count toward completion),
+//! * `locked` — T-Chain encrypted pieces awaiting reciprocation
+//!   (forwardable but not usable),
+//! * derived caches `offer = have ∪ locked` and
+//!   `absent = ¬(have ∪ locked)` kept incrementally so the simulator's
+//!   interest tests are word-level bit operations.
+//!
+//! All transitions go through the `acquire_usable` / `lock_piece` /
+//! `unlock_piece` / `discard_locked` methods, which maintain the caches.
+
+use std::collections::{BTreeSet, HashSet};
+
+use coop_des::SimTime;
+use coop_incentives::ledger::{ContributionLedger, DeficitLedger};
+use coop_incentives::{Mechanism, Obligation, PeerId};
+use coop_piece::Bitfield;
+
+use crate::config::PeerTags;
+
+/// Why a peer is no longer active.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Departure {
+    /// Finished the download and left.
+    Completed(SimTime),
+    /// Retired this identity via whitewashing (a successor id exists).
+    Whitewashed(SimTime),
+}
+
+/// Mutable state of one peer identity.
+pub struct PeerState {
+    /// This peer's id.
+    pub id: PeerId,
+    /// Upload capacity in bytes/second.
+    pub capacity_bps: f64,
+    /// Behavior flags.
+    pub tags: PeerTags,
+    /// Arrival time of this identity.
+    pub arrival: SimTime,
+    /// The round in which this identity arrived.
+    pub arrival_round: u64,
+    have: Bitfield,
+    locked: Bitfield,
+    offer: Bitfield,
+    absent: Bitfield,
+    /// Pieces currently being downloaded (any source), to avoid duplicate
+    /// fetches.
+    pub inflight: HashSet<u32>,
+    /// How many of the in-flight transfers toward this peer are
+    /// conditional (will become obligations on delivery).
+    pub inflight_conditional: usize,
+    /// Contribution accounting.
+    pub ledger: ContributionLedger,
+    /// FairTorrent deficits.
+    pub deficits: DeficitLedger,
+    /// Outstanding obligations (pieces this peer holds locked).
+    pub obligations: Vec<Obligation>,
+    /// The allocation policy. Taken out during allocation to satisfy the
+    /// borrow checker; always restored before the round ends.
+    pub mechanism: Option<Box<dyn Mechanism>>,
+    /// Connected neighbors (ordered for determinism).
+    pub neighbors: BTreeSet<PeerId>,
+    /// When this peer got its first piece (locked or usable), if ever.
+    pub bootstrap_time: Option<SimTime>,
+    /// Set when the peer departs.
+    pub departure: Option<Departure>,
+    /// Usable bytes received (plain deliveries plus unlocks).
+    pub bytes_received_usable: u64,
+    /// Raw bytes received (including still-locked and later-expired
+    /// pieces).
+    pub bytes_received_raw: u64,
+    /// Bytes uploaded (completed transfers only).
+    pub bytes_sent: u64,
+    /// Bytes' worth of pieces this identity was born with (whitewash
+    /// successors inherit their predecessor's pieces).
+    pub bytes_inherited: u64,
+}
+
+impl PeerState {
+    /// Creates a fresh peer with no pieces.
+    pub fn new(
+        id: PeerId,
+        capacity_bps: f64,
+        tags: PeerTags,
+        arrival: SimTime,
+        arrival_round: u64,
+        num_pieces: u32,
+        mechanism: Box<dyn Mechanism>,
+    ) -> Self {
+        PeerState {
+            id,
+            capacity_bps,
+            tags,
+            arrival,
+            arrival_round,
+            have: Bitfield::new(num_pieces),
+            locked: Bitfield::new(num_pieces),
+            offer: Bitfield::new(num_pieces),
+            absent: Bitfield::full(num_pieces),
+            inflight: HashSet::new(),
+            inflight_conditional: 0,
+            ledger: ContributionLedger::new(),
+            deficits: DeficitLedger::new(),
+            obligations: Vec::new(),
+            mechanism: Some(mechanism),
+            neighbors: BTreeSet::new(),
+            bootstrap_time: None,
+            departure: None,
+            bytes_received_usable: 0,
+            bytes_received_raw: 0,
+            bytes_sent: 0,
+            bytes_inherited: 0,
+        }
+    }
+
+    /// Is this identity still participating?
+    pub fn is_active(&self) -> bool {
+        self.departure.is_none()
+    }
+
+    /// Usable pieces.
+    pub fn have(&self) -> &Bitfield {
+        &self.have
+    }
+
+    /// Locked (encrypted) pieces.
+    pub fn locked(&self) -> &Bitfield {
+        &self.locked
+    }
+
+    /// Pieces this peer can offer for upload (`have ∪ locked`).
+    pub fn offer(&self) -> &Bitfield {
+        &self.offer
+    }
+
+    /// Pieces this peer neither holds nor holds locked.
+    pub fn absent(&self) -> &Bitfield {
+        &self.absent
+    }
+
+    /// Does this peer need piece `p`? (Absent and not already being
+    /// fetched.)
+    pub fn needs_piece(&self, p: u32) -> bool {
+        self.absent.get(p) && !self.inflight.contains(&p)
+    }
+
+    /// The bitfield of pieces this peer still wants (absent minus
+    /// in-flight).
+    pub fn wanted(&self) -> Bitfield {
+        let mut bf = self.absent.clone();
+        for &p in &self.inflight {
+            bf.unset(p);
+        }
+        bf
+    }
+
+    /// Marks piece `p` usable (plain delivery).
+    pub fn acquire_usable(&mut self, p: u32) {
+        self.have.set(p);
+        self.locked.unset(p);
+        self.offer.set(p);
+        self.absent.unset(p);
+    }
+
+    /// Marks piece `p` locked (encrypted T-Chain delivery).
+    pub fn lock_piece(&mut self, p: u32) {
+        debug_assert!(!self.have.get(p), "locking an already-usable piece");
+        self.locked.set(p);
+        self.offer.set(p);
+        self.absent.unset(p);
+    }
+
+    /// Promotes a locked piece to usable (key released). Returns false if
+    /// the piece was not locked (e.g. already discarded).
+    pub fn unlock_piece(&mut self, p: u32) -> bool {
+        if !self.locked.get(p) {
+            return false;
+        }
+        self.locked.unset(p);
+        self.have.set(p);
+        true
+    }
+
+    /// Discards an expired locked piece; it becomes absent (and thus
+    /// re-downloadable). Returns false if the piece was not locked.
+    pub fn discard_locked(&mut self, p: u32) -> bool {
+        if !self.locked.get(p) {
+            return false;
+        }
+        self.locked.unset(p);
+        if !self.have.get(p) {
+            self.offer.unset(p);
+            self.absent.set(p);
+        }
+        true
+    }
+
+    /// True once every piece is usable.
+    pub fn is_complete(&self) -> bool {
+        self.have.is_complete()
+    }
+
+    /// Number of usable pieces.
+    pub fn piece_count(&self) -> u32 {
+        self.have.count_ones()
+    }
+
+    /// Marks the first-piece bootstrap instant if not already recorded.
+    pub fn record_bootstrap(&mut self, now: SimTime) {
+        if self.bootstrap_time.is_none() {
+            self.bootstrap_time = Some(now);
+        }
+    }
+}
+
+impl std::fmt::Debug for PeerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerState")
+            .field("id", &self.id)
+            .field("capacity_bps", &self.capacity_bps)
+            .field("pieces", &self.have.count_ones())
+            .field("locked", &self.locked.count_ones())
+            .field("active", &self.is_active())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coop_incentives::{build_mechanism, MechanismKind, MechanismParams};
+
+    fn peer(num_pieces: u32) -> PeerState {
+        PeerState::new(
+            PeerId::new(0),
+            1000.0,
+            PeerTags::compliant(),
+            SimTime::ZERO,
+            0,
+            num_pieces,
+            build_mechanism(MechanismKind::Altruism, MechanismParams::default()),
+        )
+    }
+
+    fn invariants(p: &PeerState) {
+        for i in 0..p.have().len() {
+            let have = p.have().get(i);
+            let locked = p.locked().get(i);
+            assert!(!(have && locked), "piece {i} both usable and locked");
+            assert_eq!(p.offer().get(i), have || locked, "offer cache at {i}");
+            assert_eq!(p.absent().get(i), !(have || locked), "absent cache at {i}");
+        }
+    }
+
+    #[test]
+    fn fresh_peer_needs_everything() {
+        let p = peer(8);
+        assert!(p.is_active());
+        assert!(!p.is_complete());
+        assert_eq!(p.piece_count(), 0);
+        for i in 0..8 {
+            assert!(p.needs_piece(i));
+        }
+        assert_eq!(p.wanted().count_ones(), 8);
+        invariants(&p);
+    }
+
+    #[test]
+    fn lock_then_unlock_flow() {
+        let mut p = peer(8);
+        p.lock_piece(3);
+        invariants(&p);
+        assert!(!p.needs_piece(3));
+        assert!(p.offer().get(3));
+        assert_eq!(p.piece_count(), 0);
+        assert!(p.unlock_piece(3));
+        invariants(&p);
+        assert_eq!(p.piece_count(), 1);
+        assert!(!p.unlock_piece(3), "double unlock is a no-op");
+    }
+
+    #[test]
+    fn lock_then_discard_flow() {
+        let mut p = peer(8);
+        p.lock_piece(2);
+        assert!(p.discard_locked(2));
+        invariants(&p);
+        assert!(p.needs_piece(2), "discarded piece becomes wanted again");
+        assert!(!p.discard_locked(2));
+    }
+
+    #[test]
+    fn discard_after_unlock_keeps_piece() {
+        let mut p = peer(8);
+        p.lock_piece(1);
+        p.unlock_piece(1);
+        assert!(!p.discard_locked(1));
+        assert!(p.have().get(1));
+        invariants(&p);
+    }
+
+    #[test]
+    fn inflight_pieces_not_requested_twice() {
+        let mut p = peer(8);
+        p.inflight.insert(2);
+        assert!(!p.needs_piece(2));
+        assert!(!p.wanted().get(2));
+    }
+
+    #[test]
+    fn completion_requires_all_usable() {
+        let mut p = peer(4);
+        for i in 0..4 {
+            p.lock_piece(i);
+        }
+        assert!(!p.is_complete(), "locked pieces do not complete a file");
+        for i in 0..4 {
+            p.unlock_piece(i);
+        }
+        assert!(p.is_complete());
+        invariants(&p);
+    }
+
+    #[test]
+    fn bootstrap_recorded_once() {
+        let mut p = peer(4);
+        p.record_bootstrap(SimTime::from_secs(5));
+        p.record_bootstrap(SimTime::from_secs(9));
+        assert_eq!(p.bootstrap_time, Some(SimTime::from_secs(5)));
+    }
+}

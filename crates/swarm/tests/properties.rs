@@ -1,0 +1,150 @@
+//! Property-based tests for the swarm simulator: invariants that must hold
+//! for random configurations, populations and seeds.
+
+use coop_incentives::MechanismKind;
+use coop_swarm::{flash_crowd_with, PeerTags, SimResult, Simulation, SwarmConfig};
+use coop_des::Duration;
+use coop_incentives::analysis::capacity::CapacityClassMix;
+use coop_piece::FileSpec;
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = MechanismKind> {
+    prop_oneof![
+        Just(MechanismKind::Reciprocity),
+        Just(MechanismKind::TChain),
+        Just(MechanismKind::BitTorrent),
+        Just(MechanismKind::FairTorrent),
+        Just(MechanismKind::Reputation),
+        Just(MechanismKind::Altruism),
+    ]
+}
+
+fn small_config(seed: u64, pieces: u32, rounds: u64) -> SwarmConfig {
+    let mut c = SwarmConfig::tiny_test();
+    c.seed = seed;
+    c.file = FileSpec::new(u64::from(pieces) * 4096, 4096);
+    c.max_rounds = rounds;
+    c
+}
+
+fn run(kind: MechanismKind, seed: u64, n: usize, pieces: u32, rounds: u64) -> SimResult {
+    let config = small_config(seed, pieces, rounds);
+    let population = flash_crowd_with(
+        &config,
+        n,
+        kind,
+        seed,
+        &CapacityClassMix::paper_default(),
+        Duration::from_secs(5),
+    );
+    Simulation::new(config, population).unwrap().run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Eq. (1) holds for any mechanism, population size, piece count and
+    /// seed: bytes sent equal bytes received.
+    #[test]
+    fn bytes_conserved(
+        kind in kind_strategy(),
+        seed in 0u64..1000,
+        n in 3usize..14,
+        pieces in 4u32..24,
+    ) {
+        let r = run(kind, seed, n, pieces, 120);
+        let sent: u64 = r.peers.iter().map(|p| p.bytes_sent).sum::<u64>()
+            + r.totals.uploaded_seeder;
+        let received: u64 = r.peers.iter().map(|p| p.bytes_received_raw).sum();
+        prop_assert_eq!(sent, received);
+        prop_assert_eq!(r.totals.uploaded_total(), sent);
+    }
+
+    /// Per-peer sanity for any run: usable ≤ raw, bootstrap ≤ completion,
+    /// nonnegative times, completed peers hold a full file.
+    #[test]
+    fn peer_records_consistent(
+        kind in kind_strategy(),
+        seed in 0u64..1000,
+        n in 3usize..14,
+    ) {
+        let config_size = small_config(seed, 12, 240).file.size_bytes();
+        let r = run(kind, seed, n, 12, 240);
+        for p in &r.peers {
+            prop_assert!(p.bytes_received_usable <= p.bytes_received_raw);
+            if let (Some(b), Some(c)) = (p.bootstrap_s, p.completion_s) {
+                prop_assert!(b <= c);
+                prop_assert!(b >= 0.0);
+            }
+            if p.completion_s.is_some() {
+                prop_assert!(
+                    p.bytes_received_usable + p.bytes_inherited >= config_size
+                );
+            }
+        }
+    }
+
+    /// Reciprocity never moves a peer byte, regardless of configuration.
+    #[test]
+    fn reciprocity_total_silence(seed in 0u64..1000, n in 3usize..14) {
+        let r = run(MechanismKind::Reciprocity, seed, n, 12, 120);
+        for p in &r.peers {
+            prop_assert_eq!(p.bytes_sent, 0);
+        }
+        prop_assert_eq!(r.totals.uploaded_compliant, 0);
+    }
+
+    /// Determinism across the whole random configuration space.
+    #[test]
+    fn runs_are_reproducible(
+        kind in kind_strategy(),
+        seed in 0u64..1000,
+        n in 3usize..10,
+    ) {
+        let a = run(kind, seed, n, 8, 100);
+        let b = run(kind, seed, n, 8, 100);
+        let fp = |r: &SimResult| -> Vec<(u64, u64)> {
+            r.peers.iter().map(|p| (p.bytes_sent, p.bytes_received_raw)).collect()
+        };
+        prop_assert_eq!(fp(&a), fp(&b));
+        prop_assert_eq!(a.rounds_run, b.rounds_run);
+    }
+
+    /// Free-riders (with arbitrary capability tags) never upload and never
+    /// receive more usable than raw bytes; susceptibility stays in [0, 1].
+    #[test]
+    fn freerider_accounting(
+        kind in kind_strategy(),
+        seed in 0u64..1000,
+        large_view in any::<bool>(),
+        collude in any::<bool>(),
+        whitewash in proptest::option::of(3u64..20),
+    ) {
+        let config = small_config(seed, 10, 150);
+        let mut population = flash_crowd_with(
+            &config,
+            10,
+            kind,
+            seed,
+            &CapacityClassMix::paper_default(),
+            Duration::from_secs(5),
+        );
+        for spec in population.iter_mut().take(3) {
+            spec.tags = PeerTags {
+                compliant: false,
+                large_view,
+                collusion_ring: if collude { Some(1) } else { None },
+                whitewash_interval: whitewash,
+                fake_praise_bytes: if collude { 8192 } else { 0 },
+            };
+            spec.mechanism = Box::new(move || Box::new(coop_attacks::FreeRider::new(kind)));
+        }
+        let r = Simulation::new(config, population).unwrap().run();
+        let susc = r.final_susceptibility();
+        prop_assert!((0.0..=1.0).contains(&susc));
+        prop_assert_eq!(r.totals.uploaded_freeriders, 0);
+        prop_assert!(
+            r.totals.freerider_received_from_peers <= r.totals.freerider_received_usable
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: simulate a small swarm under one incentive mechanism and
+//! print the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use coop_incentives::MechanismKind;
+use coop_swarm::{flash_crowd, Simulation, SwarmConfig};
+
+fn main() {
+    // A small swarm: 30 peers arrive in a 10-second flash crowd and
+    // download a 2 MiB file from each other and one seeder.
+    let mut config = SwarmConfig::scaled_default();
+    config.file = coop_piece::FileSpec::new(2 * 1024 * 1024, 64 * 1024);
+    config.seed = 7;
+
+    let kind = MechanismKind::TChain;
+    let population = flash_crowd(&config, 30, kind, config.seed);
+    let result = Simulation::new(config, population)
+        .expect("config is valid")
+        .run();
+
+    println!("mechanism        : {kind}");
+    println!("classes combined : {:?}", kind.classes());
+    println!(
+        "completed        : {:.0}% of peers",
+        result.completed_fraction() * 100.0
+    );
+    println!(
+        "mean download    : {:.1} s",
+        result.mean_completion_time().unwrap_or(f64::NAN)
+    );
+    println!(
+        "mean bootstrap   : {:.2} s (arrival → first piece)",
+        result.mean_bootstrap_time().unwrap_or(f64::NAN)
+    );
+    println!(
+        "avg fairness     : {:.3} (1.0 = every peer uploads exactly what it downloads)",
+        result.final_avg_fairness().unwrap_or(f64::NAN)
+    );
+    println!(
+        "fairness F       : {:.3} (0.0 = perfectly fair)",
+        result.final_fairness_stat()
+    );
+    println!(
+        "bytes moved      : {} up / {} usable down",
+        result.totals.uploaded_total(),
+        result
+            .peers
+            .iter()
+            .map(|p| p.bytes_received_usable)
+            .sum::<u64>()
+    );
+}

@@ -1,0 +1,59 @@
+//! Software-update push: the paper's motivating scenario.
+//!
+//! A cloud server (the seeder) must disseminate an urgent update to a
+//! fleet of devices that arrive in a flash crowd. Which incentive
+//! mechanism gets every device bootstrapped and finished fastest, and what
+//! does that cost in fairness?
+//!
+//! ```text
+//! cargo run --release --example software_update_push
+//! ```
+
+use coop_incentives::MechanismKind;
+use coop_swarm::{flash_crowd, SimResult, Simulation, SwarmConfig};
+
+fn run(kind: MechanismKind, config: &SwarmConfig) -> SimResult {
+    let population = flash_crowd(config, 60, kind, config.seed);
+    Simulation::new(config.clone(), population)
+        .expect("config is valid")
+        .run()
+}
+
+fn main() {
+    // The "update" is a 4 MiB payload; 60 devices arrive within 10 s.
+    let mut config = SwarmConfig::scaled_default();
+    config.file = coop_piece::FileSpec::new(4 * 1024 * 1024, 64 * 1024);
+    config.seed = 2026;
+
+    println!("Pushing a 4 MiB update to 60 devices through one seeder.\n");
+    println!(
+        "{:<12} {:>12} {:>14} {:>16} {:>12}",
+        "mechanism", "finished", "mean boot (s)", "90% done by (s)", "fairness F"
+    );
+    let mut best: Option<(MechanismKind, f64)> = None;
+    for kind in MechanismKind::ALL {
+        let result = run(kind, &config);
+        let done90 = result.completion_cdf().quantile(0.9);
+        println!(
+            "{:<12} {:>11.0}% {:>14.2} {:>16} {:>12.3}",
+            kind.name(),
+            result.completed_fraction() * 100.0,
+            result.mean_bootstrap_time().unwrap_or(f64::NAN),
+            done90.map_or("never".to_string(), |t| format!("{t:.0}")),
+            result.final_fairness_stat(),
+        );
+        if let Some(t) = done90 {
+            if best.is_none_or(|(_, bt)| t < bt) {
+                best = Some((kind, t));
+            }
+        }
+    }
+    if let Some((kind, t)) = best {
+        println!(
+            "\nFastest 90th-percentile delivery: {kind} ({t:.0} s). \
+             If devices may defect (free-ride), prefer T-Chain: it sacrifices a \
+             little speed for near-zero exploitable bandwidth (see the \
+             freerider_audit example)."
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! The experiment harness must actually produce its artifacts: CSV series,
+//! JSON summaries and SVG panels for each figure run.
+
+use coop_experiments::runners::fig4;
+use coop_experiments::Scale;
+use std::path::Path;
+
+#[test]
+fn fig4_writes_csv_json_and_svg_artifacts() {
+    let _ = fig4::run(Scale::Quick, 7);
+    let dir = Path::new("target/experiments");
+    let expectations = [
+        "fig4_altruism_quick_completion_cdf.csv",
+        "fig4_altruism_quick_fairness_vs_time.csv",
+        "fig4_altruism_quick_bootstrapped_vs_time.csv",
+        "fig4_altruism_quick_peers.csv",
+        "fig4_altruism_quick_bandwidth_by_reason.csv",
+        "fig4_tchain_quick_completion_cdf.csv",
+        "fig4_quick.json",
+        "fig4a_completion_cdf_quick.svg",
+        "fig4b_fairness_quick.svg",
+        "fig4c_bootstrapped_quick.svg",
+        "fig4d_susceptibility_quick.svg",
+    ];
+    for name in expectations {
+        let path = dir.join(name);
+        assert!(path.exists(), "missing artifact {name}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.is_empty(), "{name} is empty");
+        if name.ends_with(".svg") {
+            assert!(text.contains("</svg>"), "{name} is not an SVG");
+        }
+        if name.ends_with(".csv") {
+            assert!(text.lines().count() >= 1, "{name} has no header");
+        }
+    }
+}
+
+#[test]
+fn peer_records_csv_is_well_formed() {
+    let _ = fig4::run(Scale::Quick, 8);
+    let path = Path::new("target/experiments/fig4_bittorrent_quick_peers.csv");
+    let text = std::fs::read_to_string(path).unwrap();
+    let mut lines = text.lines();
+    let header = lines.next().unwrap();
+    assert!(header.starts_with("peer_id,capacity_bps,compliant"));
+    let cols = header.split(',').count();
+    let mut rows = 0;
+    for line in lines {
+        assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+        rows += 1;
+    }
+    assert_eq!(rows, Scale::Quick.peers(), "one row per peer identity");
+}

@@ -1,0 +1,111 @@
+//! System-level invariants that must hold for every mechanism and attack:
+//! byte conservation (Eq. 1), usable ≤ raw, susceptibility bounds, and
+//! completion implying full receipt.
+
+use coop_attacks::{apply_attack, AttackPlan};
+use coop_incentives::MechanismKind;
+use coop_swarm::{flash_crowd, SimResult, Simulation, SwarmConfig};
+
+fn run(kind: MechanismKind, plan: Option<AttackPlan>, seed: u64) -> (SimResult, SwarmConfig) {
+    let mut config = SwarmConfig::tiny_test();
+    config.seed = seed;
+    let mut population = flash_crowd(&config, 16, kind, seed);
+    if let Some(plan) = plan {
+        apply_attack(&mut population, &plan, seed);
+    }
+    (
+        Simulation::new(config.clone(), population).unwrap().run(),
+        config,
+    )
+}
+
+fn assert_invariants(r: &SimResult, config: &SwarmConfig, label: &str) {
+    // Eq. (1): total upload equals total (raw) download — every byte sent
+    // was received by exactly one peer; aborted partial bytes were
+    // accounted on both sides when they moved.
+    let sent: u64 = r.peers.iter().map(|p| p.bytes_sent).sum::<u64>() + r.totals.uploaded_seeder;
+    let received: u64 = r.peers.iter().map(|p| p.bytes_received_raw).sum();
+    assert_eq!(sent, received, "{label}: byte conservation");
+    assert_eq!(r.totals.uploaded_total(), sent, "{label}: totals agree");
+
+    for p in &r.peers {
+        assert!(
+            p.bytes_received_usable <= p.bytes_received_raw,
+            "{label}: usable ≤ raw for {:?}",
+            p.id
+        );
+        if let Some(ct) = p.completion_s {
+            assert!(ct >= 0.0);
+            assert!(
+                p.bytes_received_usable + p.bytes_inherited >= config.file.size_bytes(),
+                "{label}: completed peer received (or inherited) a full file"
+            );
+            assert!(
+                p.bootstrap_s.is_some(),
+                "{label}: completion implies bootstrap"
+            );
+            assert!(
+                p.bootstrap_s.unwrap() <= ct,
+                "{label}: bootstrap before completion"
+            );
+        }
+    }
+
+    let susc = r.final_susceptibility();
+    assert!((0.0..=1.0).contains(&susc), "{label}: susceptibility {susc}");
+    assert!(
+        r.totals.freerider_received_from_peers <= r.totals.freerider_received_usable,
+        "{label}: peer-sourced ≤ total usable"
+    );
+
+    // Time series sanity: monotone nondecreasing cumulative fractions.
+    for series in [&r.bootstrapped_frac, &r.completed_frac] {
+        let pts = series.points();
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12, "{label}: fraction series monotone");
+        }
+        for &(_, v) in pts {
+            assert!((0.0..=1.0 + 1e-12).contains(&v), "{label}: fraction in range");
+        }
+    }
+}
+
+#[test]
+fn invariants_hold_without_attacks() {
+    for kind in MechanismKind::ALL {
+        let (r, config) = run(kind, None, 3);
+        assert_invariants(&r, &config, kind.name());
+    }
+}
+
+#[test]
+fn invariants_hold_under_worst_attacks() {
+    for kind in MechanismKind::ALL {
+        let plan = AttackPlan::most_effective(kind, 0.25);
+        let (r, config) = run(kind, Some(plan), 4);
+        assert_invariants(&r, &config, kind.name());
+    }
+}
+
+#[test]
+fn invariants_hold_under_large_view_and_whitewash() {
+    for kind in [MechanismKind::FairTorrent, MechanismKind::Altruism] {
+        let mut plan = AttackPlan::with_large_view(kind, 0.25);
+        plan.whitewash_interval = Some(7);
+        let (r, config) = run(kind, Some(plan), 5);
+        assert_invariants(&r, &config, kind.name());
+        // Whitewashing spawned successor identities.
+        assert!(r.peers.len() > 16, "{kind}: successors exist");
+    }
+}
+
+#[test]
+fn freeriders_upload_nothing() {
+    for kind in MechanismKind::ALL {
+        let (r, _) = run(kind, Some(AttackPlan::simple(0.25)), 6);
+        for p in r.freeriders() {
+            assert_eq!(p.bytes_sent, 0, "{kind}: free-riders never upload");
+        }
+        assert_eq!(r.totals.uploaded_freeriders, 0, "{kind}");
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end qualitative checks: the simulated system must reproduce the
+//! paper's headline orderings (who wins, by roughly what factor) at quick
+//! scale.
+
+use coop_experiments::runners::{fig4, fig5, fig6, table2};
+use coop_experiments::Scale;
+use coop_incentives::MechanismKind;
+
+const SEED: u64 = 20260706;
+
+#[test]
+fn fig4a_altruism_most_efficient_reciprocity_never_finishes() {
+    let r = fig4::run(Scale::Quick, SEED);
+    let alt = r.get(MechanismKind::Altruism);
+    assert!(alt.completed_fraction > 0.95);
+    assert_eq!(r.get(MechanismKind::Reciprocity).completed_fraction, 0.0);
+    let alt_ct = alt.mean_completion_s.expect("altruism completes");
+    for kind in [
+        MechanismKind::TChain,
+        MechanismKind::BitTorrent,
+        MechanismKind::FairTorrent,
+        MechanismKind::Reputation,
+    ] {
+        let ct = r.get(kind).mean_completion_s.expect("completes");
+        assert!(
+            ct >= alt_ct * 0.8,
+            "{kind}: altruism should be fastest ({ct:.1} vs {alt_ct:.1})"
+        );
+    }
+}
+
+#[test]
+fn fig4a_hybrids_show_comparable_efficiency() {
+    // "T-Chain, BitTorrent, and FairTorrent show comparable efficiency."
+    let r = fig4::run(Scale::Quick, SEED);
+    let cts: Vec<f64> = [
+        MechanismKind::TChain,
+        MechanismKind::BitTorrent,
+        MechanismKind::FairTorrent,
+    ]
+    .iter()
+    .map(|&k| r.get(k).mean_completion_s.expect("completes"))
+    .collect();
+    let max = cts.iter().cloned().fold(f64::MIN, f64::max);
+    let min = cts.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        max / min < 4.0,
+        "hybrid completion times within a small factor: {cts:?}"
+    );
+}
+
+#[test]
+fn fig4b_tchain_and_fairtorrent_most_fair() {
+    let r = fig4::run(Scale::Quick, SEED);
+    let f = |k: MechanismKind| r.get(k).fairness_f;
+    for fair in [MechanismKind::TChain, MechanismKind::FairTorrent] {
+        assert!(
+            f(fair) < f(MechanismKind::Altruism),
+            "{fair} must beat altruism on fairness"
+        );
+        assert!(
+            f(fair) < f(MechanismKind::Reputation),
+            "{fair} must beat reputation on fairness"
+        );
+    }
+    // And their u/d ratios approach 1.
+    for fair in [MechanismKind::TChain, MechanismKind::FairTorrent] {
+        let avg = r.get(fair).avg_fairness.expect("peers downloaded");
+        assert!((avg - 1.0).abs() < 0.35, "{fair}: avg fairness {avg}");
+    }
+}
+
+#[test]
+fn fig4c_bootstrap_ordering() {
+    // Altruism fastest; reputation and reciprocity the laggards
+    // (Prop. 4 / Table II).
+    let r = fig4::run(Scale::Quick, SEED);
+    let b = |k: MechanismKind| r.get(k).mean_bootstrap_s.expect("bootstraps");
+    assert!(b(MechanismKind::Altruism) < b(MechanismKind::Reputation));
+    assert!(b(MechanismKind::TChain) < b(MechanismKind::Reputation));
+    assert!(b(MechanismKind::FairTorrent) < b(MechanismKind::Reputation));
+    assert!(b(MechanismKind::Reputation) < b(MechanismKind::Reciprocity));
+}
+
+#[test]
+fn fig5a_susceptibility_ranking() {
+    let r = fig5::run(Scale::Quick, SEED);
+    let s = |k: MechanismKind| r.get(k).susceptibility;
+    assert_eq!(s(MechanismKind::Reciprocity), 0.0);
+    assert!(s(MechanismKind::TChain) < 0.05, "{}", s(MechanismKind::TChain));
+    for leaky in [
+        MechanismKind::Altruism,
+        MechanismKind::BitTorrent,
+        MechanismKind::FairTorrent,
+        MechanismKind::Reputation,
+    ] {
+        assert!(
+            s(leaky) > s(MechanismKind::TChain),
+            "{leaky} leaks more than T-Chain"
+        );
+    }
+    assert!(
+        s(MechanismKind::Altruism) >= s(MechanismKind::BitTorrent),
+        "altruism is the most susceptible"
+    );
+}
+
+#[test]
+fn fig5_tchain_keeps_efficiency_and_fairness_under_attack() {
+    let clean = fig4::run(Scale::Quick, SEED);
+    let attacked = fig5::run(Scale::Quick, SEED);
+    let tc_clean = clean.get(MechanismKind::TChain);
+    let tc_attacked = attacked.get(MechanismKind::TChain);
+    assert!(tc_attacked.completed_fraction > 0.9);
+    let ct_clean = tc_clean.mean_completion_s.unwrap();
+    let ct_attacked = tc_attacked.mean_completion_s.unwrap();
+    // Less compliant capacity (20% defected) slows things, but not
+    // catastrophically: free-riders get starved, not fed.
+    assert!(
+        ct_attacked < ct_clean * 2.5,
+        "{ct_attacked:.1} vs clean {ct_clean:.1}"
+    );
+}
+
+#[test]
+fn fig6_large_view_amplifies_leakage_but_not_for_tchain() {
+    let base = fig5::run(Scale::Quick, SEED);
+    let lv = fig6::run(Scale::Quick, SEED);
+    // T-Chain stays near-immune.
+    assert!(lv.get(MechanismKind::TChain).susceptibility < 0.06);
+    // At least two susceptible algorithms leak visibly more overall
+    // (altruism is usually saturated — free-riders already extract a full
+    // file's worth either way).
+    let mut amplified = 0;
+    for kind in [
+        MechanismKind::Altruism,
+        MechanismKind::BitTorrent,
+        MechanismKind::FairTorrent,
+        MechanismKind::Reputation,
+    ] {
+        if lv.get(kind).susceptibility > base.get(kind).susceptibility * 1.1 {
+            amplified += 1;
+        }
+    }
+    assert!(amplified >= 2, "only {amplified} algorithms amplified");
+}
+
+#[test]
+fn table2_example_column_matches_paper_via_harness() {
+    let r = table2::run(Scale::Quick, SEED);
+    for row in &r.rows {
+        assert!(
+            (row.example_probability - row.paper_example).abs() < 0.001,
+            "{}: {} vs paper {}",
+            row.algorithm,
+            row.example_probability,
+            row.paper_example
+        );
+    }
+}
