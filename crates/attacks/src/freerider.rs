@@ -58,8 +58,9 @@ mod tests {
             fn round(&self) -> u64 {
                 0
             }
-            fn neighbors(&self) -> Vec<coop_incentives::PeerId> {
-                vec![coop_incentives::PeerId::new(1)]
+            fn neighbors(&self) -> &[coop_incentives::PeerId] {
+                const NEIGHBORS: [coop_incentives::PeerId; 1] = [coop_incentives::PeerId::new(1)];
+                &NEIGHBORS
             }
             fn peer_needs_from_me(&self, _: coop_incentives::PeerId) -> bool {
                 true

@@ -31,15 +31,19 @@
 //! # Example
 //!
 //! ```
-//! use coop_attacks::{apply_attack, AttackPlan};
+//! use coop_attacks::AttackPlan;
 //! use coop_incentives::MechanismKind;
 //! use coop_swarm::{flash_crowd, Simulation, SwarmConfig};
 //!
 //! let config = SwarmConfig::tiny_test();
-//! let mut population = flash_crowd(&config, 10, MechanismKind::Altruism, 3);
+//! let population = flash_crowd(&config, 10, MechanismKind::Altruism, 3);
 //! let plan = AttackPlan::most_effective(MechanismKind::Altruism, 0.2);
-//! apply_attack(&mut population, &plan, 7);
-//! let result = Simulation::new(config, population).unwrap().run();
+//! let result = Simulation::builder(config)
+//!     .population(population)
+//!     .attack_plan(plan)
+//!     .build()
+//!     .unwrap()
+//!     .run();
 //! assert!(result.final_susceptibility() > 0.0);
 //! ```
 

@@ -120,6 +120,13 @@ pub fn apply_attack(population: &mut [PeerSpec], plan: &AttackPlan, seed: u64) -
     count
 }
 
+/// Plugs attack plans into `Simulation::builder(..).attack_plan(..)`.
+impl coop_swarm::PopulationPatch for AttackPlan {
+    fn apply_patch(&self, population: &mut [PeerSpec], seed: u64) -> usize {
+        apply_attack(population, self, seed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -80,7 +80,13 @@ fn bench_one_round(c: &mut Criterion) {
                 let mut config = SwarmConfig::tiny_test();
                 config.max_rounds = 120;
                 let population = flash_crowd(&config, 40, k, 11);
-                black_box(Simulation::new(config, population).unwrap().run())
+                black_box(
+                    Simulation::builder(config)
+                        .population(population)
+                        .build()
+                        .unwrap()
+                        .run(),
+                )
             })
         });
     }

@@ -24,7 +24,9 @@ fn run(kind: MechanismKind, plan: Option<&AttackPlan>) -> coop_swarm::SimResult 
     if let Some(plan) = plan {
         apply_attack(&mut population, plan, 7);
     }
-    Simulation::new(config, population)
+    Simulation::builder(config)
+        .population(population)
+        .build()
         .expect("valid config")
         .run()
 }

@@ -104,7 +104,7 @@ impl Mechanism for BitTorrent {
     }
 
     fn on_round_end(&mut self, view: &dyn SwarmView) {
-        for p in view.neighbors() {
+        for &p in view.neighbors() {
             let recv = view.ledger().received_this_round(p) as f64;
             let rate = self.rates.entry(p).or_insert(0.0);
             *rate = (1.0 - RATE_ALPHA) * *rate + RATE_ALPHA * recv;

@@ -68,7 +68,7 @@ impl Mechanism for PropShare {
     }
 
     fn on_round_end(&mut self, view: &dyn SwarmView) {
-        for p in view.neighbors() {
+        for &p in view.neighbors() {
             let recv = view.ledger().received_this_round(p) as f64;
             let rate = self.rates.entry(p).or_insert(0.0);
             *rate = (1.0 - RATE_ALPHA) * *rate + RATE_ALPHA * recv;
@@ -175,7 +175,7 @@ impl Mechanism for BitTyrant {
         if self.default_required == 0.0 {
             self.default_required = piece;
         }
-        for p in view.neighbors() {
+        for &p in view.neighbors() {
             let recv = view.ledger().received_this_round(p) as f64;
             let funded = self.funded_last_round.get(&p).copied().unwrap_or(0);
             let e = self.estimates.entry(p).or_insert(TyrantEstimate {

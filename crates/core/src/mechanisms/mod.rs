@@ -32,7 +32,8 @@ use rand::RngCore;
 /// piece the caller can offer, i.e. the candidates any upload could target.
 pub(crate) fn interested_neighbors(view: &dyn SwarmView) -> Vec<PeerId> {
     view.neighbors()
-        .into_iter()
+        .iter()
+        .copied()
         .filter(|&p| view.peer_needs_from_me(p))
         .collect()
 }

@@ -54,7 +54,8 @@ impl Mechanism for Reciprocity {
         let ledger = view.ledger();
         let mut creditors: Vec<(u64, crate::PeerId)> = view
             .neighbors()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|&p| view.peer_needs_from_me(p))
             .map(|p| (ledger.credit(p), p))
             .filter(|&(c, _)| c > 0)

@@ -97,7 +97,8 @@ impl TChain {
         }
         let mut third: Vec<PeerId> = view
             .neighbors()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|&k| {
                 k != j
                     && k != view.me()

@@ -41,7 +41,12 @@ pub trait SwarmView {
     fn round(&self) -> u64;
 
     /// Active, connected neighbors of the querying peer.
-    fn neighbors(&self) -> Vec<PeerId>;
+    ///
+    /// Borrowed rather than owned: the production view hands out a slice
+    /// of a candidate list precomputed once per round, so a mechanism can
+    /// be called many times in a round without the view re-filtering (or
+    /// re-allocating) the neighbor set each time.
+    fn neighbors(&self) -> &[PeerId];
 
     /// Does `peer` need at least one piece I can offer? ("interest" in
     /// BitTorrent terms; the event with probability `q(peer, me)`.)
@@ -145,8 +150,8 @@ pub(crate) mod fake {
         fn round(&self) -> u64 {
             self.round
         }
-        fn neighbors(&self) -> Vec<PeerId> {
-            self.neighbors.clone()
+        fn neighbors(&self) -> &[PeerId] {
+            &self.neighbors
         }
         fn peer_needs_from_me(&self, peer: PeerId) -> bool {
             self.interest.contains(&(peer, self.me))

@@ -1,0 +1,197 @@
+//! Parallel batch execution of independent simulation jobs.
+//!
+//! Every experiment in this crate decomposes into a grid of *independent*
+//! simulation runs — mechanism × seed × attack scenario — whose results
+//! are then aggregated and written sequentially. This module provides the
+//! execution layer for that decomposition:
+//!
+//! - [`SimJob`] is one typed cell of the grid (built en masse with
+//!   [`SimJob::grid`]).
+//! - [`Executor`] fans a slice of jobs out across a bounded pool of
+//!   `std::thread::scope` workers and collects results **in slot order**,
+//!   so output is byte-identical regardless of worker count.
+//!
+//! Determinism comes for free from the simulation itself: each job's
+//! randomness derives entirely from its own seed through `coop-des`'s
+//! [`SeedTree`](coop_des::rng::SeedTree) streams, so a job behaves
+//! identically whether it runs first on one thread or last on sixteen.
+//! The executor preserves that property end to end by never letting
+//! scheduling order leak into result order.
+
+use coop_attacks::AttackPlan;
+use coop_incentives::MechanismKind;
+use coop_swarm::SimResult;
+
+use crate::runners::run_sim;
+use crate::Scale;
+
+/// One independent simulation run: a cell of the mechanism × seed ×
+/// attack-scenario grid.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimJob {
+    /// The incentive mechanism under test.
+    pub kind: MechanismKind,
+    /// Swarm scale (population, file size, horizon).
+    pub scale: Scale,
+    /// Seed for every random draw in the run.
+    pub seed: u64,
+    /// Attack scenario, or `None` for an all-compliant swarm.
+    pub plan: Option<AttackPlan>,
+}
+
+impl SimJob {
+    /// Expands a run grid into jobs: for each seed (outer), all six
+    /// mechanisms in [`MechanismKind::ALL`] order (inner), with the
+    /// scenario chosen per mechanism by `plan_for`.
+    ///
+    /// The seed-major layout means `jobs[s * 6 .. (s + 1) * 6]` is exactly
+    /// the figure row set for `seeds[s]`.
+    pub fn grid(
+        scale: Scale,
+        seeds: &[u64],
+        plan_for: impl Fn(MechanismKind) -> Option<AttackPlan>,
+    ) -> Vec<SimJob> {
+        seeds
+            .iter()
+            .flat_map(|&seed| {
+                MechanismKind::ALL.iter().map(move |&kind| (seed, kind))
+            })
+            .map(|(seed, kind)| SimJob {
+                kind,
+                scale,
+                seed,
+                plan: plan_for(kind),
+            })
+            .collect()
+    }
+
+    /// Runs this job to completion.
+    pub fn run(&self) -> SimResult {
+        run_sim(self.kind, self.scale, self.plan.as_ref(), self.seed)
+    }
+}
+
+/// A bounded pool of scoped worker threads for running independent jobs.
+///
+/// Workers claim jobs from a shared atomic cursor (no per-job locking) and
+/// stamp each result with its slot index; the caller receives results in
+/// input order. With `jobs = 1` the executor degenerates to a plain
+/// sequential loop on the calling thread — useful as the determinism
+/// baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct Executor {
+    jobs: usize,
+}
+
+impl Executor {
+    /// An executor with exactly `jobs` workers (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Executor {
+            jobs: jobs.max(1),
+        }
+    }
+
+    /// A single-threaded executor (the sequential baseline).
+    pub fn sequential() -> Self {
+        Executor::new(1)
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Maps `run` over `items` using up to `self.jobs()` worker threads.
+    ///
+    /// `run` receives `(slot_index, &item)`; the returned vector is in
+    /// slot order — position `i` holds the result for `items[i]` no
+    /// matter which worker computed it or when it finished.
+    pub fn map<I, T, F>(&self, items: &[I], run: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        let workers = self.jobs.min(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, it)| run(i, it)).collect();
+        }
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(item) = items.get(i) else {
+                                break;
+                            };
+                            mine.push((i, run(i, item)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+        tagged.sort_by_key(|&(i, _)| i);
+        debug_assert_eq!(tagged.len(), items.len());
+        tagged.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Runs a batch of simulation jobs, returning results in job order.
+    pub fn run_sims(&self, jobs: &[SimJob]) -> Vec<SimResult> {
+        self.map(jobs, |_, job| job.run())
+    }
+}
+
+impl Default for Executor {
+    /// An executor sized to the machine's available parallelism.
+    fn default() -> Self {
+        Executor::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_slot_order_regardless_of_workers() {
+        let items: Vec<u64> = (0..37).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = Executor::new(workers).map(&items, |_, &x| x * x);
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_oversized_pools() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(Executor::new(8).map(&empty, |_, &x| x).is_empty());
+        let one = [7u32];
+        assert_eq!(Executor::new(999).map(&one, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn grid_is_seed_major_in_mechanism_order() {
+        let jobs = SimJob::grid(Scale::Quick, &[1, 2], |kind| {
+            (kind == MechanismKind::Altruism).then(|| AttackPlan::simple(0.2))
+        });
+        assert_eq!(jobs.len(), 2 * MechanismKind::ALL.len());
+        for (i, job) in jobs.iter().enumerate() {
+            assert_eq!(job.seed, [1u64, 2][i / MechanismKind::ALL.len()]);
+            assert_eq!(job.kind, MechanismKind::ALL[i % MechanismKind::ALL.len()]);
+            assert_eq!(job.plan.is_some(), job.kind == MechanismKind::Altruism);
+        }
+    }
+}

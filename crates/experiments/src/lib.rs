@@ -35,12 +35,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exec;
 mod output;
 pub mod plot;
 pub mod runners;
 mod scale;
+mod spec;
 mod table;
 
+pub use exec::{Executor, SimJob};
 pub use output::{write_csv, write_json, OutputDir};
 pub use scale::Scale;
+pub use spec::{Artifact, RunSpec, SpecError, USAGE};
 pub use table::Table;

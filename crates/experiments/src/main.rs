@@ -2,105 +2,80 @@
 //!
 //! ```text
 //! coop-experiments <table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fluid|ablations|extensions|all>
-//!                  [--scale quick|default|paper] [--seed N]
+//!                  [--scale quick|default|paper] [--seed N] [--replicates N]
+//!                  [--jobs N] [--out-dir DIR]
 //! ```
 //!
-//! Reports print to stdout; CSV/JSON series land in `target/experiments/`.
+//! Reports print to stdout; CSV/JSON series land in `target/experiments/`
+//! (or `--out-dir`). `--replicates N` aggregates the simulation figures
+//! over N consecutive seeds; `--jobs N` caps the worker threads that
+//! independent simulations fan out across (results are byte-identical for
+//! any job count).
 
-use coop_experiments::{runners, Scale};
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: coop-experiments <table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fluid|ablations|extensions|all> \
-         [--scale quick|default|paper] [--seed N] [--replicates N]"
-    );
-    std::process::exit(2);
-}
+use coop_experiments::{runners, Artifact, Executor, OutputDir, RunSpec, SpecError, USAGE};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut command: Option<String> = None;
-    let mut scale = Scale::Default;
-    let mut seed = 42u64;
-    let mut replicates = 1u64;
-    let mut it = args.into_iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--scale" => {
-                let v = it.next().unwrap_or_else(|| usage());
-                scale = Scale::parse(&v).unwrap_or_else(|e| {
-                    eprintln!("{e}");
-                    usage()
-                });
-            }
-            "--seed" => {
-                let v = it.next().unwrap_or_else(|| usage());
-                seed = v.parse().unwrap_or_else(|_| {
-                    eprintln!("invalid seed '{v}'");
-                    usage()
-                });
-            }
-            "--replicates" => {
-                let v = it.next().unwrap_or_else(|| usage());
-                replicates = v.parse().unwrap_or_else(|_| {
-                    eprintln!("invalid replicate count '{v}'");
-                    usage()
-                });
-                if replicates == 0 {
-                    eprintln!("replicates must be positive");
-                    usage();
-                }
-            }
-            "--help" | "-h" => usage(),
-            other if command.is_none() && !other.starts_with('-') => {
-                command = Some(other.to_string());
-            }
-            other => {
-                eprintln!("unexpected argument '{other}'");
-                usage();
-            }
+    let spec = match RunSpec::parse(std::env::args().skip(1)) {
+        Ok(spec) => spec,
+        Err(SpecError::Help) => {
+            println!("{USAGE}");
+            return;
         }
-    }
-    let command = command.unwrap_or_else(|| usage());
-    let run_one = |name: &str| match name {
-        "table1" => println!("{}", runners::table1::run(scale, seed).render()),
-        "table2" => println!("{}", runners::table2::run(scale, seed).render()),
-        "table3" => println!("{}", runners::table3::run(scale, seed).render()),
-        "fig1" => println!("{}", runners::fig1::run(scale, seed).render()),
-        "fig2" => println!("{}", runners::fig2::run(scale, seed).render()),
-        "fig3" => println!("{}", runners::fig3::run(scale, seed).render()),
-        "fig4" if replicates > 1 => {
-            let seeds: Vec<u64> = (0..replicates).map(|i| seed + i).collect();
-            println!("{}", runners::fig4::run_replicated(scale, &seeds).render());
-        }
-        "fig5" if replicates > 1 => {
-            let seeds: Vec<u64> = (0..replicates).map(|i| seed + i).collect();
-            println!("{}", runners::fig5::run_replicated(scale, &seeds).render());
-        }
-        "fig6" if replicates > 1 => {
-            let seeds: Vec<u64> = (0..replicates).map(|i| seed + i).collect();
-            println!("{}", runners::fig6::run_replicated(scale, &seeds).render());
-        }
-        "fig4" => println!("{}", runners::fig4::run(scale, seed).render()),
-        "fig5" => println!("{}", runners::fig5::run(scale, seed).render()),
-        "fig6" => println!("{}", runners::fig6::run(scale, seed).render()),
-        "ablations" => println!("{}", runners::ablations::run(scale, seed).render()),
-        "extensions" => println!("{}", runners::extensions::run(scale, seed).render()),
-        "fluid" => println!("{}", runners::fluid::run(scale, seed).render()),
-        other => {
-            eprintln!("unknown experiment '{other}'");
-            usage();
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
         }
     };
-    if command == "all" {
-        for name in [
-            "table1", "fig1", "fig2", "fig3", "table2", "table3", "fig4", "fig5", "fig6", "fluid",
-            "ablations", "extensions",
-        ] {
-            run_one(name);
+    if let Some(dir) = &spec.out_dir {
+        OutputDir::set_default_root(dir.clone());
+    }
+    let executor = spec.executor();
+    match spec.artifact {
+        Artifact::All => {
+            for artifact in Artifact::ALL {
+                run_one(artifact, &spec, &executor);
+            }
+            println!(
+                "artifacts written to {}",
+                OutputDir::default_dir().path().display()
+            );
         }
-        println!("artifacts written to target/experiments/");
-    } else {
-        run_one(&command);
+        artifact => run_one(artifact, &spec, &executor),
+    }
+}
+
+fn run_one(artifact: Artifact, spec: &RunSpec, executor: &Executor) {
+    let (scale, seed) = (spec.scale, spec.seed);
+    let replicated = spec.replicates > 1 && artifact.supports_replicates();
+    let seeds = spec.seeds();
+    match artifact {
+        Artifact::Table1 => println!("{}", runners::table1::run(scale, seed).render()),
+        Artifact::Table2 => println!("{}", runners::table2::run(scale, seed).render()),
+        Artifact::Table3 => println!("{}", runners::table3::run(scale, seed).render()),
+        Artifact::Fig1 => println!("{}", runners::fig1::run(scale, seed).render()),
+        Artifact::Fig2 => println!("{}", runners::fig2::run(scale, seed).render()),
+        Artifact::Fig3 => println!("{}", runners::fig3::run(scale, seed).render()),
+        Artifact::Fig4 if replicated => println!(
+            "{}",
+            runners::fig4::run_replicated_with(scale, &seeds, executor).render()
+        ),
+        Artifact::Fig5 if replicated => println!(
+            "{}",
+            runners::fig5::run_replicated_with(scale, &seeds, executor).render()
+        ),
+        Artifact::Fig6 if replicated => println!(
+            "{}",
+            runners::fig6::run_replicated_with(scale, &seeds, executor).render()
+        ),
+        Artifact::Fig4 => println!("{}", runners::fig4::run_with(scale, seed, executor).render()),
+        Artifact::Fig5 => println!("{}", runners::fig5::run_with(scale, seed, executor).render()),
+        Artifact::Fig6 => println!("{}", runners::fig6::run_with(scale, seed, executor).render()),
+        Artifact::Ablations => {
+            println!("{}", runners::ablations::run_with(scale, seed, executor).render());
+        }
+        Artifact::Extensions => println!("{}", runners::extensions::run(scale, seed).render()),
+        Artifact::Fluid => println!("{}", runners::fluid::run(scale, seed).render()),
+        Artifact::All => unreachable!("expanded by the caller"),
     }
 }

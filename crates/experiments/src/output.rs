@@ -3,8 +3,13 @@
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 use serde::Serialize;
+
+/// Process-wide override for [`OutputDir::default_dir`], set at most once
+/// (the CLI sets it from `--out-dir` before any runner executes).
+static DEFAULT_ROOT: OnceLock<PathBuf> = OnceLock::new();
 
 /// A directory experiment artifacts are written into (created on demand).
 ///
@@ -27,9 +32,22 @@ impl OutputDir {
         OutputDir { root: root.into() }
     }
 
-    /// The default artifact directory, `target/experiments`.
+    /// The default artifact directory: `target/experiments`, unless
+    /// [`OutputDir::set_default_root`] installed an override.
     pub fn default_dir() -> Self {
-        OutputDir::new("target/experiments")
+        match DEFAULT_ROOT.get() {
+            Some(root) => OutputDir::new(root.clone()),
+            None => OutputDir::new("target/experiments"),
+        }
+    }
+
+    /// Redirects [`OutputDir::default_dir`] for the rest of the process.
+    ///
+    /// Returns `false` (leaving the original override in place) if a root
+    /// was already installed; the first caller wins so that runners never
+    /// see the default directory change mid-run.
+    pub fn set_default_root(root: impl Into<PathBuf>) -> bool {
+        DEFAULT_ROOT.set(root.into()).is_ok()
     }
 
     /// The root path.

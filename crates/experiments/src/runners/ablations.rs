@@ -11,10 +11,11 @@
 //!   probability 1, which the paper discusses but does not simulate.
 //! * Whitewash-interval sweep — FairTorrent's attack knob.
 
-use coop_attacks::{AttackPlan};
+use coop_attacks::AttackPlan;
 use coop_incentives::MechanismKind;
 use serde::Serialize;
 
+use crate::exec::Executor;
 use crate::runners::run_sim;
 use crate::table::num;
 use crate::{Scale, Table};
@@ -132,16 +133,21 @@ fn point(x: f64, result: &coop_swarm::SimResult) -> SweepPoint {
     }
 }
 
-/// Runs all ablations.
+/// Runs all ablations with machine-sized parallelism.
 pub fn run(scale: Scale, seed: u64) -> AblationReport {
+    run_with(scale, seed, &Executor::default())
+}
+
+/// Runs all ablations on the given executor. Each sweep's points are
+/// independent simulations, so they fan out as one batch per sweep;
+/// results (and the JSON artifact) are identical for any worker count.
+pub fn run_with(scale: Scale, seed: u64, executor: &Executor) -> AblationReport {
     // A: α_BT sweep. The mechanism parameter lives in the swarm config.
-    let alpha_bt_sweep = [0.0, 0.1, 0.2, 0.4]
-        .iter()
-        .map(|&alpha| {
+    let alpha_bt_sweep = executor.map(&[0.0, 0.1, 0.2, 0.4], |_, &alpha| {
             let mut config = scale.config(seed);
             config.mechanism_params.alpha_bt = alpha;
             let mix = coop_incentives::analysis::capacity::CapacityClassMix::paper_default();
-            let mut population = coop_swarm::flash_crowd_with(
+            let population = coop_swarm::flash_crowd_with(
                 &config,
                 scale.peers(),
                 MechanismKind::BitTorrent,
@@ -149,84 +155,64 @@ pub fn run(scale: Scale, seed: u64) -> AblationReport {
                 &mix,
                 scale.arrival_window(),
             );
-            coop_attacks::apply_attack(&mut population, &AttackPlan::simple(0.2), seed);
-            let result = coop_swarm::Simulation::new(config, population)
+            let result = coop_swarm::Simulation::builder(config)
+                .population(population)
+                .attack_plan(AttackPlan::simple(0.2))
+                .build()
                 .expect("valid config")
                 .run();
             point(alpha, &result)
-        })
-        .collect();
+        });
 
     // B & C: free-rider fraction sweeps.
     let fractions = [0.0, 0.1, 0.2, 0.4];
-    let altruism_fraction_sweep = fractions
-        .iter()
-        .map(|&f| {
-            let result = run_sim(
-                MechanismKind::Altruism,
-                scale,
-                Some(&AttackPlan::simple(f)),
-                seed,
-            );
-            point(f, &result)
-        })
-        .collect();
-    let tchain_fraction_sweep = fractions
-        .iter()
-        .map(|&f| {
-            let result = run_sim(
-                MechanismKind::TChain,
-                scale,
-                Some(&AttackPlan::most_effective(MechanismKind::TChain, f)),
-                seed,
-            );
-            point(f, &result)
-        })
-        .collect();
+    let altruism_fraction_sweep = executor.map(&fractions, |_, &f| {
+        let result = run_sim(
+            MechanismKind::Altruism,
+            scale,
+            Some(&AttackPlan::simple(f)),
+            seed,
+        );
+        point(f, &result)
+    });
+    let tchain_fraction_sweep = executor.map(&fractions, |_, &f| {
+        let result = run_sim(
+            MechanismKind::TChain,
+            scale,
+            Some(&AttackPlan::most_effective(MechanismKind::TChain, f)),
+            seed,
+        );
+        point(f, &result)
+    });
 
     // D: reputation false praise.
-    let reputation_false_praise = vec![
-        point(
-            0.0,
-            &run_sim(
-                MechanismKind::Reputation,
-                scale,
-                Some(&AttackPlan::simple(0.2)),
-                seed,
-            ),
-        ),
-        point(
-            1.0,
-            &run_sim(
-                MechanismKind::Reputation,
-                scale,
-                Some(&AttackPlan::false_praise(0.2)),
-                seed,
-            ),
-        ),
+    let praise_plans = [
+        (0.0, AttackPlan::simple(0.2)),
+        (1.0, AttackPlan::false_praise(0.2)),
     ];
+    let reputation_false_praise = executor.map(&praise_plans, |_, &(x, ref plan)| {
+        point(
+            x,
+            &run_sim(MechanismKind::Reputation, scale, Some(plan), seed),
+        )
+    });
 
     // E: whitewash interval sweep.
-    let whitewash_sweep = [5u64, 10, 20, 40]
-        .iter()
-        .map(|&w| {
-            let mut plan = AttackPlan::simple(0.2);
-            plan.whitewash_interval = Some(w);
-            let result = run_sim(MechanismKind::FairTorrent, scale, Some(&plan), seed);
-            point(w as f64, &result)
-        })
-        .collect();
+    let whitewash_sweep = executor.map(&[5u64, 10, 20, 40], |_, &w| {
+        let mut plan = AttackPlan::simple(0.2);
+        plan.whitewash_interval = Some(w);
+        let result = run_sim(MechanismKind::FairTorrent, scale, Some(&plan), seed);
+        point(w as f64, &result)
+    });
 
     // F: the paper assumes local-rarest-first selection; quantify what the
     // alternatives cost.
-    let piece_strategy_sweep = [
+    let strategies = [
         coop_swarm::PieceStrategy::RarestFirst,
         coop_swarm::PieceStrategy::Random,
         coop_swarm::PieceStrategy::Sequential,
-    ]
-    .iter()
-    .enumerate()
-    .map(|(i, &strategy)| {
+    ];
+    let piece_strategy_sweep = executor.map(&strategies, |i, &strategy| {
         let mut config = scale.config(seed);
         config.piece_strategy = strategy;
         let mix = coop_incentives::analysis::capacity::CapacityClassMix::paper_default();
@@ -238,20 +224,19 @@ pub fn run(scale: Scale, seed: u64) -> AblationReport {
             &mix,
             scale.arrival_window(),
         );
-        let result = coop_swarm::Simulation::new(config, population)
+        let result = coop_swarm::Simulation::builder(config)
+            .population(population)
+            .build()
             .expect("valid config")
             .run();
         point(i as f64, &result)
-    })
-    .collect();
+    });
 
     // G: the paper's flash crowd is the worst case for reputation
     // bootstrapping (everyone has zero reputation at once). Staggered
     // Poisson arrivals let newcomers land in a system with established
     // reputations.
-    let arrival_model_sweep = [false, true]
-        .iter()
-        .map(|&staggered| {
+    let arrival_model_sweep = executor.map(&[false, true], |_, &staggered| {
             let config = scale.config(seed);
             let mix = coop_incentives::analysis::capacity::CapacityClassMix::paper_default();
             let population = if staggered {
@@ -273,12 +258,13 @@ pub fn run(scale: Scale, seed: u64) -> AblationReport {
                     scale.arrival_window(),
                 )
             };
-            let result = coop_swarm::Simulation::new(config, population)
+            let result = coop_swarm::Simulation::builder(config)
+                .population(population)
+                .build()
                 .expect("valid config")
                 .run();
             point(if staggered { 1.0 } else { 0.0 }, &result)
-        })
-        .collect();
+        });
 
     let report = AblationReport {
         scale: scale.name().to_string(),

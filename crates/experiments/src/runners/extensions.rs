@@ -7,7 +7,7 @@
 //!   of the paper's footnote 6, compared against the basic reputation
 //!   algorithm under the false-praise collusion attack.
 
-use coop_attacks::{apply_attack, AttackPlan};
+use coop_attacks::AttackPlan;
 use coop_incentives::mechanisms::extensions::{BitTyrant, PropShare};
 use coop_incentives::{MechanismKind, MechanismParams};
 use coop_swarm::{flash_crowd_with, PeerSpec, SimResult, Simulation};
@@ -204,19 +204,18 @@ fn run_variant(
             };
         }
     }
+    let mut builder = Simulation::builder(config).population(population);
     if attacked {
-        apply_attack(&mut population, &AttackPlan::simple(0.2), seed);
+        builder = builder.attack_plan(AttackPlan::simple(0.2));
     }
-    Simulation::new(config, population)
-        .expect("valid config")
-        .run()
+    builder.build().expect("valid config").run()
 }
 
 fn run_trust(scale: Scale, seed: u64, trusted: bool) -> SimResult {
     let mut config = scale.config(seed);
     config.trusted_reputation = trusted;
     let mix = coop_incentives::analysis::capacity::CapacityClassMix::paper_default();
-    let mut population = flash_crowd_with(
+    let population = flash_crowd_with(
         &config,
         scale.peers(),
         MechanismKind::Reputation,
@@ -224,8 +223,10 @@ fn run_trust(scale: Scale, seed: u64, trusted: bool) -> SimResult {
         &mix,
         scale.arrival_window(),
     );
-    apply_attack(&mut population, &AttackPlan::false_praise(0.2), seed);
-    Simulation::new(config, population)
+    Simulation::builder(config)
+        .population(population)
+        .attack_plan(AttackPlan::false_praise(0.2))
+        .build()
         .expect("valid config")
         .run()
 }

@@ -4,9 +4,10 @@
 
 use coop_attacks::AttackPlan;
 use coop_incentives::MechanismKind;
+use coop_swarm::SimResult;
 use serde::Serialize;
 
-use crate::runners::run_sim;
+use crate::exec::{Executor, SimJob};
 use crate::table::num;
 use crate::{Scale, Table};
 
@@ -94,12 +95,33 @@ impl SimFigureReport {
 /// Runs the six algorithms and collects the figure series (completion CDF,
 /// fairness-vs-time, bootstrap-vs-time, susceptibility-vs-time) as CSV
 /// artifacts named `{figure}{panel}_{algorithm}_{scale}.csv`.
+///
+/// Execution is two-phase: the six independent simulations fan out across
+/// `executor`'s workers, then every artifact is written sequentially from
+/// the slot-ordered results — so the report and all files on disk are
+/// byte-identical for any worker count.
 pub(crate) fn run_figure(
     figure: &str,
     scale: Scale,
     seed: u64,
     plan_for: impl Fn(MechanismKind) -> Option<AttackPlan>,
+    executor: &Executor,
 ) -> SimFigureReport {
+    let jobs = SimJob::grid(scale, &[seed], plan_for);
+    let results = executor.run_sims(&jobs);
+    write_figure_artifacts(figure, scale, seed, &results)
+}
+
+/// The sequential artifact phase of [`run_figure`]: renders one figure's
+/// report and writes its CSV/JSON/SVG artifacts from precomputed results
+/// (one per mechanism, in [`MechanismKind::ALL`] order).
+pub(crate) fn write_figure_artifacts(
+    figure: &str,
+    scale: Scale,
+    seed: u64,
+    results: &[SimResult],
+) -> SimFigureReport {
+    assert_eq!(results.len(), MechanismKind::ALL.len());
     let out = crate::OutputDir::default_dir();
     // Panel charts collecting every algorithm's series (the shape of the
     // paper's figures).
@@ -125,9 +147,8 @@ pub(crate) fn run_figure(
     );
     let rows = MechanismKind::ALL
         .iter()
-        .map(|&kind| {
-            let plan = plan_for(kind);
-            let result = run_sim(kind, scale, plan.as_ref(), seed);
+        .zip(results)
+        .map(|(&kind, result)| {
             let slug = kind.name().to_lowercase().replace('-', "");
             let tag = format!("{figure}_{slug}_{}", scale.name());
             let cdf_series = result.completion_cdf().series(50);
@@ -244,9 +265,14 @@ pub(crate) fn run_figure(
     report
 }
 
-/// Runs Fig. 4 (no free-riders).
+/// Runs Fig. 4 (no free-riders) with machine-sized parallelism.
 pub fn run(scale: Scale, seed: u64) -> SimFigureReport {
-    run_figure("fig4", scale, seed, |_| None)
+    run_with(scale, seed, &Executor::default())
+}
+
+/// Runs Fig. 4 (no free-riders) on the given executor.
+pub fn run_with(scale: Scale, seed: u64, executor: &Executor) -> SimFigureReport {
+    run_figure("fig4", scale, seed, |_| None, executor)
 }
 
 /// Mean and sample standard deviation of one metric across replicates.
@@ -348,14 +374,29 @@ impl ReplicatedReport {
 }
 
 /// Aggregates a figure over several seeds.
+///
+/// The full mechanism × seed grid fans out across `executor` in one batch
+/// (replicates are just more independent jobs); the per-seed artifact
+/// writes then replay sequentially in seed order, exactly as the
+/// sequential implementation would have produced them.
 pub(crate) fn replicate(
     figure: &str,
     scale: Scale,
     seeds: &[u64],
-    run_one: impl Fn(Scale, u64) -> SimFigureReport,
+    plan_for: impl Fn(MechanismKind) -> Option<AttackPlan>,
+    executor: &Executor,
 ) -> ReplicatedReport {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let reports: Vec<SimFigureReport> = seeds.iter().map(|&s| run_one(scale, s)).collect();
+    let jobs = SimJob::grid(scale, seeds, plan_for);
+    let results = executor.run_sims(&jobs);
+    let per_seed = MechanismKind::ALL.len();
+    let reports: Vec<SimFigureReport> = seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            write_figure_artifacts(figure, scale, s, &results[i * per_seed..(i + 1) * per_seed])
+        })
+        .collect();
     let rows = MechanismKind::ALL
         .iter()
         .map(|&kind| {
@@ -391,7 +432,12 @@ pub(crate) fn replicate(
 
 /// Runs Fig. 4 over several seeds and aggregates.
 pub fn run_replicated(scale: Scale, seeds: &[u64]) -> ReplicatedReport {
-    replicate("fig4", scale, seeds, run)
+    run_replicated_with(scale, seeds, &Executor::default())
+}
+
+/// Runs Fig. 4 over several seeds on the given executor.
+pub fn run_replicated_with(scale: Scale, seeds: &[u64], executor: &Executor) -> ReplicatedReport {
+    replicate("fig4", scale, seeds, |_| None, executor)
 }
 
 #[cfg(test)]

@@ -5,22 +5,47 @@
 
 use coop_attacks::AttackPlan;
 
+use crate::exec::Executor;
 use crate::runners::fig4::{run_figure, SimFigureReport};
 use crate::Scale;
 
 /// The paper's free-rider fraction.
 pub const FREERIDER_FRACTION: f64 = 0.2;
 
-/// Runs Fig. 5.
+/// Runs Fig. 5 with machine-sized parallelism.
 pub fn run(scale: Scale, seed: u64) -> SimFigureReport {
-    run_figure("fig5", scale, seed, |kind| {
-        Some(AttackPlan::most_effective(kind, FREERIDER_FRACTION))
-    })
+    run_with(scale, seed, &Executor::default())
+}
+
+/// Runs Fig. 5 on the given executor.
+pub fn run_with(scale: Scale, seed: u64, executor: &Executor) -> SimFigureReport {
+    run_figure(
+        "fig5",
+        scale,
+        seed,
+        |kind| Some(AttackPlan::most_effective(kind, FREERIDER_FRACTION)),
+        executor,
+    )
 }
 
 /// Runs Fig. 5 over several seeds and aggregates.
 pub fn run_replicated(scale: Scale, seeds: &[u64]) -> crate::runners::fig4::ReplicatedReport {
-    crate::runners::fig4::replicate("fig5", scale, seeds, run)
+    run_replicated_with(scale, seeds, &Executor::default())
+}
+
+/// Runs Fig. 5 over several seeds on the given executor.
+pub fn run_replicated_with(
+    scale: Scale,
+    seeds: &[u64],
+    executor: &Executor,
+) -> crate::runners::fig4::ReplicatedReport {
+    crate::runners::fig4::replicate(
+        "fig5",
+        scale,
+        seeds,
+        |kind| Some(AttackPlan::most_effective(kind, FREERIDER_FRACTION)),
+        executor,
+    )
 }
 
 #[cfg(test)]

@@ -4,20 +4,45 @@
 
 use coop_attacks::AttackPlan;
 
+use crate::exec::Executor;
 use crate::runners::fig4::{run_figure, SimFigureReport};
 use crate::runners::fig5::FREERIDER_FRACTION;
 use crate::Scale;
 
-/// Runs Fig. 6.
+/// Runs Fig. 6 with machine-sized parallelism.
 pub fn run(scale: Scale, seed: u64) -> SimFigureReport {
-    run_figure("fig6", scale, seed, |kind| {
-        Some(AttackPlan::with_large_view(kind, FREERIDER_FRACTION))
-    })
+    run_with(scale, seed, &Executor::default())
+}
+
+/// Runs Fig. 6 on the given executor.
+pub fn run_with(scale: Scale, seed: u64, executor: &Executor) -> SimFigureReport {
+    run_figure(
+        "fig6",
+        scale,
+        seed,
+        |kind| Some(AttackPlan::with_large_view(kind, FREERIDER_FRACTION)),
+        executor,
+    )
 }
 
 /// Runs Fig. 6 over several seeds and aggregates.
 pub fn run_replicated(scale: Scale, seeds: &[u64]) -> crate::runners::fig4::ReplicatedReport {
-    crate::runners::fig4::replicate("fig6", scale, seeds, run)
+    run_replicated_with(scale, seeds, &Executor::default())
+}
+
+/// Runs Fig. 6 over several seeds on the given executor.
+pub fn run_replicated_with(
+    scale: Scale,
+    seeds: &[u64],
+    executor: &Executor,
+) -> crate::runners::fig4::ReplicatedReport {
+    crate::runners::fig4::replicate(
+        "fig6",
+        scale,
+        seeds,
+        |kind| Some(AttackPlan::with_large_view(kind, FREERIDER_FRACTION)),
+        executor,
+    )
 }
 
 #[cfg(test)]

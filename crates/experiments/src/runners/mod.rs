@@ -13,7 +13,7 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 
-use coop_attacks::{apply_attack, AttackPlan};
+use coop_attacks::AttackPlan;
 use coop_incentives::MechanismKind;
 use coop_swarm::{flash_crowd_with, SimResult, Simulation};
 
@@ -30,7 +30,7 @@ pub(crate) fn run_sim(
 ) -> SimResult {
     let config = scale.config(seed);
     let mix = coop_incentives::analysis::capacity::CapacityClassMix::paper_default();
-    let mut population = flash_crowd_with(
+    let population = flash_crowd_with(
         &config,
         scale.peers(),
         kind,
@@ -38,12 +38,12 @@ pub(crate) fn run_sim(
         &mix,
         scale.arrival_window(),
     );
+    let mut builder = Simulation::builder(config).population(population);
     if let Some(plan) = plan {
-        apply_attack(&mut population, plan, seed);
+        // The builder seeds patches with `config.seed`, which is `seed`.
+        builder = builder.attack_plan(*plan);
     }
-    Simulation::new(config, population)
-        .expect("scale configs validate")
-        .run()
+    builder.build().expect("scale configs validate").run()
 }
 
 /// The capacity vector used by the analytic runners: one sampled

@@ -1,0 +1,392 @@
+//! Typed run specifications for the experiment CLI.
+//!
+//! [`RunSpec::parse`] turns an argv slice into a validated spec up front,
+//! so the dispatch code never sees raw strings: unknown artifacts, unknown
+//! flags, and malformed values are all rejected here with errors that name
+//! the offending flag.
+
+use std::path::PathBuf;
+
+use crate::exec::Executor;
+use crate::Scale;
+
+/// Which paper artifact (or suite) a run regenerates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // the variants mirror the paper's artifact names
+pub enum Artifact {
+    Table1,
+    Table2,
+    Table3,
+    Fig1,
+    Fig2,
+    Fig3,
+    Fig4,
+    Fig5,
+    Fig6,
+    Fluid,
+    Ablations,
+    Extensions,
+    /// Every artifact above, in paper order.
+    All,
+}
+
+impl Artifact {
+    /// The individual artifacts, in the order `all` runs them.
+    pub const ALL: [Artifact; 12] = [
+        Artifact::Table1,
+        Artifact::Fig1,
+        Artifact::Fig2,
+        Artifact::Fig3,
+        Artifact::Table2,
+        Artifact::Table3,
+        Artifact::Fig4,
+        Artifact::Fig5,
+        Artifact::Fig6,
+        Artifact::Fluid,
+        Artifact::Ablations,
+        Artifact::Extensions,
+    ];
+
+    /// Parses a CLI artifact name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::UnknownArtifact`] for unrecognized names.
+    pub fn parse(s: &str) -> Result<Self, SpecError> {
+        match s.to_ascii_lowercase().as_str() {
+            "table1" => Ok(Artifact::Table1),
+            "table2" => Ok(Artifact::Table2),
+            "table3" => Ok(Artifact::Table3),
+            "fig1" => Ok(Artifact::Fig1),
+            "fig2" => Ok(Artifact::Fig2),
+            "fig3" => Ok(Artifact::Fig3),
+            "fig4" => Ok(Artifact::Fig4),
+            "fig5" => Ok(Artifact::Fig5),
+            "fig6" => Ok(Artifact::Fig6),
+            "fluid" => Ok(Artifact::Fluid),
+            "ablations" => Ok(Artifact::Ablations),
+            "extensions" => Ok(Artifact::Extensions),
+            "all" => Ok(Artifact::All),
+            other => Err(SpecError::UnknownArtifact(other.to_string())),
+        }
+    }
+
+    /// The canonical CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Artifact::Table1 => "table1",
+            Artifact::Table2 => "table2",
+            Artifact::Table3 => "table3",
+            Artifact::Fig1 => "fig1",
+            Artifact::Fig2 => "fig2",
+            Artifact::Fig3 => "fig3",
+            Artifact::Fig4 => "fig4",
+            Artifact::Fig5 => "fig5",
+            Artifact::Fig6 => "fig6",
+            Artifact::Fluid => "fluid",
+            Artifact::Ablations => "ablations",
+            Artifact::Extensions => "extensions",
+            Artifact::All => "all",
+        }
+    }
+
+    /// Whether `--replicates` changes what this artifact runs (only the
+    /// simulation figures aggregate over seeds).
+    pub fn supports_replicates(self) -> bool {
+        matches!(self, Artifact::Fig4 | Artifact::Fig5 | Artifact::Fig6)
+    }
+}
+
+/// A fully validated experiment invocation.
+///
+/// # Example
+///
+/// ```
+/// use coop_experiments::{RunSpec, Scale};
+/// let args = ["fig4", "--scale", "quick", "--replicates", "8", "--jobs", "4"];
+/// let spec = RunSpec::parse(args.iter().map(|s| s.to_string())).unwrap();
+/// assert_eq!(spec.scale, Scale::Quick);
+/// assert_eq!(spec.replicates, 8);
+/// assert_eq!(spec.jobs, 4);
+/// assert_eq!(spec.seeds(), (42..50).collect::<Vec<_>>());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunSpec {
+    /// What to regenerate.
+    pub artifact: Artifact,
+    /// Simulation scale (`--scale`, default [`Scale::Default`]).
+    pub scale: Scale,
+    /// Base RNG seed (`--seed`, default 42).
+    pub seed: u64,
+    /// Number of seeds to aggregate over (`--replicates`, default 1).
+    pub replicates: u64,
+    /// Worker-thread budget for independent simulations (`--jobs`,
+    /// default = available parallelism).
+    pub jobs: usize,
+    /// Artifact directory override (`--out-dir`, default
+    /// `target/experiments`).
+    pub out_dir: Option<PathBuf>,
+}
+
+/// Why an argv slice failed to parse into a [`RunSpec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// `--help` was requested; not a failure.
+    Help,
+    /// No artifact name was given.
+    MissingArtifact,
+    /// The artifact name is not one the harness knows.
+    UnknownArtifact(String),
+    /// A flag the parser does not recognize.
+    UnknownFlag(String),
+    /// A flag that requires a value appeared last.
+    MissingValue {
+        /// The flag missing its value.
+        flag: &'static str,
+    },
+    /// A flag value that failed validation.
+    InvalidValue {
+        /// The flag whose value was rejected.
+        flag: &'static str,
+        /// The offending value, verbatim.
+        value: String,
+        /// What a valid value looks like.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Help => write!(f, "help requested"),
+            SpecError::MissingArtifact => write!(f, "no artifact named"),
+            SpecError::UnknownArtifact(name) => {
+                write!(f, "unknown artifact '{name}'")
+            }
+            SpecError::UnknownFlag(flag) => write!(f, "unknown flag '{flag}'"),
+            SpecError::MissingValue { flag } => {
+                write!(f, "flag '{flag}' requires a value")
+            }
+            SpecError::InvalidValue { flag, value, reason } => {
+                write!(f, "invalid value '{value}' for '{flag}': {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// The usage string printed alongside parse errors.
+pub const USAGE: &str = "usage: coop-experiments \
+<table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fluid|ablations|extensions|all>
+       [--scale quick|default|paper] [--seed N] [--replicates N]
+       [--jobs N] [--out-dir DIR]";
+
+impl RunSpec {
+    /// Parses CLI arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the offending flag or artifact;
+    /// [`SpecError::Help`] when `--help`/`-h` is present.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, SpecError> {
+        let mut artifact = None;
+        let mut scale = Scale::Default;
+        let mut seed = 42u64;
+        let mut replicates = 1u64;
+        let mut jobs = Executor::default().jobs();
+        let mut out_dir = None;
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Err(SpecError::Help),
+                "--scale" => {
+                    let v = next_value(&mut it, "--scale")?;
+                    scale = Scale::parse(&v).map_err(|_| SpecError::InvalidValue {
+                        flag: "--scale",
+                        value: v,
+                        reason: "expected quick, default, or paper".to_string(),
+                    })?;
+                }
+                "--seed" => {
+                    seed = parse_number(&mut it, "--seed", 0)?;
+                }
+                "--replicates" => {
+                    replicates = parse_number(&mut it, "--replicates", 1)?;
+                }
+                "--jobs" => {
+                    jobs = usize::try_from(parse_number(&mut it, "--jobs", 1)?)
+                        .expect("validated above");
+                }
+                "--out-dir" => {
+                    out_dir = Some(PathBuf::from(next_value(&mut it, "--out-dir")?));
+                }
+                other if other.starts_with('-') => {
+                    return Err(SpecError::UnknownFlag(other.to_string()));
+                }
+                other if artifact.is_none() => {
+                    artifact = Some(Artifact::parse(other)?);
+                }
+                other => {
+                    // A second positional argument: almost always a typo'd
+                    // flag value, so report it as an unknown flag.
+                    return Err(SpecError::UnknownFlag(other.to_string()));
+                }
+            }
+        }
+        Ok(RunSpec {
+            artifact: artifact.ok_or(SpecError::MissingArtifact)?,
+            scale,
+            seed,
+            replicates,
+            jobs,
+            out_dir,
+        })
+    }
+
+    /// The seed list implied by `seed` and `replicates` (consecutive).
+    pub fn seeds(&self) -> Vec<u64> {
+        (0..self.replicates).map(|i| self.seed + i).collect()
+    }
+
+    /// An [`Executor`] sized to this spec's `--jobs`.
+    pub fn executor(&self) -> Executor {
+        Executor::new(self.jobs)
+    }
+}
+
+/// Pulls the next argument as `flag`'s value.
+fn next_value(
+    it: &mut impl Iterator<Item = String>,
+    flag: &'static str,
+) -> Result<String, SpecError> {
+    it.next().ok_or(SpecError::MissingValue { flag })
+}
+
+/// Parses `flag`'s value as an integer no smaller than `min`.
+fn parse_number(
+    it: &mut impl Iterator<Item = String>,
+    flag: &'static str,
+    min: u64,
+) -> Result<u64, SpecError> {
+    let v = next_value(it, flag)?;
+    match v.parse::<u64>() {
+        Ok(n) if n >= min => Ok(n),
+        Ok(_) => Err(SpecError::InvalidValue {
+            flag,
+            value: v,
+            reason: format!("must be at least {min}"),
+        }),
+        Err(_) => Err(SpecError::InvalidValue {
+            flag,
+            value: v,
+            reason: "expected a non-negative integer".to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<RunSpec, SpecError> {
+        RunSpec::parse(args.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let spec = parse(&[
+            "fig5", "--scale", "paper", "--seed", "7", "--replicates", "3", "--jobs", "2",
+            "--out-dir", "out/x",
+        ])
+        .unwrap();
+        assert_eq!(spec.artifact, Artifact::Fig5);
+        assert_eq!(spec.scale, Scale::Paper);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.replicates, 3);
+        assert_eq!(spec.jobs, 2);
+        assert_eq!(spec.out_dir.as_deref(), Some(std::path::Path::new("out/x")));
+        assert_eq!(spec.seeds(), vec![7, 8, 9]);
+        assert_eq!(spec.executor().jobs(), 2);
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let spec = parse(&["table2"]).unwrap();
+        assert_eq!(spec.artifact, Artifact::Table2);
+        assert_eq!(spec.scale, Scale::Default);
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.replicates, 1);
+        assert!(spec.jobs >= 1, "jobs defaults to available parallelism");
+        assert_eq!(spec.out_dir, None);
+    }
+
+    #[test]
+    fn flags_may_precede_the_artifact() {
+        let spec = parse(&["--seed", "9", "fig4"]).unwrap();
+        assert_eq!(spec.artifact, Artifact::Fig4);
+        assert_eq!(spec.seed, 9);
+    }
+
+    #[test]
+    fn unknown_flag_is_named() {
+        let err = parse(&["fig4", "--speed", "11"]).unwrap_err();
+        assert_eq!(err, SpecError::UnknownFlag("--speed".to_string()));
+        assert!(err.to_string().contains("--speed"));
+    }
+
+    #[test]
+    fn invalid_values_name_the_flag() {
+        let err = parse(&["fig4", "--seed", "banana"]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("--seed") && msg.contains("banana"), "{msg}");
+
+        let err = parse(&["fig4", "--scale", "huge"]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("--scale") && msg.contains("huge"), "{msg}");
+
+        let err = parse(&["fig4", "--replicates", "0"]).unwrap_err();
+        assert!(
+            matches!(err, SpecError::InvalidValue { flag: "--replicates", .. }),
+            "{err:?}"
+        );
+
+        let err = parse(&["fig4", "--jobs", "0"]).unwrap_err();
+        assert!(matches!(err, SpecError::InvalidValue { flag: "--jobs", .. }), "{err:?}");
+    }
+
+    #[test]
+    fn dangling_flag_reports_missing_value() {
+        let err = parse(&["fig4", "--jobs"]).unwrap_err();
+        assert_eq!(err, SpecError::MissingValue { flag: "--jobs" });
+        assert!(err.to_string().contains("--jobs"));
+    }
+
+    #[test]
+    fn missing_and_unknown_artifacts() {
+        assert_eq!(parse(&[]).unwrap_err(), SpecError::MissingArtifact);
+        assert_eq!(
+            parse(&["fig9"]).unwrap_err(),
+            SpecError::UnknownArtifact("fig9".to_string())
+        );
+        assert_eq!(
+            parse(&["fig4", "stray"]).unwrap_err(),
+            SpecError::UnknownFlag("stray".to_string())
+        );
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(parse(&["fig4", "--help"]).unwrap_err(), SpecError::Help);
+        assert_eq!(parse(&["-h"]).unwrap_err(), SpecError::Help);
+    }
+
+    #[test]
+    fn artifact_names_round_trip() {
+        for artifact in Artifact::ALL.into_iter().chain([Artifact::All]) {
+            assert_eq!(Artifact::parse(artifact.name()).unwrap(), artifact);
+        }
+        assert!(Artifact::Fig4.supports_replicates());
+        assert!(!Artifact::Table1.supports_replicates());
+    }
+}

@@ -213,6 +213,16 @@ impl Bitfield {
         }
     }
 
+    /// Overwrites this bitfield with the contents of `other`, reusing the
+    /// existing word buffer when capacities allow. This is the allocation-
+    /// free alternative to `*self = other.clone()` for scratch bitfields
+    /// that are refilled on a hot path.
+    pub fn copy_from(&mut self, other: &Bitfield) {
+        self.len = other.len;
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+    }
+
     fn locate(i: PieceId) -> (usize, usize) {
         (i as usize / WORD_BITS, i as usize % WORD_BITS)
     }

@@ -16,7 +16,11 @@ fn main() {
         }
         let population = flash_crowd(&config, 80, kind, 99);
         let t0 = std::time::Instant::now();
-        let r = Simulation::new(config.clone(), population).unwrap().run();
+        let r = Simulation::builder(config.clone())
+            .population(population)
+            .build()
+            .unwrap()
+            .run();
         println!(
             "{:<12} compl={:.2} mean_ct={:>7.1?} boot={:.2} mean_bt={:>6.2?} avg_fair={:.3?} F={:.3} rounds={} wall={:?}",
             kind.name(),

@@ -18,7 +18,11 @@ fn main() {
                 AttackPlan::most_effective(kind, 0.2)
             };
             apply_attack(&mut population, &plan, 99);
-            let r = Simulation::new(config.clone(), population).unwrap().run();
+            let r = Simulation::builder(config.clone())
+            .population(population)
+            .build()
+            .unwrap()
+            .run();
             println!(
                 "{:<12} susc={:.4} peak={:.4} compl={:.2} mean_ct={:>7.1} avg_fair={:.3?} F={:.3}",
                 kind.name(),

@@ -20,7 +20,7 @@ fn main() {
         pop[0].tags = PeerTags { compliant: false, large_view, ..PeerTags::compliant() };
         pop[0].mechanism = Box::new(|| Box::new(FreeRider::new(MechanismKind::Altruism)));
         eprintln!("lv={large_view} fr_arrival={:?}", pop[0].arrival);
-        let r = Simulation::new(config, pop).unwrap().run();
+        let r = Simulation::builder(config).population(pop).build().unwrap().run();
         let fr: Vec<_> = r.freeriders().collect();
         let fingerprint: u64 = r
             .peers

@@ -1,0 +1,264 @@
+//! Eagerly-validated construction of [`Simulation`]s.
+//!
+//! [`Simulation::builder`] replaces the raw `Simulation::new(config,
+//! population)` entry point: the builder validates the configuration *and*
+//! every peer spec before any simulator state is allocated, and returns
+//! typed [`BuildError`]s instead of panicking mid-run on a bad spec.
+//!
+//! Attack wiring stays decoupled: the builder's
+//! [`attack_plan`](SimulationBuilder::attack_plan) hook accepts any
+//! [`PopulationPatch`], which `coop-attacks` implements for its
+//! `AttackPlan` — so this crate never depends on the attack catalogue.
+
+use crate::config::{ConfigError, PeerSpec, SwarmConfig};
+use crate::sim::Simulation;
+
+/// A transformation applied to the population before the simulation is
+/// assembled. `coop_attacks::AttackPlan` implements this so attack
+/// scenarios plug into [`SimulationBuilder::attack_plan`] without a
+/// dependency cycle between the crates.
+pub trait PopulationPatch {
+    /// Mutates `population` in place, seeded deterministically; returns
+    /// the number of specs modified.
+    fn apply_patch(&self, population: &mut [PeerSpec], seed: u64) -> usize;
+}
+
+/// Closures can serve as ad-hoc patches (tests use this).
+impl<F: Fn(&mut [PeerSpec], u64) -> usize> PopulationPatch for F {
+    fn apply_patch(&self, population: &mut [PeerSpec], seed: u64) -> usize {
+        self(population, seed)
+    }
+}
+
+/// Why a [`SimulationBuilder`] refused to build.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// The [`SwarmConfig`] failed [`SwarmConfig::validate`].
+    Config(ConfigError),
+    /// No peers were supplied — a swarm needs at least one arrival.
+    EmptyPopulation,
+    /// One peer spec is unusable.
+    InvalidPeer {
+        /// Index into the population vector.
+        index: usize,
+        /// What is wrong with the spec.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Config(e) => write!(f, "{e}"),
+            BuildError::EmptyPopulation => write!(f, "population must not be empty"),
+            BuildError::InvalidPeer { index, reason } => {
+                write!(f, "invalid peer spec at index {index}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for BuildError {
+    fn from(e: ConfigError) -> Self {
+        BuildError::Config(e)
+    }
+}
+
+/// Staged inputs for one [`Simulation`], validated on
+/// [`build`](SimulationBuilder::build).
+///
+/// # Example
+///
+/// ```
+/// use coop_swarm::{flash_crowd, Simulation, SwarmConfig};
+/// use coop_incentives::MechanismKind;
+///
+/// let config = SwarmConfig::tiny_test();
+/// let population = flash_crowd(&config, 8, MechanismKind::TChain, 7);
+/// let result = Simulation::builder(config)
+///     .population(population)
+///     .build()
+///     .expect("valid config and population")
+///     .run();
+/// assert!(result.rounds_run > 0);
+/// ```
+#[must_use = "call .build() to obtain the simulation"]
+pub struct SimulationBuilder {
+    config: SwarmConfig,
+    population: Vec<PeerSpec>,
+    patches: Vec<Box<dyn PopulationPatch>>,
+}
+
+impl std::fmt::Debug for SimulationBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulationBuilder")
+            .field("config", &self.config)
+            .field("population", &self.population.len())
+            .field("patches", &self.patches.len())
+            .finish()
+    }
+}
+
+impl SimulationBuilder {
+    pub(crate) fn new(config: SwarmConfig) -> Self {
+        SimulationBuilder {
+            config,
+            population: Vec::new(),
+            patches: Vec::new(),
+        }
+    }
+
+    /// Sets the arriving population (replacing any earlier call).
+    pub fn population(mut self, population: Vec<PeerSpec>) -> Self {
+        self.population = population;
+        self
+    }
+
+    /// Queues a population patch — typically a `coop_attacks::AttackPlan`
+    /// — applied at [`build`](SimulationBuilder::build) time, seeded with
+    /// the config seed. Patches apply in the order queued.
+    pub fn attack_plan(mut self, plan: impl PopulationPatch + 'static) -> Self {
+        self.patches.push(Box::new(plan));
+        self
+    }
+
+    /// Validates everything and assembles the simulation.
+    ///
+    /// # Errors
+    ///
+    /// - [`BuildError::Config`] if the configuration is invalid;
+    /// - [`BuildError::EmptyPopulation`] if no peers were supplied;
+    /// - [`BuildError::InvalidPeer`] if any (post-patch) spec has a
+    ///   non-finite or negative capacity or a zero whitewash interval.
+    pub fn build(mut self) -> Result<Simulation, BuildError> {
+        self.config.validate()?;
+        if self.population.is_empty() {
+            return Err(BuildError::EmptyPopulation);
+        }
+        let seed = self.config.seed;
+        for patch in &self.patches {
+            patch.apply_patch(&mut self.population, seed);
+        }
+        for (index, spec) in self.population.iter().enumerate() {
+            if !spec.capacity_bps.is_finite() || spec.capacity_bps < 0.0 {
+                return Err(BuildError::InvalidPeer {
+                    index,
+                    reason: format!(
+                        "capacity_bps must be finite and nonnegative, got {}",
+                        spec.capacity_bps
+                    ),
+                });
+            }
+            if spec.tags.whitewash_interval == Some(0) {
+                return Err(BuildError::InvalidPeer {
+                    index,
+                    reason: "whitewash_interval must be positive".to_string(),
+                });
+            }
+        }
+        Ok(Simulation::assemble(self.config, self.population))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{flash_crowd, PeerTags};
+    use coop_incentives::MechanismKind;
+
+    fn base() -> (SwarmConfig, Vec<PeerSpec>) {
+        let config = SwarmConfig::tiny_test();
+        let population = flash_crowd(&config, 6, MechanismKind::Altruism, 5);
+        (config, population)
+    }
+
+    #[test]
+    fn builds_and_runs() {
+        let (config, population) = base();
+        let result = Simulation::builder(config)
+            .population(population)
+            .build()
+            .unwrap()
+            .run();
+        assert!(result.rounds_run > 0);
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let (mut config, population) = base();
+        config.neighbor_degree = 0;
+        let err = Simulation::builder(config)
+            .population(population)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Config(_)), "{err:?}");
+        assert!(err.to_string().contains("neighbor_degree"));
+    }
+
+    #[test]
+    fn rejects_empty_population() {
+        let (config, _) = base();
+        let err = Simulation::builder(config).build().unwrap_err();
+        assert_eq!(err, BuildError::EmptyPopulation);
+    }
+
+    #[test]
+    fn rejects_bad_peer_specs() {
+        let (config, mut population) = base();
+        population[2].capacity_bps = f64::NAN;
+        let err = Simulation::builder(config.clone())
+            .population(population)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, BuildError::InvalidPeer { index: 2, .. }),
+            "{err:?}"
+        );
+
+        let (_, mut population) = base();
+        population[0].tags = PeerTags {
+            whitewash_interval: Some(0),
+            ..PeerTags::compliant()
+        };
+        let err = Simulation::builder(config)
+            .population(population)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, BuildError::InvalidPeer { index: 0, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn patches_apply_in_order_with_config_seed() {
+        let (mut config, population) = base();
+        config.seed = 99;
+        let sim = Simulation::builder(config)
+            .population(population)
+            .attack_plan(|pop: &mut [PeerSpec], seed: u64| {
+                assert_eq!(seed, 99, "patches see the config seed");
+                pop[0].tags.compliant = false;
+                1
+            })
+            .attack_plan(|pop: &mut [PeerSpec], _seed: u64| {
+                // Runs second: sees the first patch's effect.
+                assert!(!pop[0].tags.compliant);
+                pop[0].tags.large_view = true;
+                1
+            })
+            .build()
+            .unwrap();
+        let result = sim.run();
+        assert!(result.peers.iter().any(|r| !r.compliant));
+    }
+}

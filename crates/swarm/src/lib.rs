@@ -27,13 +27,18 @@
 //!
 //! let config = SwarmConfig::tiny_test();
 //! let population = flash_crowd(&config, 12, MechanismKind::Altruism, 7);
-//! let result = Simulation::new(config, population).unwrap().run();
+//! let result = Simulation::builder(config)
+//!     .population(population)
+//!     .build()
+//!     .unwrap()
+//!     .run();
 //! assert!(result.completed_count() > 0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod config;
 mod peer;
 mod result;
@@ -41,6 +46,7 @@ mod sim;
 mod transfer;
 mod view_impl;
 
+pub use builder::{BuildError, PopulationPatch, SimulationBuilder};
 pub use config::{
     flash_crowd, flash_crowd_with, staggered_arrivals, ConfigError, MechanismFactory, PeerSpec,
     PeerTags, PieceStrategy, SwarmConfig,

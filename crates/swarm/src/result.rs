@@ -62,7 +62,11 @@ impl Totals {
 }
 
 /// The outcome of one simulation run.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every recorded number bit-for-bit; the batch
+/// executor's determinism tests rely on this to prove that parallel and
+/// sequential execution produce identical results.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimResult {
     /// Rounds actually executed.
     pub rounds_run: u64,

@@ -55,6 +55,15 @@ pub struct Simulation {
     reports: ReportedReputation,
     pretrusted: Vec<PeerId>,
     trusted_cache: std::collections::HashMap<PeerId, f64>,
+    /// Per-peer active-neighbor lists, rebuilt by
+    /// [`Self::precompute_candidates`] and borrowed by every [`SimView`]
+    /// between rebuilds. Inner vectors are reused across rounds so the
+    /// steady-state round loop performs no per-allocation heap traffic.
+    candidates: Vec<Vec<PeerId>>,
+    /// Scratch "pieces already held or in flight" bitfield for
+    /// [`Self::pick_piece`], reused across calls instead of cloning the
+    /// downloader's bitfield per candidate piece selection.
+    scratch_held: Bitfield,
     totals: Totals,
     fairness_avg: TimeSeries,
     diversity: TimeSeries,
@@ -65,13 +74,39 @@ pub struct Simulation {
 }
 
 impl Simulation {
+    /// Starts a [`SimulationBuilder`](crate::SimulationBuilder) — the
+    /// supported way to construct a simulation:
+    ///
+    /// ```ignore
+    /// Simulation::builder(config).population(peers).build()?.run()
+    /// ```
+    pub fn builder(config: SwarmConfig) -> crate::SimulationBuilder {
+        crate::SimulationBuilder::new(config)
+    }
+
     /// Builds a simulation from a configuration and a population.
     ///
     /// # Errors
     ///
-    /// Returns a [`ConfigError`] if the configuration is invalid.
+    /// Returns a [`ConfigError`] if the configuration is invalid or the
+    /// population fails the builder's eager checks.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Simulation::builder(config).population(...).build()"
+    )]
     pub fn new(config: SwarmConfig, population: Vec<PeerSpec>) -> Result<Self, ConfigError> {
-        config.validate()?;
+        Simulation::builder(config)
+            .population(population)
+            .build()
+            .map_err(|e| match e {
+                crate::BuildError::Config(e) => e,
+                other => ConfigError::new(other.to_string()),
+            })
+    }
+
+    /// Assembles the simulation from already-validated parts (the
+    /// builder's final step).
+    pub(crate) fn assemble(config: SwarmConfig, population: Vec<PeerSpec>) -> Self {
         let num_pieces = config.file.num_pieces();
         let rounds = RoundDriver::new(config.round);
         let mut engine = Engine::new();
@@ -84,7 +119,7 @@ impl Simulation {
         // The first round is processed at the end of its window, after the
         // arrivals within it.
         engine.schedule(rounds.start_of(1), Event::RoundTick);
-        Ok(Simulation {
+        Simulation {
             seeds: SeedTree::new(config.seed),
             availability: AvailabilityMap::new(num_pieces),
             transfers: TransferTable::new(),
@@ -100,6 +135,8 @@ impl Simulation {
             reports: ReportedReputation::new(),
             pretrusted: Vec::new(),
             trusted_cache: std::collections::HashMap::new(),
+            candidates: Vec::new(),
+            scratch_held: Bitfield::new(0),
             totals: Totals::default(),
             fairness_avg: TimeSeries::new(),
             diversity: TimeSeries::new(),
@@ -108,7 +145,7 @@ impl Simulation {
             completed_frac: TimeSeries::new(),
             susceptibility: TimeSeries::new(),
             config,
-        })
+        }
     }
 
     /// The configuration.
@@ -202,11 +239,18 @@ impl Simulation {
                 self.round_idx = self.rounds.round_of(now).saturating_sub(1);
                 self.step_round(now);
                 self.round_idx += 1;
+                // Non-compliant peers may never finish (a strict mechanism
+                // can starve them forever), so they don't hold the run open
+                // — except whitewashers: their identity churn is the very
+                // dynamic under measurement, and each chain is finite (an
+                // identity either hits its interval or completes, and the
+                // successor chain ends at the first identity that downloads
+                // nothing itself).
                 let all_done = self.specs.iter().all(|s| s.is_none())
-                    && self
-                        .peers
-                        .iter()
-                        .all(|p| !p.is_active() || !p.tags.compliant);
+                    && self.peers.iter().all(|p| {
+                        !p.is_active()
+                            || !(p.tags.compliant || p.tags.whitewash_interval.is_some())
+                    });
                 if !all_done && self.round_idx < self.config.max_rounds {
                     eng.schedule(self.rounds.start_of(self.round_idx + 1), Event::RoundTick);
                 }
@@ -227,7 +271,12 @@ impl Simulation {
             self.config.file.num_pieces(),
             mechanism,
         );
-        if self.pretrusted.len() < self.config.pretrusted_count {
+        // EigenTrust's premise is that pre-trusted peers are operator-chosen
+        // known-good nodes (the original moderators). Only compliant peers
+        // qualify: letting early-arriving attackers into the root set would
+        // make their mutual praise trusted by construction, defeating the
+        // defense the paper's Table III evaluates.
+        if spec.tags.compliant && self.pretrusted.len() < self.config.pretrusted_count {
             self.pretrusted.push(id);
         }
         let neighbors = self.choose_neighbors(id, spec.tags.large_view);
@@ -270,6 +319,42 @@ impl Simulation {
         self.seeds.subtree(0x520_0000 + self.round_idx).rng(label)
     }
 
+    /// Rebuilds the per-peer active-neighbor candidate lists.
+    ///
+    /// Called once before the allocation loop and once before the
+    /// end-of-round mechanism hooks: the active set and neighbor graph only
+    /// change in the passes *bracketing* those phases (whitewashing,
+    /// replenishment, departures), so within each phase every [`SimView`]
+    /// can borrow the same precomputed slice instead of re-filtering the
+    /// neighbor set on each query.
+    fn precompute_candidates(&mut self) {
+        if self.candidates.len() < self.peers.len() {
+            self.candidates.resize_with(self.peers.len(), Vec::new);
+        }
+        let (peers, candidates) = (&self.peers, &mut self.candidates);
+        for (idx, p) in peers.iter().enumerate() {
+            let list = &mut candidates[idx];
+            list.clear();
+            if !p.is_active() {
+                continue;
+            }
+            list.extend(p.neighbors.iter().copied().filter(|&n| {
+                n == SEEDER_ID
+                    || peers
+                        .get(n.index() as usize)
+                        .is_some_and(PeerState::is_active)
+            }));
+        }
+    }
+
+    /// This round's active neighbors of `id`, as precomputed by
+    /// [`Self::precompute_candidates`].
+    pub(crate) fn round_candidates(&self, id: PeerId) -> &[PeerId] {
+        self.candidates
+            .get(id.index() as usize)
+            .map_or(&[][..], Vec::as_slice)
+    }
+
     fn step_round(&mut self, now: SimTime) {
         self.whitewash_pass(now);
         self.collusion_praise_pass();
@@ -277,6 +362,7 @@ impl Simulation {
             self.trusted_cache = self.reports.trusted_scores(&self.pretrusted);
         }
         self.replenish_neighbors();
+        self.precompute_candidates();
         self.seeder_allocate(now);
 
         // Peers allocate in a per-round shuffled order.
@@ -478,30 +564,30 @@ impl Simulation {
         used
     }
 
-    fn pick_piece(&self, from: PeerId, to: PeerId, rng: &mut dyn RngCore) -> Option<(u32, u64)> {
+    fn pick_piece(&mut self, from: PeerId, to: PeerId, rng: &mut dyn RngCore) -> Option<(u32, u64)> {
         // The picker treats the downloader bitfield as "pieces already
         // held"; in-flight pieces count as held so they are not fetched
-        // twice.
-        let mut held = self.peer(to).offer().clone();
+        // twice. The scratch bitfield is moved out and refilled in place
+        // (rather than cloning the downloader's bitfield) so repeated piece
+        // selections within a round allocate nothing.
+        let mut held = std::mem::replace(&mut self.scratch_held, Bitfield::new(0));
+        held.copy_from(self.peer(to).offer());
         for &p in &self.peer(to).inflight {
             held.set(p);
         }
         let offer = if from == SEEDER_ID {
-            self.seeder_bf.clone()
+            &self.seeder_bf
         } else {
-            self.peer(from).offer().clone()
+            self.peer(from).offer()
         };
         let selection = match self.config.piece_strategy {
             PieceStrategy::RarestFirst => {
-                RarestFirstPicker.pick(&held, &offer, &self.availability, rng)
+                RarestFirstPicker.pick(&held, offer, &self.availability, rng)
             }
-            PieceStrategy::Random => {
-                RandomFirstPicker.pick(&held, &offer, &self.availability, rng)
-            }
-            PieceStrategy::Sequential => {
-                SequentialPicker.pick(&held, &offer, &self.availability, rng)
-            }
+            PieceStrategy::Random => RandomFirstPicker.pick(&held, offer, &self.availability, rng),
+            PieceStrategy::Sequential => SequentialPicker.pick(&held, offer, &self.availability, rng),
         };
+        self.scratch_held = held;
         match selection {
             PieceSelection::Piece(p) => Some((p, self.config.file.piece_len(p))),
             PieceSelection::NothingNeeded => None,
@@ -745,6 +831,18 @@ impl Simulation {
             .collect();
         for pid in done {
             self.depart(PeerId::new(pid), Departure::Completed(now));
+            // A whitewashing attacker sheds its (now history-laden)
+            // identity at the moment it finishes: the node rejoins under a
+            // fresh name carrying the pieces. The `bytes_received_usable`
+            // guard stops the chain — a successor that downloaded nothing
+            // itself departs without spawning another identity.
+            let p = &self.peers[pid as usize];
+            if p.tags.whitewash_interval.is_some()
+                && !p.tags.compliant
+                && p.bytes_received_usable > 0
+            {
+                self.spawn_successor(PeerId::new(pid), now);
+            }
         }
     }
 
@@ -817,11 +915,19 @@ impl Simulation {
         self.peers[old_idx].inflight.clear();
         self.peers[old_idx].inflight_conditional = 0;
         self.peers[old_idx].departure = Some(Departure::Whitewashed(now));
+        self.availability.remove_peer(self.peers[old_idx].have());
         self.reputation.forget(old);
         self.reports.forget(old);
+        self.spawn_successor(old, now);
+    }
 
-        // Build the successor identity: same capacity/tags/mechanism and
-        // the same usable pieces (availability counts carry over 1:1).
+    /// Builds the fresh identity replacing a retired whitewasher: same
+    /// capacity/tags/mechanism and the same usable pieces (re-counted into
+    /// the availability map under the new identity). The caller must have
+    /// already detached `old` (via [`Self::re_identity`] or
+    /// [`Self::depart`]).
+    fn spawn_successor(&mut self, old: PeerId, now: SimTime) {
+        let old_idx = old.index() as usize;
         let mechanism = self.peers[old_idx]
             .mechanism
             .take()
@@ -842,6 +948,7 @@ impl Simulation {
         for p in &have {
             peer.acquire_usable(*p);
             peer.bytes_inherited += self.config.file.piece_len(*p);
+            self.availability.on_piece_acquired(*p);
         }
         if !have.is_empty() {
             peer.record_bootstrap(now);
@@ -974,6 +1081,9 @@ impl Simulation {
     }
 
     fn end_round_pass(&mut self) {
+        // Departures since the allocation loop have shrunk the graph;
+        // refresh the candidate lists the end-of-round views will serve.
+        self.precompute_candidates();
         // Mechanism end-of-round hooks run first so they can observe this
         // round's receipts before the ledger window rolls.
         let ids: Vec<u32> = self
@@ -1138,7 +1248,11 @@ mod tests {
         let mut config = SwarmConfig::tiny_test();
         config.seed = seed;
         let population = flash_crowd(&config, n, kind, seed);
-        Simulation::new(config, population).unwrap().run()
+        Simulation::builder(config)
+            .population(population)
+            .build()
+            .unwrap()
+            .run()
     }
 
     #[test]
@@ -1249,7 +1363,11 @@ mod tests {
             };
             spec.mechanism = Box::new(|| Box::new(Null));
         }
-        let r = Simulation::new(config, population).unwrap().run();
+        let r = Simulation::builder(config)
+            .population(population)
+            .build()
+            .unwrap()
+            .run();
         // Free-riders can receive seeder bytes, but nothing usable from
         // T-Chain peers beyond that.
         for p in r.freeriders() {
@@ -1270,7 +1388,11 @@ mod tests {
             whitewash_interval: Some(5),
             ..PeerTags::compliant()
         };
-        let r = Simulation::new(config, population).unwrap().run();
+        let r = Simulation::builder(config)
+            .population(population)
+            .build()
+            .unwrap()
+            .run();
         assert!(
             r.peers.len() > 6,
             "whitewasher should have spawned successor identities"
@@ -1282,7 +1404,11 @@ mod tests {
     fn seeder_bootstraps_a_lone_peer() {
         let config = SwarmConfig::tiny_test();
         let population = flash_crowd(&config, 1, MechanismKind::BitTorrent, 17);
-        let r = Simulation::new(config, population).unwrap().run();
+        let r = Simulation::builder(config)
+            .population(population)
+            .build()
+            .unwrap()
+            .run();
         assert_eq!(r.completed_count(), 1, "seeder alone must complete one peer");
     }
 
@@ -1323,7 +1449,11 @@ mod tests {
             // Sample diversity mid-download: stop early.
             config.max_rounds = 12;
             let population = flash_crowd(&config, 12, MechanismKind::Altruism, 33);
-            Simulation::new(config, population).unwrap().run()
+            Simulation::builder(config)
+            .population(population)
+            .build()
+            .unwrap()
+            .run()
         };
         let rarest = run_with(crate::config::PieceStrategy::RarestFirst);
         let sequential = run_with(crate::config::PieceStrategy::Sequential);
@@ -1340,6 +1470,17 @@ mod tests {
     fn invalid_config_is_rejected() {
         let mut config = SwarmConfig::tiny_test();
         config.neighbor_degree = 0;
-        assert!(Simulation::new(config, Vec::new()).is_err());
+        assert!(Simulation::builder(config).build().is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_shim_still_works() {
+        let config = SwarmConfig::tiny_test();
+        let population = flash_crowd(&config, 4, MechanismKind::Altruism, 3);
+        let r = Simulation::new(config, population).unwrap().run();
+        assert!(r.rounds_run > 0);
+        // The shim surfaces the builder's eager checks as ConfigErrors.
+        assert!(Simulation::new(SwarmConfig::tiny_test(), Vec::new()).is_err());
     }
 }

@@ -30,13 +30,10 @@ impl SwarmView for SimView<'_> {
         self.sim.round()
     }
 
-    fn neighbors(&self) -> Vec<PeerId> {
-        self.my_state()
-            .neighbors
-            .iter()
-            .copied()
-            .filter(|&p| self.sim.is_active(p))
-            .collect()
+    fn neighbors(&self) -> &[PeerId] {
+        // Precomputed once per phase (allocation / end-of-round); see
+        // `Simulation::precompute_candidates`.
+        self.sim.round_candidates(self.me)
     }
 
     fn peer_needs_from_me(&self, peer: PeerId) -> bool {

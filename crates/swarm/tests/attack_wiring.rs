@@ -33,7 +33,11 @@ fn make_freerider(spec: &mut PeerSpec, kind: MechanismKind, tags: PeerTags) {
 }
 
 fn run(config: SwarmConfig, population: Vec<PeerSpec>) -> SimResult {
-    Simulation::new(config, population).unwrap().run()
+    Simulation::builder(config)
+        .population(population)
+        .build()
+        .unwrap()
+        .run()
 }
 
 #[test]

@@ -37,7 +37,11 @@ fn run(kind: MechanismKind, seed: u64, n: usize, pieces: u32, rounds: u64) -> Si
         &CapacityClassMix::paper_default(),
         Duration::from_secs(5),
     );
-    Simulation::new(config, population).unwrap().run()
+    Simulation::builder(config)
+        .population(population)
+        .build()
+        .unwrap()
+        .run()
 }
 
 proptest! {
@@ -139,7 +143,11 @@ proptest! {
             };
             spec.mechanism = Box::new(move || Box::new(coop_attacks::FreeRider::new(kind)));
         }
-        let r = Simulation::new(config, population).unwrap().run();
+        let r = Simulation::builder(config)
+        .population(population)
+        .build()
+        .unwrap()
+        .run();
         let susc = r.final_susceptibility();
         prop_assert!((0.0..=1.0).contains(&susc));
         prop_assert_eq!(r.totals.uploaded_freeriders, 0);

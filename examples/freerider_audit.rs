@@ -9,7 +9,7 @@
 //! cargo run --release --example freerider_audit
 //! ```
 
-use coop_attacks::{apply_attack, AttackPlan};
+use coop_attacks::AttackPlan;
 use coop_incentives::MechanismKind;
 use coop_swarm::{flash_crowd, Simulation, SwarmConfig};
 
@@ -31,9 +31,11 @@ fn main() {
             MechanismKind::FairTorrent => "free-ride + whitewash",
             _ => "simple free-riding",
         };
-        let mut population = flash_crowd(&config, 60, kind, config.seed);
-        apply_attack(&mut population, &plan, config.seed);
-        let result = Simulation::new(config.clone(), population)
+        let population = flash_crowd(&config, 60, kind, config.seed);
+        let result = Simulation::builder(config.clone())
+            .population(population)
+            .attack_plan(plan)
+            .build()
             .expect("config is valid")
             .run();
         println!(

@@ -17,7 +17,9 @@ fn main() {
 
     let kind = MechanismKind::TChain;
     let population = flash_crowd(&config, 30, kind, config.seed);
-    let result = Simulation::new(config, population)
+    let result = Simulation::builder(config)
+        .population(population)
+        .build()
         .expect("config is valid")
         .run();
 

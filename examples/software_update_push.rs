@@ -14,7 +14,9 @@ use coop_swarm::{flash_crowd, SimResult, Simulation, SwarmConfig};
 
 fn run(kind: MechanismKind, config: &SwarmConfig) -> SimResult {
     let population = flash_crowd(config, 60, kind, config.seed);
-    Simulation::new(config.clone(), population)
+    Simulation::builder(config.clone())
+        .population(population)
+        .build()
         .expect("config is valid")
         .run()
 }

@@ -2,21 +2,19 @@
 //! byte conservation (Eq. 1), usable ≤ raw, susceptibility bounds, and
 //! completion implying full receipt.
 
-use coop_attacks::{apply_attack, AttackPlan};
+use coop_attacks::AttackPlan;
 use coop_incentives::MechanismKind;
 use coop_swarm::{flash_crowd, SimResult, Simulation, SwarmConfig};
 
 fn run(kind: MechanismKind, plan: Option<AttackPlan>, seed: u64) -> (SimResult, SwarmConfig) {
     let mut config = SwarmConfig::tiny_test();
     config.seed = seed;
-    let mut population = flash_crowd(&config, 16, kind, seed);
+    let population = flash_crowd(&config, 16, kind, seed);
+    let mut builder = Simulation::builder(config.clone()).population(population);
     if let Some(plan) = plan {
-        apply_attack(&mut population, &plan, seed);
+        builder = builder.attack_plan(plan);
     }
-    (
-        Simulation::new(config.clone(), population).unwrap().run(),
-        config,
-    )
+    (builder.build().unwrap().run(), config)
 }
 
 fn assert_invariants(r: &SimResult, config: &SwarmConfig, label: &str) {

@@ -2,7 +2,7 @@
 //! simulation outcomes, across mechanisms and attack scenarios; different
 //! seeds must actually differ.
 
-use coop_attacks::{apply_attack, AttackPlan};
+use coop_attacks::AttackPlan;
 use coop_incentives::MechanismKind;
 use coop_swarm::{flash_crowd, SimResult, Simulation, SwarmConfig};
 
@@ -14,11 +14,12 @@ fn config(seed: u64) -> SwarmConfig {
 
 fn run(kind: MechanismKind, seed: u64, plan: Option<AttackPlan>) -> SimResult {
     let config = config(seed);
-    let mut population = flash_crowd(&config, 14, kind, seed);
+    let population = flash_crowd(&config, 14, kind, seed);
+    let mut builder = Simulation::builder(config).population(population);
     if let Some(plan) = plan {
-        apply_attack(&mut population, &plan, seed);
+        builder = builder.attack_plan(plan);
     }
-    Simulation::new(config, population).unwrap().run()
+    builder.build().unwrap().run()
 }
 
 fn fingerprint(r: &SimResult) -> Vec<(u64, u64, u64, Option<u64>)> {

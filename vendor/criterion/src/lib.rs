@@ -1,0 +1,227 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `bench_function`, `benchmark_group`/`bench_with_input`, `BenchmarkId`,
+//! and the `criterion_group!`/`criterion_main!` macros — backed by a
+//! simple wall-clock timer instead of criterion's statistical engine.
+//! Each benchmark is calibrated to a target measurement time, then the
+//! median of several samples is reported as `name  time: [median ns]`.
+
+#![allow(clippy::all, clippy::pedantic)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measures one benchmark body via repeated timed batches.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, running it in calibrated batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.samples.capacity() {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A benchmark label, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Just the parameter (the group name provides the prefix).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Harness configuration and entry point.
+pub struct Criterion {
+    sample_count: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_count: 12,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.sample_count, self.measurement_time, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_count: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_count: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = Some(n.max(2));
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.label);
+        let samples = self.sample_count.unwrap_or(self.criterion.sample_count);
+        run_one(&name, samples, self.criterion.measurement_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Runs one unparameterized benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        let samples = self.sample_count.unwrap_or(self.criterion.sample_count);
+        run_one(&full, samples, self.criterion.measurement_time, |b| f(b));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_count: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    // Calibrate: time a single-iteration pass, then pick a batch size so
+    // that all samples together fit in roughly the measurement window.
+    let mut probe = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::with_capacity(1),
+    };
+    f(&mut probe);
+    let per_iter = probe
+        .samples
+        .first()
+        .copied()
+        .unwrap_or(Duration::from_nanos(1))
+        .max(Duration::from_nanos(1));
+    let budget_per_sample = measurement_time.as_nanos() / sample_count.max(1) as u128;
+    let iters = (budget_per_sample / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut bencher = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::with_capacity(sample_count),
+    };
+    f(&mut bencher);
+    let mut per_iter_ns: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / iters as f64)
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = if per_iter_ns.is_empty() {
+        f64::NAN
+    } else {
+        per_iter_ns[per_iter_ns.len() / 2]
+    };
+    println!("{name:<55} time: [{}]   ({iters} iters x {sample_count} samples)", format_ns(median));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_and_group_run() {
+        let mut c = Criterion {
+            sample_count: 3,
+            measurement_time: Duration::from_millis(5),
+        };
+        c.bench_function("smoke/add", |b| b.iter(|| std::hint::black_box(1u64 + 2)));
+        let mut group = c.benchmark_group("smoke_group");
+        group.sample_size(2);
+        for n in [1u64, 2] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| std::hint::black_box(n * n))
+            });
+        }
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("altruism").label, "altruism");
+    }
+}

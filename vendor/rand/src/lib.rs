@@ -1,0 +1,595 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the exact API subset the workspace uses. The generators
+//! are bit-compatible with `rand` 0.8 on 64-bit platforms:
+//!
+//! * [`rngs::SmallRng`] is xoshiro256++ with the SplitMix64-based
+//!   `seed_from_u64` used by `rand_xoshiro`,
+//! * [`Rng::gen_range`] uses the widening-multiply rejection sampler of
+//!   `rand` 0.8's `UniformInt::sample_single` and the `[1, 2)`-mantissa
+//!   trick of `UniformFloat`,
+//! * [`seq::SliceRandom`] mirrors `rand` 0.8's `gen_index` (32-bit
+//!   sampling below `u32::MAX`) so shuffles reproduce upstream streams.
+//!
+//! Only determinism and distribution quality are load-bearing for the
+//! simulator; bit-compatibility is kept anyway so seeds tuned against the
+//! real crate keep their meaning.
+
+#![allow(clippy::all, clippy::pedantic)]
+
+/// The core trait every generator implements.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator seedable from a fixed-size byte seed or a `u64`.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64` by expanding it with PCG32 (the
+    /// `rand_core` 0.6 default).
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+mod standard {
+    use super::RngCore;
+
+    /// Types samplable uniformly over their whole domain (the `Standard`
+    /// distribution of real `rand`).
+    pub trait StandardSample {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl StandardSample for u64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl StandardSample for u32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl StandardSample for u16 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() as u16
+        }
+    }
+
+    impl StandardSample for u8 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() as u8
+        }
+    }
+
+    impl StandardSample for i64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl StandardSample for i32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() as i32
+        }
+    }
+
+    impl StandardSample for usize {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl StandardSample for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // Compare against the most significant bit (rand 0.8's choice:
+            // low bits of weak generators can show simple patterns).
+            (rng.next_u32() as i32) < 0
+        }
+    }
+
+    impl StandardSample for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 53-bit multiply-based sample in [0, 1).
+            let value = rng.next_u64() >> 11;
+            value as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl StandardSample for f32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            let value = rng.next_u32() >> 8;
+            value as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+}
+
+pub use standard::StandardSample;
+
+mod uniform {
+    use super::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Ranges a value can be drawn from uniformly (`gen_range` input).
+    pub trait SampleRange<T> {
+        /// Draws one value; panics on an empty range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! uniform_int_impl {
+        ($ty:ty, $unsigned:ty, $wide:ty) => {
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    sample_below::<R>(
+                        rng,
+                        self.start as $unsigned,
+                        (self.end.wrapping_sub(self.start)) as $unsigned,
+                    ) as $ty
+                }
+            }
+
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let range = (end.wrapping_sub(start) as $unsigned).wrapping_add(1);
+                    if range == 0 {
+                        // Full domain.
+                        return <$ty>::from_le_bytes(
+                            (rng.next_u64() as $unsigned).to_le_bytes()
+                                [..std::mem::size_of::<$ty>()]
+                                .try_into()
+                                .expect("width"),
+                        );
+                    }
+                    sample_below::<R>(rng, start as $unsigned, range) as $ty
+                }
+            }
+
+            /// rand 0.8 `UniformInt::sample_single`: widening multiply with
+            /// the conservative bitmask zone.
+            #[allow(unused)]
+            fn sample_below<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: $unsigned,
+                range: $unsigned,
+            ) -> $unsigned {
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $unsigned = crate::standard::StandardSample::sample_standard(rng);
+                    let m = (v as $wide) * (range as $wide);
+                    let hi = (m >> (<$unsigned>::BITS)) as $unsigned;
+                    let lo = m as $unsigned;
+                    if lo <= zone {
+                        return low.wrapping_add(hi);
+                    }
+                }
+            }
+        };
+    }
+
+    mod imp_u32 {
+        use super::*;
+        uniform_int_impl!(u32, u32, u64);
+    }
+    mod imp_u64 {
+        use super::*;
+        uniform_int_impl!(u64, u64, u128);
+    }
+    mod imp_usize {
+        use super::*;
+        uniform_int_impl!(usize, usize, u128);
+    }
+    mod imp_i64 {
+        use super::*;
+        uniform_int_impl!(i64, u64, u128);
+    }
+    mod imp_i32 {
+        use super::*;
+        uniform_int_impl!(i32, u32, u64);
+    }
+    mod imp_u16 {
+        use super::*;
+        uniform_int_impl!(u16, u16, u32);
+    }
+    mod imp_u8 {
+        use super::*;
+        uniform_int_impl!(u8, u8, u16);
+    }
+
+    macro_rules! uniform_float_impl {
+        ($ty:ty, $uty:ty, $bits_to_discard:expr, $exponent_bias_bits:expr) => {
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let scale = self.end - self.start;
+                    let value: $uty = crate::standard::StandardSample::sample_standard(rng);
+                    // Mantissa bits with exponent 0 give a float in [1, 2).
+                    let value1_2 =
+                        <$ty>::from_bits($exponent_bias_bits | (value >> $bits_to_discard));
+                    let value0_1 = value1_2 - 1.0;
+                    value0_1 * scale + self.start
+                }
+            }
+        };
+    }
+
+    mod imp_f64 {
+        use super::*;
+        uniform_float_impl!(f64, u64, 12, 1023u64 << 52);
+    }
+    mod imp_f32 {
+        use super::*;
+        uniform_float_impl!(f32, u32, 9, 127u32 << 23);
+    }
+
+    /// rand 0.8's `gen_index` helper: 32-bit sampling for small bounds so
+    /// slice operations consume the same stream as upstream.
+    pub(crate) fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= u32::MAX as usize {
+            SampleRange::<u32>::sample_single(0..ubound as u32, rng) as usize
+        } else {
+            SampleRange::<usize>::sample_single(0..ubound, rng)
+        }
+    }
+}
+
+pub use uniform::SampleRange;
+
+/// User-facing random-value methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly over the type's whole domain.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        // 2^64 * p as the acceptance threshold (rand 0.8's Bernoulli).
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++, the generator behind `rand` 0.8's `SmallRng` on
+    /// 64-bit platforms.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            if seed.iter().all(|&b| b == 0) {
+                return Self::seed_from_u64(0);
+            }
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            SmallRng::from_state(s)
+        }
+
+        /// SplitMix64 seed expansion (`rand_xoshiro`'s override), so
+        /// `SmallRng::seed_from_u64` matches the real crate bit-for-bit.
+        fn seed_from_u64(mut state: u64) -> Self {
+            const PHI: u64 = 0x9e3779b97f4a7c15;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                *word = z ^ (z >> 31);
+            }
+            SmallRng::from_state(s)
+        }
+    }
+
+    pub mod mock {
+        //! Deterministic mock generators for tests.
+
+        use crate::RngCore;
+
+        /// Yields `initial`, `initial + increment`, … as `next_u64`.
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        pub struct StepRng {
+            v: u64,
+            step: u64,
+        }
+
+        impl StepRng {
+            /// Creates the mock generator.
+            pub fn new(initial: u64, increment: u64) -> Self {
+                StepRng {
+                    v: initial,
+                    step: increment,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let r = self.v;
+                self.v = self.v.wrapping_add(self.step);
+                r
+            }
+        }
+    }
+}
+
+pub mod seq {
+    //! Random slice operations.
+
+    use super::uniform::gen_index;
+    use super::Rng;
+
+    /// Random selection and shuffling over slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Returns one uniformly chosen element, or `None` if empty.
+        fn choose<R>(&self, rng: &mut R) -> Option<&Self::Item>
+        where
+            R: Rng + ?Sized;
+
+        /// Fisher–Yates shuffles the slice in place.
+        fn shuffle<R>(&mut self, rng: &mut R)
+        where
+            R: Rng + ?Sized;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R>(&self, rng: &mut R) -> Option<&T>
+        where
+            R: Rng + ?Sized,
+        {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(gen_index(rng, self.len()))
+            }
+        }
+
+        fn shuffle<R>(&mut self, rng: &mut R)
+        where
+            R: Rng + ?Sized,
+        {
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::mock::StepRng;
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn small_rng_is_deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn xoshiro256pp_reference_vector() {
+        // Reference: xoshiro256++ with state [1, 2, 3, 4] produces
+        // 41943041 first (from the published reference implementation).
+        let mut rng = SmallRng::from_seed({
+            let mut seed = [0u8; 32];
+            seed[0] = 1;
+            seed[8] = 2;
+            seed[16] = 3;
+            seed[24] = 4;
+            seed
+        });
+        assert_eq!(rng.next_u64(), 41943041);
+        assert_eq!(rng.next_u64(), 58720359);
+        assert_eq!(rng.next_u64(), 3588806011781223);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut hits = [0u32; 8];
+        for _ in 0..80_000 {
+            hits[rng.gen_range(0usize..8)] += 1;
+        }
+        for &h in &hits {
+            assert!((9_000..11_000).contains(&h), "hits {hits:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "{hits}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_covers() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.fill_bytes(&mut [0u8; 7]);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to id");
+        let mut seen = [false; 10];
+        let small: Vec<usize> = (0..10).collect();
+        for _ in 0..1000 {
+            seen[*small.choose(&mut rng).unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn step_rng_steps() {
+        let mut rng = StepRng::new(5, 3);
+        assert_eq!(rng.next_u64(), 5);
+        assert_eq!(rng.next_u64(), 8);
+        assert_eq!(rng.next_u32(), 11);
+    }
+
+    #[test]
+    fn dyn_rng_core_supports_range_sampling() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let x = dyn_rng.gen_range(0.0f64..10.0);
+        assert!((0.0..10.0).contains(&x));
+        let y: u64 = dyn_rng.gen();
+        let _ = y;
+    }
+}

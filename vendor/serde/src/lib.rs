@@ -1,0 +1,184 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde's visitor-based model is far more than this workspace
+//! needs: every serialized type here ends up as JSON via
+//! `serde_json::to_string_pretty`. So [`Serialize`] simply lowers a value
+//! to a [`JsonValue`] tree, and the derive macros (re-exported from the
+//! vendored `serde_derive`) generate that lowering for named-field structs
+//! and unit enums. [`Deserialize`] exists as a marker so `derive(...)`
+//! lists keep compiling; nothing in the workspace deserializes.
+
+#![allow(clippy::all, clippy::pedantic)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON document tree — the serialization target of this shim.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    UInt(u64),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Lowers a value to a [`JsonValue`] tree.
+pub trait Serialize {
+    fn to_json_value(&self) -> JsonValue;
+}
+
+/// Marker trait kept so `#[derive(Serialize, Deserialize)]` compiles;
+/// this shim has no deserializer.
+pub trait Deserialize {}
+
+impl Serialize for JsonValue {
+    fn to_json_value(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Int(*self as i64)
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> JsonValue {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> JsonValue {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(
+            self.iter()
+                .map(|(k, v)| (k.as_ref().to_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_nodes() {
+        assert_eq!(7u32.to_json_value(), JsonValue::UInt(7));
+        assert_eq!((-3i64).to_json_value(), JsonValue::Int(-3));
+        assert_eq!(true.to_json_value(), JsonValue::Bool(true));
+        assert_eq!(1.5f64.to_json_value(), JsonValue::Float(1.5));
+        assert_eq!(
+            "hi".to_string().to_json_value(),
+            JsonValue::Str("hi".into())
+        );
+        assert_eq!(Option::<u32>::None.to_json_value(), JsonValue::Null);
+        assert_eq!(
+            vec![1u32, 2].to_json_value(),
+            JsonValue::Array(vec![JsonValue::UInt(1), JsonValue::UInt(2)])
+        );
+        assert_eq!(
+            (1u32, 2.0f64).to_json_value(),
+            JsonValue::Array(vec![JsonValue::UInt(1), JsonValue::Float(2.0)])
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the derive input with plain `proc_macro` token inspection (no
+//! `syn`/`quote`, which are unavailable offline) and supports the two
+//! shapes this workspace uses: structs with named fields and enums with
+//! unit variants. Anything fancier fails loudly at compile time.
+
+#![allow(clippy::all, clippy::pedantic)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum ItemKind {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Unit variants, in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Derives `serde::Serialize` (the vendored JSON-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_json_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::JsonValue::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let name = &item.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::JsonValue::Str(\
+                         ::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let name = &item.name;
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::JsonValue {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated impl must parse")
+}
+
+/// Derives the (marker) `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive: generated impl must parse")
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut is_enum = false;
+    let mut name = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            // Skip attributes (`#[...]`) ahead of the item.
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` and friends carry a parenthesized group.
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if matches!(id.to_string().as_str(), "struct" | "enum") => {
+                is_enum = id.to_string() == "enum";
+                i += 1;
+                if let Some(TokenTree::Ident(n)) = tokens.get(i) {
+                    name = Some(n.to_string());
+                }
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let name = name.expect("serde_derive: could not find the item name");
+    // The body is the first brace group after the name; generics are not
+    // supported (nothing in this workspace derives on a generic type).
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("serde_derive (vendored): generic types are not supported")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| {
+            panic!("serde_derive (vendored): `{name}` must have a braced body (no tuple/unit structs)")
+        });
+    let names = body_names(body, is_enum, &name);
+    Item {
+        name,
+        kind: if is_enum {
+            ItemKind::Enum(names)
+        } else {
+            ItemKind::Struct(names)
+        },
+    }
+}
+
+/// Extracts field (or unit-variant) names from a braced body, splitting on
+/// top-level commas with awareness of `<...>` nesting in field types.
+fn body_names(body: TokenStream, is_enum: bool, item: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut chunk: Vec<TokenTree> = Vec::new();
+    let mut flush = |chunk: &mut Vec<TokenTree>| {
+        if let Some(n) = chunk_name(chunk, is_enum, item) {
+            names.push(n);
+        }
+        chunk.clear();
+    };
+    for t in body {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                flush(&mut chunk);
+                continue;
+            }
+            _ => {}
+        }
+        chunk.push(t);
+    }
+    flush(&mut chunk);
+    names
+}
+
+/// The declared name inside one comma-separated chunk: the first ident
+/// after any attributes and visibility.
+fn chunk_name(chunk: &[TokenTree], is_enum: bool, item: &str) -> Option<String> {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(chunk.get(i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                if is_enum {
+                    if let Some(TokenTree::Group(_)) = chunk.get(i + 1) {
+                        panic!(
+                            "serde_derive (vendored): enum `{item}` variant \
+                             `{name}` carries data; only unit variants are supported"
+                        );
+                    }
+                }
+                return Some(name);
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}

@@ -1,0 +1,182 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the vendored serde's [`JsonValue`] tree as JSON text. Output
+//! conventions follow the real crate where the workspace can observe them:
+//! two-space pretty indentation, `"key": value` spacing, floats printed
+//! with a trailing `.0` when integral, and non-finite floats as `null`.
+
+#![allow(clippy::all, clippy::pedantic)]
+
+use serde::{JsonValue, Serialize};
+
+/// Re-export under the real crate's name.
+pub use serde::JsonValue as Value;
+
+/// Serialization error (currently unreachable: every tree renders).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Kept for API compatibility; this shim always succeeds.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_json_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty JSON with two-space indentation.
+///
+/// # Errors
+///
+/// Kept for API compatibility; this shim always succeeds.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_json_value(), &mut out, Some("  "), 0);
+    Ok(out)
+}
+
+fn write_value(v: &JsonValue, out: &mut String, indent: Option<&str>, depth: usize) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::UInt(n) => out.push_str(&n.to_string()),
+        JsonValue::Int(n) => out.push_str(&n.to_string()),
+        JsonValue::Float(x) => write_float(*x, out),
+        JsonValue::Str(s) => write_escaped(s, out),
+        JsonValue::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        JsonValue::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(unit);
+        }
+    }
+}
+
+fn write_float(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        // serde_json's Value serializer maps NaN/∞ to null.
+        out.push_str("null");
+        return;
+    }
+    // Rust's `Display` always expands floats in full decimal; switch to
+    // exponent form for extreme magnitudes, roughly where serde_json's
+    // shortest-round-trip (ryu) output would.
+    let magnitude = x.abs();
+    let s = if magnitude != 0.0 && !(1e-5..1e17).contains(&magnitude) {
+        format!("{x:e}")
+    } else {
+        format!("{x}")
+    };
+    out.push_str(&s);
+    // Match serde_json: whole floats keep a `.0` so the type survives a
+    // round trip.
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_matches_serde_json_conventions() {
+        let v = JsonValue::Object(vec![
+            ("a".to_string(), JsonValue::UInt(7)),
+            ("b".to_string(), JsonValue::Float(2.0)),
+            (
+                "c".to_string(),
+                JsonValue::Array(vec![JsonValue::Null, JsonValue::Bool(true)]),
+            ),
+        ]);
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            text,
+            "{\n  \"a\": 7,\n  \"b\": 2.0,\n  \"c\": [\n    null,\n    true\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn compact_and_edge_cases() {
+        let v = JsonValue::Object(vec![(
+            "s".to_string(),
+            JsonValue::Str("line\n\"q\"".to_string()),
+        )]);
+        assert_eq!(to_string(&v).unwrap(), "{\"s\":\"line\\n\\\"q\\\"\"}");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&1.5e300f64).unwrap(), "1.5e300");
+        let empty: Vec<u32> = vec![];
+        assert_eq!(to_string_pretty(&empty).unwrap(), "[]");
+    }
+}
