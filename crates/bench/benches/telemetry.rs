@@ -1,0 +1,63 @@
+//! Benchmarks the telemetry recorder's cost on the swarm round loop: the
+//! same simulation with the recorder disabled (the default — every probe
+//! site is a single branch), enabled at full rate (probe every round, all
+//! categories kept), and enabled with sparse sampling. The disabled run is
+//! the baseline the determinism tests pin; the enabled/disabled ratio is
+//! the observability tax. Snapshots of these numbers live in the repo
+//! root's `BENCH_*.json` files.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use coop_incentives::MechanismKind;
+use coop_swarm::{flash_crowd, SimResult, Simulation, SwarmConfig};
+use coop_telemetry::{Category, Recorder, Sampling, TelemetryConfig};
+
+/// One full quick-scale swarm run with the given recorder attached.
+fn run_sim(recorder: Recorder) -> SimResult {
+    let config = SwarmConfig::tiny_test();
+    let population = flash_crowd(&config, 24, MechanismKind::TChain, 7);
+    Simulation::builder(config)
+        .population(population)
+        .recorder(recorder)
+        .build()
+        .expect("valid setup")
+        .run_traced()
+        .0
+}
+
+/// A recorder factory for one benchmark variant.
+type MakeRecorder = fn() -> Recorder;
+
+fn bench_round_loop_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_round_loop");
+    group.sample_size(10);
+
+    let variants: [(&str, MakeRecorder); 3] = [
+        ("disabled", Recorder::disabled),
+        ("enabled_full", || {
+            Recorder::enabled(TelemetryConfig {
+                probe_every: 1,
+                ..TelemetryConfig::default()
+            })
+        }),
+        ("enabled_sampled", || {
+            Recorder::enabled(TelemetryConfig {
+                probe_every: 10,
+                sampling: Sampling::keep_all()
+                    .every(Category::Grant, 16)
+                    .every(Category::Transfer, 16),
+                ..TelemetryConfig::default()
+            })
+        }),
+    ];
+    for (label, make) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &make, |b, make| {
+            b.iter(|| black_box(run_sim(make())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(telemetry, bench_round_loop_overhead);
+criterion_main!(telemetry);

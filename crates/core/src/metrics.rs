@@ -353,6 +353,72 @@ mod tests {
     }
 
     #[test]
+    fn cdf_empty_input() {
+        let cdf = Cdf::from_samples(Vec::new());
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.len(), 0);
+        assert_eq!(cdf.fraction_at_or_below(0.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+        assert_eq!(cdf.mean(), None);
+        assert!(cdf.series(10).is_empty());
+    }
+
+    #[test]
+    fn cdf_single_sample() {
+        let cdf = Cdf::from_samples(vec![7.0]);
+        assert_eq!(cdf.len(), 1);
+        assert!(!cdf.is_empty());
+        assert_eq!(cdf.fraction_at_or_below(6.9), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(7.0), 1.0);
+        // Every quantile of a single sample is that sample.
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(cdf.quantile(q), Some(7.0), "q = {q}");
+        }
+        assert_eq!(cdf.mean(), Some(7.0));
+        // A degenerate (zero-width) support still yields a plottable series.
+        assert_eq!(cdf.series(1), vec![(7.0, 1.0)]);
+        let series = cdf.series(3);
+        assert_eq!(series.len(), 3);
+        assert!(series.iter().all(|&(x, f)| x == 7.0 && f == 1.0));
+    }
+
+    #[test]
+    fn cdf_quantile_edges() {
+        let cdf = Cdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(cdf.quantile(-0.5), Some(1.0));
+        assert_eq!(cdf.quantile(1.5), Some(4.0));
+        // Quantiles step at the k/n boundaries (ceil convention): q just
+        // above k/4 selects sample k+1.
+        assert_eq!(cdf.quantile(0.25), Some(1.0));
+        assert_eq!(cdf.quantile(0.25 + 1e-9), Some(2.0));
+        assert_eq!(cdf.quantile(0.75), Some(3.0));
+        assert_eq!(cdf.quantile(0.75 + 1e-9), Some(4.0));
+    }
+
+    #[test]
+    fn time_series_empty_and_single() {
+        let empty = TimeSeries::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.last_value(), None);
+        assert_eq!(empty.value_at(0.0), None);
+        assert!(empty.points().is_empty());
+        assert_eq!(empty.to_string(), "TimeSeries[0 points]");
+
+        let mut single = TimeSeries::new();
+        single.push(2.0, 9.0);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.value_at(1.9), None, "before the first sample");
+        assert_eq!(single.value_at(2.0), Some(9.0));
+        assert_eq!(single.value_at(f64::INFINITY), Some(9.0));
+        assert_eq!(single.last_value(), Some(9.0));
+        // Repeated timestamps are allowed (nondecreasing, not increasing).
+        single.push(2.0, 10.0);
+        assert_eq!(single.value_at(2.0), Some(10.0));
+    }
+
+    #[test]
     fn cdf_series_is_monotone() {
         let cdf = Cdf::from_samples((1..=100).map(|i| i as f64).collect());
         let series = cdf.series(10);

@@ -31,6 +31,7 @@ pub struct Engine<E> {
     queue: EventQueue<E>,
     now: SimTime,
     processed: u64,
+    queue_hwm: usize,
 }
 
 impl<E> Default for Engine<E> {
@@ -46,6 +47,7 @@ impl<E> Engine<E> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             processed: 0,
+            queue_hwm: 0,
         }
     }
 
@@ -64,6 +66,12 @@ impl<E> Engine<E> {
         self.queue.len()
     }
 
+    /// The deepest the event queue has ever been — a sizing/observability
+    /// statistic; tracking it costs one comparison per schedule.
+    pub fn queue_depth_high_water_mark(&self) -> usize {
+        self.queue_hwm
+    }
+
     /// Schedules `event` at absolute time `at`.
     ///
     /// # Panics
@@ -77,6 +85,7 @@ impl<E> Engine<E> {
             now = self.now
         );
         self.queue.push(at, event);
+        self.queue_hwm = self.queue_hwm.max(self.queue.len());
     }
 
     /// Runs events in time order until the queue is exhausted or the next
@@ -165,6 +174,20 @@ mod tests {
         eng.schedule(SimTime::from_millis(10), ());
         eng.run_to_completion(|_, (), _| {});
         eng.schedule(SimTime::from_millis(5), ());
+    }
+
+    #[test]
+    fn queue_high_water_mark_tracks_peak_depth() {
+        let mut eng = Engine::new();
+        assert_eq!(eng.queue_depth_high_water_mark(), 0);
+        eng.schedule(SimTime::from_millis(1), 'a');
+        eng.schedule(SimTime::from_millis(2), 'b');
+        eng.schedule(SimTime::from_millis(3), 'c');
+        assert_eq!(eng.queue_depth_high_water_mark(), 3);
+        eng.run_to_completion(|_, _, _| {});
+        // Draining never lowers the mark.
+        assert_eq!(eng.queue_depth_high_water_mark(), 3);
+        assert_eq!(eng.pending(), 0);
     }
 
     #[test]

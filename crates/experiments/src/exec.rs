@@ -21,8 +21,10 @@
 use coop_attacks::AttackPlan;
 use coop_incentives::MechanismKind;
 use coop_swarm::SimResult;
+use coop_telemetry::{Recorder, TelemetryConfig, TelemetryReport};
 
-use crate::runners::run_sim;
+use crate::runners::{run_sim, run_sim_traced};
+use crate::telemetry::{BatchTrace, JobTrace, TelemetryOpts};
 use crate::Scale;
 
 /// One independent simulation run: a cell of the mechanism × seed ×
@@ -68,6 +70,24 @@ impl SimJob {
     /// Runs this job to completion.
     pub fn run(&self) -> SimResult {
         run_sim(self.kind, self.scale, self.plan.as_ref(), self.seed)
+    }
+
+    /// Runs this job with an enabled recorder built from `config`,
+    /// returning both the result and the gathered telemetry. The result
+    /// is identical to [`SimJob::run`] — the recorder only observes.
+    pub fn run_traced(&self, config: &TelemetryConfig) -> (SimResult, TelemetryReport) {
+        run_sim_traced(
+            self.kind,
+            self.scale,
+            self.plan.as_ref(),
+            self.seed,
+            Recorder::enabled(config.clone()),
+        )
+    }
+
+    /// The job's display label: its mechanism's canonical name.
+    pub fn label(&self) -> &'static str {
+        self.kind.name()
     }
 }
 
@@ -146,6 +166,42 @@ impl Executor {
     /// Runs a batch of simulation jobs, returning results in job order.
     pub fn run_sims(&self, jobs: &[SimJob]) -> Vec<SimResult> {
         self.map(jobs, |_, job| job.run())
+    }
+
+    /// Runs a batch with per-job telemetry: results in job order plus a
+    /// slot-ordered [`BatchTrace`] (job spans with wall time, slow-job
+    /// flags, merged counters).
+    ///
+    /// When `opts` is disabled this is exactly [`Executor::run_sims`] —
+    /// results never depend on whether tracing is on, and the trace's
+    /// slot ordering never depends on the worker count.
+    pub fn run_sims_traced(
+        &self,
+        jobs: &[SimJob],
+        opts: &TelemetryOpts,
+    ) -> (Vec<SimResult>, Option<BatchTrace>) {
+        if !opts.is_enabled() {
+            return (self.run_sims(jobs), None);
+        }
+        let config = opts.recorder_config();
+        let runs = self.map(jobs, |slot, job| {
+            let started = std::time::Instant::now();
+            let (result, report) = job.run_traced(&config);
+            let wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+            (
+                result,
+                JobTrace {
+                    slot,
+                    label: job.label().to_string(),
+                    seed: job.seed,
+                    wall_ms,
+                    slow: false,
+                    report,
+                },
+            )
+        });
+        let (results, traces): (Vec<_>, Vec<_>) = runs.into_iter().unzip();
+        (results, Some(BatchTrace::new(traces)))
     }
 }
 

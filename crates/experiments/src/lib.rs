@@ -42,9 +42,11 @@ pub mod runners;
 mod scale;
 mod spec;
 mod table;
+pub mod telemetry;
 
 pub use exec::{Executor, SimJob};
 pub use output::{write_csv, write_json, OutputDir};
 pub use scale::Scale;
 pub use spec::{Artifact, RunSpec, SpecError, USAGE};
 pub use table::Table;
+pub use telemetry::{BatchTrace, JobTrace, TelemetryOpts};

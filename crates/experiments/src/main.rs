@@ -4,6 +4,7 @@
 //! coop-experiments <table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fluid|ablations|extensions|all>
 //!                  [--scale quick|default|paper] [--seed N] [--replicates N]
 //!                  [--jobs N] [--out-dir DIR]
+//!                  [--telemetry] [--trace-out FILE] [--probe-every N]
 //! ```
 //!
 //! Reports print to stdout; CSV/JSON series land in `target/experiments/`
@@ -11,6 +12,13 @@
 //! over N consecutive seeds; `--jobs N` caps the worker threads that
 //! independent simulations fan out across (results are byte-identical for
 //! any job count).
+//!
+//! For the simulation figures (fig4/fig5/fig6), `--telemetry` records
+//! counters/probes/spans and writes a `manifest.json` next to the
+//! artifacts, `--trace-out FILE` additionally streams the kept trace
+//! events to a JSONL file (implying `--telemetry`), and `--probe-every N`
+//! sets the round-probe cadence. Telemetry is purely observational:
+//! reports and figure artifacts are byte-identical with it on or off.
 
 use coop_experiments::{runners, Artifact, Executor, OutputDir, RunSpec, SpecError, USAGE};
 
@@ -49,6 +57,8 @@ fn run_one(artifact: Artifact, spec: &RunSpec, executor: &Executor) {
     let (scale, seed) = (spec.scale, spec.seed);
     let replicated = spec.replicates > 1 && artifact.supports_replicates();
     let seeds = spec.seeds();
+    let telemetry = spec.telemetry_opts();
+    let out = OutputDir::default_dir();
     match artifact {
         Artifact::Table1 => println!("{}", runners::table1::run(scale, seed).render()),
         Artifact::Table2 => println!("{}", runners::table2::run(scale, seed).render()),
@@ -58,19 +68,46 @@ fn run_one(artifact: Artifact, spec: &RunSpec, executor: &Executor) {
         Artifact::Fig3 => println!("{}", runners::fig3::run(scale, seed).render()),
         Artifact::Fig4 if replicated => println!(
             "{}",
-            runners::fig4::run_replicated_with(scale, &seeds, executor).render()
+            runners::fig4::run_replicated_with_telemetry(
+                scale, &seeds, executor, &telemetry, &out
+            )
+            .0
+            .render()
         ),
         Artifact::Fig5 if replicated => println!(
             "{}",
-            runners::fig5::run_replicated_with(scale, &seeds, executor).render()
+            runners::fig5::run_replicated_with_telemetry(
+                scale, &seeds, executor, &telemetry, &out
+            )
+            .0
+            .render()
         ),
         Artifact::Fig6 if replicated => println!(
             "{}",
-            runners::fig6::run_replicated_with(scale, &seeds, executor).render()
+            runners::fig6::run_replicated_with_telemetry(
+                scale, &seeds, executor, &telemetry, &out
+            )
+            .0
+            .render()
         ),
-        Artifact::Fig4 => println!("{}", runners::fig4::run_with(scale, seed, executor).render()),
-        Artifact::Fig5 => println!("{}", runners::fig5::run_with(scale, seed, executor).render()),
-        Artifact::Fig6 => println!("{}", runners::fig6::run_with(scale, seed, executor).render()),
+        Artifact::Fig4 => println!(
+            "{}",
+            runners::fig4::run_with_telemetry(scale, seed, executor, &telemetry, &out)
+                .0
+                .render()
+        ),
+        Artifact::Fig5 => println!(
+            "{}",
+            runners::fig5::run_with_telemetry(scale, seed, executor, &telemetry, &out)
+                .0
+                .render()
+        ),
+        Artifact::Fig6 => println!(
+            "{}",
+            runners::fig6::run_with_telemetry(scale, seed, executor, &telemetry, &out)
+                .0
+                .render()
+        ),
         Artifact::Ablations => {
             println!("{}", runners::ablations::run_with(scale, seed, executor).render());
         }

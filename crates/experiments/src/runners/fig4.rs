@@ -9,7 +9,8 @@ use serde::Serialize;
 
 use crate::exec::{Executor, SimJob};
 use crate::table::num;
-use crate::{Scale, Table};
+use crate::telemetry::{BatchTrace, TelemetryOpts};
+use crate::{OutputDir, Scale, Table};
 
 /// Summary of one algorithm's simulated run.
 #[derive(Clone, Debug, Serialize)]
@@ -107,9 +108,100 @@ pub(crate) fn run_figure(
     plan_for: impl Fn(MechanismKind) -> Option<AttackPlan>,
     executor: &Executor,
 ) -> SimFigureReport {
+    run_figure_traced(
+        figure,
+        scale,
+        seed,
+        plan_for,
+        executor,
+        &TelemetryOpts::disabled(),
+        &OutputDir::default_dir(),
+        "none",
+    )
+    .0
+}
+
+/// [`run_figure`] with telemetry: when `opts` enables it, each simulation
+/// runs with a recorder and the run's trace/progress/manifest outputs are
+/// emitted (see [`emit_run_outputs`]). Artifacts land in `out` either way
+/// and are byte-identical whether telemetry is on, off, or sampled.
+#[allow(clippy::too_many_arguments)] // one call site per figure, all distinct
+pub(crate) fn run_figure_traced(
+    figure: &str,
+    scale: Scale,
+    seed: u64,
+    plan_for: impl Fn(MechanismKind) -> Option<AttackPlan>,
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+    attack: &str,
+) -> (SimFigureReport, Option<BatchTrace>) {
     let jobs = SimJob::grid(scale, &[seed], plan_for);
-    let results = executor.run_sims(&jobs);
-    write_figure_artifacts(figure, scale, seed, &results)
+    let sim_start = std::time::Instant::now();
+    let (results, trace) = executor.run_sims_traced(&jobs, opts);
+    let sim_ms = elapsed_ms(sim_start);
+    let write_start = std::time::Instant::now();
+    let report = write_figure_artifacts(figure, scale, seed, &results, out);
+    let trace = trace.map(|mut trace| {
+        trace.push_phase("simulate", sim_ms);
+        trace.push_phase("write_artifacts", elapsed_ms(write_start));
+        emit_run_outputs(
+            figure,
+            &trace,
+            opts,
+            out,
+            scale,
+            seed,
+            1,
+            executor.jobs() as u64,
+            attack,
+        );
+        trace
+    });
+    (report, trace)
+}
+
+/// Milliseconds elapsed since `start` (saturating).
+fn elapsed_ms(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+/// The telemetry tail of a traced run: per-job progress lines on stderr,
+/// the slot-ordered JSONL trace (when `--trace-out` named a file), and the
+/// run's `manifest.json` next to the artifacts in `out`.
+///
+/// Everything here carries wall-clock data, which is why none of it goes
+/// into figure artifacts — those must stay byte-deterministic.
+#[allow(clippy::too_many_arguments)] // plumbing for the manifest fields
+fn emit_run_outputs(
+    figure: &str,
+    trace: &BatchTrace,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+    scale: Scale,
+    seed: u64,
+    replicates: u64,
+    jobs: u64,
+    attack: &str,
+) {
+    for line in trace.progress_lines(figure) {
+        eprintln!("{line}");
+    }
+    if let Some(path) = &opts.trace_out {
+        match trace.write_jsonl(path) {
+            Ok(n) => eprintln!("[{figure}] trace: {n} events -> {}", path.display()),
+            Err(e) => eprintln!("[{figure}] trace write to {} failed: {e}", path.display()),
+        }
+    }
+    match trace.write_probe_csv(out, figure) {
+        Ok(path) => eprintln!("[{figure}] round probes -> {}", path.display()),
+        Err(e) => eprintln!("[{figure}] probe CSV write failed: {e}"),
+    }
+    let manifest = trace.manifest(figure, scale, seed, replicates, jobs, attack);
+    match manifest.write_to(out.path()) {
+        Ok(path) => eprintln!("[{figure}] manifest -> {}", path.display()),
+        Err(e) => eprintln!("[{figure}] manifest write failed: {e}"),
+    }
 }
 
 /// The sequential artifact phase of [`run_figure`]: renders one figure's
@@ -120,9 +212,9 @@ pub(crate) fn write_figure_artifacts(
     scale: Scale,
     seed: u64,
     results: &[SimResult],
+    out: &OutputDir,
 ) -> SimFigureReport {
     assert_eq!(results.len(), MechanismKind::ALL.len());
-    let out = crate::OutputDir::default_dir();
     // Panel charts collecting every algorithm's series (the shape of the
     // paper's figures).
     let mut panel_cdf = crate::plot::LineChart::new(
@@ -275,6 +367,21 @@ pub fn run_with(scale: Scale, seed: u64, executor: &Executor) -> SimFigureReport
     run_figure("fig4", scale, seed, |_| None, executor)
 }
 
+/// Runs Fig. 4 with explicit telemetry options and artifact directory.
+///
+/// The report and every artifact in `out` are byte-identical to
+/// [`run_with`]; telemetry only *adds* outputs (stderr progress, the
+/// optional `--trace-out` JSONL, and `manifest.json` in `out`).
+pub fn run_with_telemetry(
+    scale: Scale,
+    seed: u64,
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+) -> (SimFigureReport, Option<BatchTrace>) {
+    run_figure_traced("fig4", scale, seed, |_| None, executor, opts, out, "none")
+}
+
 /// Mean and sample standard deviation of one metric across replicates.
 #[derive(Clone, Copy, Debug, Serialize)]
 pub struct MeanStd {
@@ -386,15 +493,50 @@ pub(crate) fn replicate(
     plan_for: impl Fn(MechanismKind) -> Option<AttackPlan>,
     executor: &Executor,
 ) -> ReplicatedReport {
+    replicate_traced(
+        figure,
+        scale,
+        seeds,
+        plan_for,
+        executor,
+        &TelemetryOpts::disabled(),
+        &OutputDir::default_dir(),
+        "none",
+    )
+    .0
+}
+
+/// [`replicate`] with telemetry: the full mechanism × seed grid is traced
+/// as one batch, so the manifest and trace cover every replicate.
+#[allow(clippy::too_many_arguments)] // one call site per figure, all distinct
+pub(crate) fn replicate_traced(
+    figure: &str,
+    scale: Scale,
+    seeds: &[u64],
+    plan_for: impl Fn(MechanismKind) -> Option<AttackPlan>,
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+    attack: &str,
+) -> (ReplicatedReport, Option<BatchTrace>) {
     assert!(!seeds.is_empty(), "need at least one seed");
     let jobs = SimJob::grid(scale, seeds, plan_for);
-    let results = executor.run_sims(&jobs);
+    let sim_start = std::time::Instant::now();
+    let (results, trace) = executor.run_sims_traced(&jobs, opts);
+    let sim_ms = elapsed_ms(sim_start);
+    let write_start = std::time::Instant::now();
     let per_seed = MechanismKind::ALL.len();
     let reports: Vec<SimFigureReport> = seeds
         .iter()
         .enumerate()
         .map(|(i, &s)| {
-            write_figure_artifacts(figure, scale, s, &results[i * per_seed..(i + 1) * per_seed])
+            write_figure_artifacts(
+                figure,
+                scale,
+                s,
+                &results[i * per_seed..(i + 1) * per_seed],
+                out,
+            )
         })
         .collect();
     let rows = MechanismKind::ALL
@@ -423,11 +565,24 @@ pub(crate) fn replicate(
         seeds: seeds.to_vec(),
         rows,
     };
-    let _ = crate::write_json(
-        &format!("{figure}_replicated_{}", scale.name()),
-        &report,
-    );
-    report
+    let _ = out.json(&format!("{figure}_replicated_{}", scale.name()), &report);
+    let trace = trace.map(|mut trace| {
+        trace.push_phase("simulate", sim_ms);
+        trace.push_phase("write_artifacts", elapsed_ms(write_start));
+        emit_run_outputs(
+            figure,
+            &trace,
+            opts,
+            out,
+            scale,
+            seeds[0],
+            seeds.len() as u64,
+            executor.jobs() as u64,
+            attack,
+        );
+        trace
+    });
+    (report, trace)
 }
 
 /// Runs Fig. 4 over several seeds and aggregates.
@@ -438,6 +593,18 @@ pub fn run_replicated(scale: Scale, seeds: &[u64]) -> ReplicatedReport {
 /// Runs Fig. 4 over several seeds on the given executor.
 pub fn run_replicated_with(scale: Scale, seeds: &[u64], executor: &Executor) -> ReplicatedReport {
     replicate("fig4", scale, seeds, |_| None, executor)
+}
+
+/// Runs replicated Fig. 4 with explicit telemetry options and artifact
+/// directory; see [`run_with_telemetry`] for the guarantees.
+pub fn run_replicated_with_telemetry(
+    scale: Scale,
+    seeds: &[u64],
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+) -> (ReplicatedReport, Option<BatchTrace>) {
+    replicate_traced("fig4", scale, seeds, |_| None, executor, opts, out, "none")
 }
 
 #[cfg(test)]

@@ -6,11 +6,15 @@
 use coop_attacks::AttackPlan;
 
 use crate::exec::Executor;
-use crate::runners::fig4::{run_figure, SimFigureReport};
-use crate::Scale;
+use crate::runners::fig4::{run_figure, run_figure_traced, SimFigureReport};
+use crate::telemetry::{BatchTrace, TelemetryOpts};
+use crate::{OutputDir, Scale};
 
 /// The paper's free-rider fraction.
 pub const FREERIDER_FRACTION: f64 = 0.2;
+
+/// The attack label Fig. 5 runs carry in their telemetry manifest.
+pub(crate) const ATTACK_LABEL: &str = "most-effective-per-mechanism (20% free-riders)";
 
 /// Runs Fig. 5 with machine-sized parallelism.
 pub fn run(scale: Scale, seed: u64) -> SimFigureReport {
@@ -25,6 +29,28 @@ pub fn run_with(scale: Scale, seed: u64, executor: &Executor) -> SimFigureReport
         seed,
         |kind| Some(AttackPlan::most_effective(kind, FREERIDER_FRACTION)),
         executor,
+    )
+}
+
+/// Runs Fig. 5 with explicit telemetry options and artifact directory;
+/// see [`fig4::run_with_telemetry`](crate::runners::fig4::run_with_telemetry)
+/// for the guarantees.
+pub fn run_with_telemetry(
+    scale: Scale,
+    seed: u64,
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+) -> (SimFigureReport, Option<BatchTrace>) {
+    run_figure_traced(
+        "fig5",
+        scale,
+        seed,
+        |kind| Some(AttackPlan::most_effective(kind, FREERIDER_FRACTION)),
+        executor,
+        opts,
+        out,
+        ATTACK_LABEL,
     )
 }
 
@@ -45,6 +71,27 @@ pub fn run_replicated_with(
         seeds,
         |kind| Some(AttackPlan::most_effective(kind, FREERIDER_FRACTION)),
         executor,
+    )
+}
+
+/// Runs replicated Fig. 5 with explicit telemetry options and artifact
+/// directory.
+pub fn run_replicated_with_telemetry(
+    scale: Scale,
+    seeds: &[u64],
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+) -> (crate::runners::fig4::ReplicatedReport, Option<BatchTrace>) {
+    crate::runners::fig4::replicate_traced(
+        "fig5",
+        scale,
+        seeds,
+        |kind| Some(AttackPlan::most_effective(kind, FREERIDER_FRACTION)),
+        executor,
+        opts,
+        out,
+        ATTACK_LABEL,
     )
 }
 

@@ -5,9 +5,14 @@
 use coop_attacks::AttackPlan;
 
 use crate::exec::Executor;
-use crate::runners::fig4::{run_figure, SimFigureReport};
+use crate::runners::fig4::{run_figure, run_figure_traced, SimFigureReport};
 use crate::runners::fig5::FREERIDER_FRACTION;
-use crate::Scale;
+use crate::telemetry::{BatchTrace, TelemetryOpts};
+use crate::{OutputDir, Scale};
+
+/// The attack label Fig. 6 runs carry in their telemetry manifest.
+pub(crate) const ATTACK_LABEL: &str =
+    "most-effective-per-mechanism + large-view (20% free-riders)";
 
 /// Runs Fig. 6 with machine-sized parallelism.
 pub fn run(scale: Scale, seed: u64) -> SimFigureReport {
@@ -22,6 +27,28 @@ pub fn run_with(scale: Scale, seed: u64, executor: &Executor) -> SimFigureReport
         seed,
         |kind| Some(AttackPlan::with_large_view(kind, FREERIDER_FRACTION)),
         executor,
+    )
+}
+
+/// Runs Fig. 6 with explicit telemetry options and artifact directory;
+/// see [`fig4::run_with_telemetry`](crate::runners::fig4::run_with_telemetry)
+/// for the guarantees.
+pub fn run_with_telemetry(
+    scale: Scale,
+    seed: u64,
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+) -> (SimFigureReport, Option<BatchTrace>) {
+    run_figure_traced(
+        "fig6",
+        scale,
+        seed,
+        |kind| Some(AttackPlan::with_large_view(kind, FREERIDER_FRACTION)),
+        executor,
+        opts,
+        out,
+        ATTACK_LABEL,
     )
 }
 
@@ -42,6 +69,27 @@ pub fn run_replicated_with(
         seeds,
         |kind| Some(AttackPlan::with_large_view(kind, FREERIDER_FRACTION)),
         executor,
+    )
+}
+
+/// Runs replicated Fig. 6 with explicit telemetry options and artifact
+/// directory.
+pub fn run_replicated_with_telemetry(
+    scale: Scale,
+    seeds: &[u64],
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+) -> (crate::runners::fig4::ReplicatedReport, Option<BatchTrace>) {
+    crate::runners::fig4::replicate_traced(
+        "fig6",
+        scale,
+        seeds,
+        |kind| Some(AttackPlan::with_large_view(kind, FREERIDER_FRACTION)),
+        executor,
+        opts,
+        out,
+        ATTACK_LABEL,
     )
 }
 

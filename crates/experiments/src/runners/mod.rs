@@ -16,6 +16,7 @@ pub mod table3;
 use coop_attacks::AttackPlan;
 use coop_incentives::MechanismKind;
 use coop_swarm::{flash_crowd_with, SimResult, Simulation};
+use coop_telemetry::{Recorder, TelemetryReport};
 
 use crate::Scale;
 
@@ -28,6 +29,19 @@ pub(crate) fn run_sim(
     plan: Option<&AttackPlan>,
     seed: u64,
 ) -> SimResult {
+    run_sim_traced(kind, scale, plan, seed, Recorder::disabled()).0
+}
+
+/// [`run_sim`] with an attached telemetry recorder. The recorder is purely
+/// observational: the [`SimResult`] is identical whether it is enabled,
+/// disabled, or sampling at any rate.
+pub(crate) fn run_sim_traced(
+    kind: MechanismKind,
+    scale: Scale,
+    plan: Option<&AttackPlan>,
+    seed: u64,
+    recorder: Recorder,
+) -> (SimResult, TelemetryReport) {
     let config = scale.config(seed);
     let mix = coop_incentives::analysis::capacity::CapacityClassMix::paper_default();
     let population = flash_crowd_with(
@@ -38,12 +52,17 @@ pub(crate) fn run_sim(
         &mix,
         scale.arrival_window(),
     );
-    let mut builder = Simulation::builder(config).population(population);
+    let mut builder = Simulation::builder(config)
+        .population(population)
+        .recorder(recorder);
     if let Some(plan) = plan {
         // The builder seeds patches with `config.seed`, which is `seed`.
         builder = builder.attack_plan(*plan);
     }
-    builder.build().expect("scale configs validate").run()
+    builder
+        .build()
+        .expect("scale configs validate")
+        .run_traced()
 }
 
 /// The capacity vector used by the analytic runners: one sampled

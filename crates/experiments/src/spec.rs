@@ -8,6 +8,7 @@
 use std::path::PathBuf;
 
 use crate::exec::Executor;
+use crate::telemetry::TelemetryOpts;
 use crate::Scale;
 
 /// Which paper artifact (or suite) a run regenerates.
@@ -126,6 +127,14 @@ pub struct RunSpec {
     /// Artifact directory override (`--out-dir`, default
     /// `target/experiments`).
     pub out_dir: Option<PathBuf>,
+    /// Record run telemetry — counters, probes, spans, and a
+    /// `manifest.json` next to the artifacts (`--telemetry`).
+    pub telemetry: bool,
+    /// Stream kept trace events to this JSONL file (`--trace-out`,
+    /// implies `--telemetry`).
+    pub trace_out: Option<PathBuf>,
+    /// Round-probe cadence for telemetry (`--probe-every`, default 10).
+    pub probe_every: u64,
 }
 
 /// Why an argv slice failed to parse into a [`RunSpec`].
@@ -180,7 +189,8 @@ impl std::error::Error for SpecError {}
 pub const USAGE: &str = "usage: coop-experiments \
 <table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fluid|ablations|extensions|all>
        [--scale quick|default|paper] [--seed N] [--replicates N]
-       [--jobs N] [--out-dir DIR]";
+       [--jobs N] [--out-dir DIR]
+       [--telemetry] [--trace-out FILE] [--probe-every N]";
 
 impl RunSpec {
     /// Parses CLI arguments (without the program name).
@@ -196,6 +206,9 @@ impl RunSpec {
         let mut replicates = 1u64;
         let mut jobs = Executor::default().jobs();
         let mut out_dir = None;
+        let mut telemetry = false;
+        let mut trace_out = None;
+        let mut probe_every = 10u64;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -221,6 +234,15 @@ impl RunSpec {
                 "--out-dir" => {
                     out_dir = Some(PathBuf::from(next_value(&mut it, "--out-dir")?));
                 }
+                "--telemetry" => {
+                    telemetry = true;
+                }
+                "--trace-out" => {
+                    trace_out = Some(PathBuf::from(next_value(&mut it, "--trace-out")?));
+                }
+                "--probe-every" => {
+                    probe_every = parse_number(&mut it, "--probe-every", 1)?;
+                }
                 other if other.starts_with('-') => {
                     return Err(SpecError::UnknownFlag(other.to_string()));
                 }
@@ -241,6 +263,9 @@ impl RunSpec {
             replicates,
             jobs,
             out_dir,
+            telemetry,
+            trace_out,
+            probe_every,
         })
     }
 
@@ -252,6 +277,16 @@ impl RunSpec {
     /// An [`Executor`] sized to this spec's `--jobs`.
     pub fn executor(&self) -> Executor {
         Executor::new(self.jobs)
+    }
+
+    /// The telemetry options implied by `--telemetry`, `--trace-out`,
+    /// and `--probe-every`.
+    pub fn telemetry_opts(&self) -> TelemetryOpts {
+        TelemetryOpts {
+            enabled: self.telemetry,
+            trace_out: self.trace_out.clone(),
+            probe_every: self.probe_every,
+        }
     }
 }
 
@@ -319,6 +354,60 @@ mod tests {
         assert_eq!(spec.replicates, 1);
         assert!(spec.jobs >= 1, "jobs defaults to available parallelism");
         assert_eq!(spec.out_dir, None);
+        assert!(!spec.telemetry);
+        assert_eq!(spec.trace_out, None);
+        assert_eq!(spec.probe_every, 10);
+        assert!(!spec.telemetry_opts().is_enabled());
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let spec = parse(&[
+            "fig4",
+            "--telemetry",
+            "--trace-out",
+            "out/trace.jsonl",
+            "--probe-every",
+            "5",
+        ])
+        .unwrap();
+        assert!(spec.telemetry);
+        assert_eq!(
+            spec.trace_out.as_deref(),
+            Some(std::path::Path::new("out/trace.jsonl"))
+        );
+        assert_eq!(spec.probe_every, 5);
+        let opts = spec.telemetry_opts();
+        assert!(opts.is_enabled());
+        assert_eq!(opts.recorder_config().probe_every, 5);
+
+        // --trace-out alone implies telemetry.
+        let spec = parse(&["fig4", "--trace-out", "t.jsonl"]).unwrap();
+        assert!(!spec.telemetry);
+        assert!(spec.telemetry_opts().is_enabled());
+    }
+
+    #[test]
+    fn telemetry_flag_errors_are_named() {
+        let err = parse(&["fig4", "--trace-out"]).unwrap_err();
+        assert_eq!(err, SpecError::MissingValue { flag: "--trace-out" });
+
+        let err = parse(&["fig4", "--probe-every"]).unwrap_err();
+        assert_eq!(err, SpecError::MissingValue { flag: "--probe-every" });
+
+        let err = parse(&["fig4", "--probe-every", "0"]).unwrap_err();
+        assert!(
+            matches!(err, SpecError::InvalidValue { flag: "--probe-every", .. }),
+            "{err:?}"
+        );
+
+        let err = parse(&["fig4", "--probe-every", "often"]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("--probe-every") && msg.contains("often"), "{msg}");
+
+        // A typo'd telemetry flag is still an unknown flag.
+        let err = parse(&["fig4", "--telemetri"]).unwrap_err();
+        assert_eq!(err, SpecError::UnknownFlag("--telemetri".to_string()));
     }
 
     #[test]

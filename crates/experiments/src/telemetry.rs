@@ -1,0 +1,398 @@
+//! Run-level telemetry for the experiment harness.
+//!
+//! The swarm layer's [`coop_telemetry::Recorder`] observes one simulation;
+//! this module scales that to a *batch*: [`TelemetryOpts`] carries the
+//! CLI's `--telemetry` / `--trace-out` / `--probe-every` choices,
+//! [`BatchTrace`] collects every job's report **in slot order** (so trace
+//! files are byte-stable for any `--jobs` count), flags slow jobs, writes
+//! the JSONL trace, and assembles the per-run
+//! [`manifest.json`](coop_telemetry::RunManifest).
+//!
+//! Wall-clock readings live only here — in job spans, progress lines, and
+//! the manifest — never in figure artifacts, which stay byte-deterministic
+//! whether telemetry is on or off.
+
+use std::path::{Path, PathBuf};
+
+use coop_telemetry::{
+    fingerprint_debug, PhaseTiming, Recorder, RunManifest, TelemetryConfig, TelemetryReport,
+    TraceEvent,
+};
+
+use crate::{OutputDir, Scale};
+
+/// A job is flagged slow when its wall time exceeds this multiple of the
+/// batch median.
+pub const SLOW_JOB_FACTOR: u64 = 2;
+
+/// Telemetry options for one experiment run, as selected on the CLI.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TelemetryOpts {
+    /// `--telemetry`: record counters/probes/spans for this run.
+    pub enabled: bool,
+    /// `--trace-out FILE`: also stream kept events to a JSONL file
+    /// (implies `enabled`).
+    pub trace_out: Option<PathBuf>,
+    /// `--probe-every N`: round-probe cadence (default 10).
+    pub probe_every: u64,
+}
+
+impl Default for TelemetryOpts {
+    fn default() -> Self {
+        TelemetryOpts::disabled()
+    }
+}
+
+impl TelemetryOpts {
+    /// Telemetry off (the default; zero overhead beyond one branch per
+    /// probe site).
+    pub fn disabled() -> Self {
+        TelemetryOpts {
+            enabled: false,
+            trace_out: None,
+            probe_every: 10,
+        }
+    }
+
+    /// Whether any telemetry output was requested (`--trace-out` implies
+    /// `--telemetry`).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled || self.trace_out.is_some()
+    }
+
+    /// The per-simulation recorder configuration this run uses.
+    pub fn recorder_config(&self) -> TelemetryConfig {
+        TelemetryConfig {
+            probe_every: self.probe_every.max(1),
+            ..TelemetryConfig::default()
+        }
+    }
+
+    /// A recorder honoring these options (disabled when telemetry is off).
+    pub fn recorder(&self) -> Recorder {
+        if self.is_enabled() {
+            Recorder::enabled(self.recorder_config())
+        } else {
+            Recorder::disabled()
+        }
+    }
+}
+
+/// One traced simulation job's gathered data, tagged with its batch slot.
+#[derive(Debug)]
+pub struct JobTrace {
+    /// Slot index in the batch (results order).
+    pub slot: usize,
+    /// Job label (mechanism name).
+    pub label: String,
+    /// The job's seed.
+    pub seed: u64,
+    /// Wall-clock milliseconds the job took.
+    pub wall_ms: u64,
+    /// Whether the job exceeded [`SLOW_JOB_FACTOR`]× the batch median.
+    pub slow: bool,
+    /// Everything the job's recorder gathered.
+    pub report: TelemetryReport,
+}
+
+/// Slot-ordered telemetry for one executed batch plus the run's
+/// wall-clock phases.
+#[derive(Debug, Default)]
+pub struct BatchTrace {
+    /// Per-job traces, in slot order.
+    pub jobs: Vec<JobTrace>,
+    /// Wall-clock phases of the surrounding run, in execution order.
+    pub phases: Vec<PhaseTiming>,
+}
+
+impl BatchTrace {
+    /// Wraps slot-ordered job traces, computing slow-job flags (wall time
+    /// above [`SLOW_JOB_FACTOR`]× the batch median; needs ≥ 2 jobs).
+    pub fn new(mut jobs: Vec<JobTrace>) -> Self {
+        if jobs.len() >= 2 {
+            let mut walls: Vec<u64> = jobs.iter().map(|j| j.wall_ms).collect();
+            walls.sort_unstable();
+            let median = walls[walls.len() / 2];
+            for j in &mut jobs {
+                j.slow = j.wall_ms > SLOW_JOB_FACTOR * median.max(1);
+            }
+        }
+        BatchTrace {
+            jobs,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Appends a named wall-clock phase.
+    pub fn push_phase(&mut self, name: &str, wall_ms: u64) {
+        self.phases.push(PhaseTiming {
+            name: name.to_string(),
+            wall_ms,
+        });
+    }
+
+    /// Counter totals summed across all jobs, sorted by name.
+    pub fn merged_counters(&self) -> Vec<(String, u64)> {
+        let mut merged = std::collections::BTreeMap::new();
+        for job in &self.jobs {
+            for (name, value) in &job.report.counters {
+                *merged.entry(name.clone()).or_insert(0) += value;
+            }
+        }
+        merged.into_iter().collect()
+    }
+
+    /// Total kept events across all jobs (per-job streams plus one
+    /// synthesized [`TraceEvent::JobSpan`] each).
+    pub fn events_kept(&self) -> u64 {
+        self.jobs
+            .iter()
+            .map(|j| j.report.events.len() as u64 + 1)
+            .sum()
+    }
+
+    /// The trace as JSONL lines, in slot order: each job's
+    /// [`TraceEvent::JobSpan`] followed by its event stream. Ordering
+    /// depends only on slots, never on worker scheduling.
+    pub fn jsonl_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for job in &self.jobs {
+            lines.push(
+                TraceEvent::JobSpan {
+                    slot: job.slot as u64,
+                    label: job.label.clone(),
+                    seed: job.seed,
+                    wall_ms: job.wall_ms,
+                    slow: job.slow,
+                }
+                .to_jsonl(),
+            );
+            lines.extend(job.report.events.iter().map(TraceEvent::to_jsonl));
+        }
+        lines
+    }
+
+    /// Writes the slot-ordered JSONL trace to `path`, returning the line
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from directory creation or the write.
+    pub fn write_jsonl(&self, path: &Path) -> std::io::Result<usize> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let lines = self.jsonl_lines();
+        let mut text = lines.join("\n");
+        if !text.is_empty() {
+            text.push('\n');
+        }
+        std::fs::write(path, text)?;
+        Ok(lines.len())
+    }
+
+    /// Writes the kept round-probe time series as one CSV into `out`
+    /// (slot order, so the file is byte-stable for any `--jobs` count).
+    /// The `_telemetry` suffix marks it as a telemetry output rather than
+    /// a figure artifact — it exists only when telemetry is on.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the write.
+    pub fn write_probe_csv(
+        &self,
+        out: &OutputDir,
+        figure: &str,
+    ) -> std::io::Result<std::path::PathBuf> {
+        let mut rows = Vec::new();
+        for job in &self.jobs {
+            for event in &job.report.events {
+                if let TraceEvent::RoundProbe {
+                    round,
+                    sim_s,
+                    active,
+                    bootstrapped,
+                    completed,
+                    inflight,
+                    ..
+                } = event
+                {
+                    rows.push(vec![
+                        job.label.clone(),
+                        job.seed.to_string(),
+                        round.to_string(),
+                        format!("{sim_s}"),
+                        active.to_string(),
+                        bootstrapped.to_string(),
+                        completed.to_string(),
+                        inflight.to_string(),
+                    ]);
+                }
+            }
+        }
+        out.csv_rows(
+            &format!("{figure}_round_probes_telemetry"),
+            &[
+                "mechanism",
+                "seed",
+                "round",
+                "sim_s",
+                "active",
+                "bootstrapped",
+                "completed",
+                "inflight",
+            ],
+            &rows,
+        )
+    }
+
+    /// Human progress lines, one per job in slot order (wall time and
+    /// slow flags are wall-clock data; these go to stderr, never into
+    /// artifacts).
+    pub fn progress_lines(&self, figure: &str) -> Vec<String> {
+        let total = self.jobs.len();
+        self.jobs
+            .iter()
+            .map(|j| {
+                format!(
+                    "[{figure}] job {}/{total} {} seed={} {}ms{}",
+                    j.slot + 1,
+                    j.label,
+                    j.seed,
+                    j.wall_ms,
+                    if j.slow { " SLOW" } else { "" }
+                )
+            })
+            .collect()
+    }
+
+    /// Assembles the run's [`RunManifest`] from this batch.
+    pub fn manifest(
+        &self,
+        artifact: &str,
+        scale: Scale,
+        seed: u64,
+        replicates: u64,
+        jobs: u64,
+        attack: &str,
+    ) -> RunManifest {
+        let mut mechanisms: Vec<String> = Vec::new();
+        for job in &self.jobs {
+            if !mechanisms.contains(&job.label) {
+                mechanisms.push(job.label.clone());
+            }
+        }
+        RunManifest {
+            artifact: artifact.to_string(),
+            scale: scale.name().to_string(),
+            config_fingerprint: fingerprint_debug(&scale.config(seed)),
+            seed,
+            replicates,
+            jobs,
+            mechanisms,
+            attack: attack.to_string(),
+            phases: self.phases.clone(),
+            counters: self.merged_counters(),
+            events_kept: self.events_kept(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(slot: usize, wall_ms: u64, counters: Vec<(String, u64)>) -> JobTrace {
+        JobTrace {
+            slot,
+            label: format!("m{slot}"),
+            seed: 42,
+            wall_ms,
+            slow: false,
+            report: TelemetryReport {
+                counters,
+                ..TelemetryReport::default()
+            },
+        }
+    }
+
+    #[test]
+    fn slow_jobs_exceed_twice_the_median() {
+        let batch = BatchTrace::new(vec![
+            job(0, 100, vec![]),
+            job(1, 110, vec![]),
+            job(2, 500, vec![]),
+            job(3, 90, vec![]),
+        ]);
+        let slow: Vec<usize> = batch
+            .jobs
+            .iter()
+            .filter(|j| j.slow)
+            .map(|j| j.slot)
+            .collect();
+        assert_eq!(slow, vec![2]);
+    }
+
+    #[test]
+    fn single_job_is_never_slow() {
+        let batch = BatchTrace::new(vec![job(0, 10_000, vec![])]);
+        assert!(!batch.jobs[0].slow);
+    }
+
+    #[test]
+    fn counters_merge_across_jobs() {
+        let batch = BatchTrace::new(vec![
+            job(0, 1, vec![("swarm.rounds".into(), 10), ("swarm.grants".into(), 3)]),
+            job(1, 1, vec![("swarm.rounds".into(), 5)]),
+        ]);
+        assert_eq!(
+            batch.merged_counters(),
+            vec![
+                ("swarm.grants".to_string(), 3),
+                ("swarm.rounds".to_string(), 15)
+            ]
+        );
+    }
+
+    #[test]
+    fn jsonl_leads_each_job_with_its_span() {
+        let batch = BatchTrace::new(vec![job(0, 7, vec![])]);
+        let lines = batch.jsonl_lines();
+        assert_eq!(lines.len(), 1);
+        let doc = coop_telemetry::json::parse(&lines[0]).unwrap();
+        assert_eq!(
+            doc.get("type").and_then(coop_telemetry::json::Json::as_str),
+            Some("job_span")
+        );
+        assert_eq!(batch.events_kept(), 1);
+    }
+
+    #[test]
+    fn opts_imply_and_configure() {
+        assert!(!TelemetryOpts::disabled().is_enabled());
+        assert!(!TelemetryOpts::disabled().recorder().is_enabled());
+        let opts = TelemetryOpts {
+            enabled: false,
+            trace_out: Some(PathBuf::from("t.jsonl")),
+            probe_every: 4,
+        };
+        assert!(opts.is_enabled(), "--trace-out implies telemetry");
+        assert_eq!(opts.recorder_config().probe_every, 4);
+        assert!(opts.recorder().is_enabled());
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let mut batch = BatchTrace::new(vec![job(0, 3, vec![("swarm.rounds".into(), 9)])]);
+        batch.push_phase("simulate", 120);
+        let m = batch.manifest("fig4", Scale::Quick, 42, 1, 2, "none");
+        let parsed = RunManifest::parse(&m.to_json_pretty()).expect("valid manifest");
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.artifact, "fig4");
+        assert_eq!(parsed.counters, vec![("swarm.rounds".to_string(), 9)]);
+        assert_eq!(parsed.phases.len(), 1);
+        assert_ne!(parsed.config_fingerprint, 0);
+    }
+}

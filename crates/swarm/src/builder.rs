@@ -10,6 +10,8 @@
 //! [`PopulationPatch`], which `coop-attacks` implements for its
 //! `AttackPlan` — so this crate never depends on the attack catalogue.
 
+use coop_telemetry::Recorder;
+
 use crate::config::{ConfigError, PeerSpec, SwarmConfig};
 use crate::sim::Simulation;
 
@@ -96,6 +98,7 @@ pub struct SimulationBuilder {
     config: SwarmConfig,
     population: Vec<PeerSpec>,
     patches: Vec<Box<dyn PopulationPatch>>,
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for SimulationBuilder {
@@ -114,7 +117,17 @@ impl SimulationBuilder {
             config,
             population: Vec::new(),
             patches: Vec::new(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a telemetry [`Recorder`] (disabled by default). The
+    /// recorder is purely observational: attaching one — at any sampling
+    /// rate — never changes the simulation's results. Collect what it
+    /// gathered with [`Simulation::run_traced`].
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Sets the arriving population (replacing any earlier call).
@@ -165,7 +178,11 @@ impl SimulationBuilder {
                 });
             }
         }
-        Ok(Simulation::assemble(self.config, self.population))
+        Ok(Simulation::assemble(
+            self.config,
+            self.population,
+            self.recorder,
+        ))
     }
 }
 

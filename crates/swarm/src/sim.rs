@@ -12,6 +12,9 @@ use std::collections::BTreeSet;
 
 use coop_des::rng::SeedTree;
 use coop_des::{Engine, RoundDriver, SimTime};
+use coop_telemetry::{
+    Category, Histogram, Recorder, Sampling, TelemetryConfig, TelemetryReport, TraceEvent,
+};
 use coop_incentives::ledger::{ReportedReputation, ReputationTable};
 use coop_incentives::metrics::TimeSeries;
 use coop_incentives::{GrantReason, Obligation, PeerId, ReciprocationCondition};
@@ -64,6 +67,13 @@ pub struct Simulation {
     /// [`Self::pick_piece`], reused across calls instead of cloning the
     /// downloader's bitfield per candidate piece selection.
     scratch_held: Bitfield,
+    /// Observational telemetry. Never consulted by simulation logic and
+    /// never draws from [`Self::seeds`]: enabling it cannot change a
+    /// run's results (pinned by the `telemetry_determinism` test).
+    recorder: Recorder,
+    /// [`Totals::bytes_by_reason`] as of the previous round probe, for
+    /// per-probe deltas.
+    probe_prev_bytes: [u64; GrantReason::ALL.len()],
     totals: Totals,
     fairness_avg: TimeSeries,
     diversity: TimeSeries,
@@ -106,7 +116,33 @@ impl Simulation {
 
     /// Assembles the simulation from already-validated parts (the
     /// builder's final step).
-    pub(crate) fn assemble(config: SwarmConfig, population: Vec<PeerSpec>) -> Self {
+    pub(crate) fn assemble(
+        config: SwarmConfig,
+        population: Vec<PeerSpec>,
+        recorder: Recorder,
+    ) -> Self {
+        // `COOP_SWARM_DEBUG` is shorthand for "stream end-of-run state
+        // dumps to stderr": when set and no recorder was supplied, spin up
+        // one that keeps only `final`-category events and writes them as
+        // JSONL to stderr (the structured successor of the old ad-hoc
+        // eprintln dumps).
+        let recorder = if !recorder.is_enabled() && std::env::var_os("COOP_SWARM_DEBUG").is_some()
+        {
+            let sampling = Category::ALL
+                .iter()
+                .fold(Sampling::keep_all(), |s, &c| s.every(c, 0))
+                .every(Category::Final, 1);
+            let mut r = Recorder::enabled(TelemetryConfig {
+                probe_every: u64::MAX,
+                ring_capacity: 0,
+                sampling,
+            });
+            r.set_capture(false);
+            r.add_sink(Box::new(coop_telemetry::StderrSink));
+            r
+        } else {
+            recorder
+        };
         let num_pieces = config.file.num_pieces();
         let rounds = RoundDriver::new(config.round);
         let mut engine = Engine::new();
@@ -137,6 +173,8 @@ impl Simulation {
             trusted_cache: std::collections::HashMap::new(),
             candidates: Vec::new(),
             scratch_held: Bitfield::new(0),
+            recorder,
+            probe_prev_bytes: [0; GrantReason::ALL.len()],
             totals: Totals::default(),
             fairness_avg: TimeSeries::new(),
             diversity: TimeSeries::new(),
@@ -223,7 +261,14 @@ impl Simulation {
 
     /// Runs the simulation to completion (all compliant peers finished or
     /// `max_rounds` reached) and returns the results.
-    pub fn run(mut self) -> SimResult {
+    pub fn run(self) -> SimResult {
+        self.run_traced().0
+    }
+
+    /// Runs the simulation and also returns what the attached telemetry
+    /// [`Recorder`] gathered (an empty report when none was attached —
+    /// see [`SimulationBuilder::recorder`](crate::SimulationBuilder::recorder)).
+    pub fn run_traced(mut self) -> (SimResult, TelemetryReport) {
         let deadline = self.rounds.start_of(self.config.max_rounds + 1);
         let mut engine = std::mem::take(&mut self.engine);
         engine.run_until(deadline, |now, ev, eng| self.handle(now, ev, eng));
@@ -387,6 +432,60 @@ impl Simulation {
         if self.round_idx.is_multiple_of(self.config.sample_every) {
             self.sample_metrics(now);
         }
+        self.recorder.incr("swarm.rounds", 1);
+        if self.recorder.probe_due(self.round_idx) {
+            self.round_probe(now);
+        }
+    }
+
+    /// Emits one [`TraceEvent::RoundProbe`] snapshot (only called on the
+    /// recorder's probe cadence, so the gathering below is off the
+    /// common path entirely).
+    fn round_probe(&mut self, now: SimTime) {
+        let round = self.round_idx;
+        let sim_s = now.as_secs_f64();
+        let mut active = 0u64;
+        let mut bootstrapped = 0u64;
+        let mut completed = 0u64;
+        for p in &self.peers {
+            if p.is_active() {
+                active += 1;
+            }
+            if p.tags.compliant {
+                if p.bootstrap_time.is_some() {
+                    bootstrapped += 1;
+                }
+                if matches!(p.departure, Some(Departure::Completed(_))) {
+                    completed += 1;
+                }
+            }
+        }
+        let inflight = self.transfers.len() as u64;
+        let bytes_by_reason_delta: Vec<u64> = self
+            .totals
+            .bytes_by_reason
+            .iter()
+            .zip(self.probe_prev_bytes.iter())
+            .map(|(now, prev)| now - prev)
+            .collect();
+        self.probe_prev_bytes = self.totals.bytes_by_reason;
+        let mut availability = Histogram::new();
+        for piece in 0..self.availability.num_pieces() {
+            availability.observe(u64::from(self.availability.count(piece)));
+        }
+        self.recorder.observe("swarm.probe.active_peers", active);
+        self.recorder
+            .observe("swarm.probe.inflight_transfers", inflight);
+        self.recorder.emit_with(|| TraceEvent::RoundProbe {
+            round,
+            sim_s,
+            active,
+            bootstrapped,
+            completed,
+            inflight,
+            bytes_by_reason_delta,
+            availability_buckets: availability.buckets().to_vec(),
+        });
     }
 
     fn allocate_and_execute(&mut self, id: PeerId, now: SimTime) {
@@ -503,6 +602,8 @@ impl Simulation {
         }
         let mut left = bytes;
         let mut used = 0;
+        let mut started_new = false;
+        let mut effective_reason = reason;
         while left > 0 {
             if self.transfers.get(from, to).is_some() {
                 let remaining = self
@@ -516,6 +617,7 @@ impl Simulation {
                     .get(from, to)
                     .expect("just checked")
                     .reason;
+                effective_reason = reason;
                 self.account_bytes(from, to, step);
                 self.totals.bytes_by_reason[reason.index()] += step;
                 if let Some(done) = self.transfers.progress(from, to, step, self.round_idx) {
@@ -548,6 +650,8 @@ impl Simulation {
             if condition.is_some() {
                 self.peers[to.index() as usize].inflight_conditional += 1;
             }
+            started_new = true;
+            effective_reason = reason;
             self.transfers.start(
                 from,
                 to,
@@ -561,7 +665,37 @@ impl Simulation {
                 },
             );
         }
+        // Observational only — one branch when telemetry is disabled.
+        if self.recorder.is_enabled() && (used > 0 || started_new) {
+            self.record_grant(from, to, used, effective_reason, started_new);
+        }
         used
+    }
+
+    /// Telemetry bookkeeping for one executed grant (recorder known to be
+    /// enabled; kept out of line so the grant hot path stays compact).
+    fn record_grant(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        used: u64,
+        reason: GrantReason,
+        started_new: bool,
+    ) {
+        self.recorder.incr("swarm.grants", 1);
+        self.recorder.incr("swarm.granted_bytes", used);
+        if started_new {
+            self.recorder.incr("swarm.transfers_started", 1);
+        }
+        let round = self.round_idx;
+        self.recorder.emit_sampled(Category::Grant, || TraceEvent::Grant {
+            round,
+            from: from.index(),
+            to: to.index(),
+            bytes: used,
+            reason: reason.name(),
+            new_transfer: started_new,
+        });
     }
 
     fn pick_piece(&mut self, from: PeerId, to: PeerId, rng: &mut dyn RngCore) -> Option<(u32, u64)> {
@@ -755,8 +889,20 @@ impl Simulation {
         if self.round_idx < timeout {
             return;
         }
-        for ((_, to), fl) in self.transfers.drain_stalled(before) {
+        for ((from, to), fl) in self.transfers.drain_stalled(before) {
             self.totals.aborted_bytes += fl.bytes_done;
+            if self.recorder.is_enabled() {
+                self.recorder.incr("swarm.transfers_stalled", 1);
+                let round = self.round_idx;
+                self.recorder
+                    .emit_sampled(Category::Transfer, || TraceEvent::TransferStalled {
+                        round,
+                        from: from.index(),
+                        to: to.index(),
+                        piece: fl.piece,
+                        bytes_done: fl.bytes_done,
+                    });
+            }
             if to == SEEDER_ID {
                 continue;
             }
@@ -1163,31 +1309,62 @@ impl Simulation {
         }
     }
 
-    fn finalize(self) -> SimResult {
-        if std::env::var_os("COOP_SWARM_DEBUG").is_some() {
+    fn finalize(mut self) -> (SimResult, TelemetryReport) {
+        let mut recorder = std::mem::take(&mut self.recorder);
+        if recorder.is_enabled() {
+            recorder.incr("engine.events_processed", self.engine.events_processed());
+            recorder.record_max(
+                "engine.queue_depth_hwm",
+                self.engine.queue_depth_high_water_mark() as u64,
+            );
+            let events_processed = self.engine.events_processed();
+            let queue_depth_hwm = self.engine.queue_depth_high_water_mark() as u64;
+            recorder.emit_with(|| TraceEvent::EngineStats {
+                events_processed,
+                queue_depth_hwm,
+            });
+            // End-of-run state dumps (the structured successor of the old
+            // COOP_SWARM_DEBUG eprintln blocks).
             for (&(from, to), fl) in self.transfers.iter() {
                 let from_active = from == SEEDER_ID || self.is_active(from);
-                eprintln!(
-                    "inflight {from}->{to} piece={} done={}/{} reason={:?} cond={:?} from_active={}",
-                    fl.piece, fl.bytes_done, fl.piece_len, fl.reason, fl.condition.is_some(), from_active
-                );
+                let (piece, bytes_done, piece_len) = (fl.piece, fl.bytes_done, fl.piece_len);
+                let (reason, conditional) = (fl.reason.name(), fl.condition.is_some());
+                recorder.emit_sampled(Category::Final, || TraceEvent::InflightAtEnd {
+                    from: from.index(),
+                    to: to.index(),
+                    piece,
+                    bytes_done,
+                    piece_len,
+                    reason,
+                    conditional,
+                    from_active,
+                });
             }
             for p in self.peers.iter().filter(|p| p.is_active()) {
                 let interested = self
                     .peers
                     .iter()
                     .filter(|q| q.is_active() && q.id != p.id && self.needs(q.id, p.id))
-                    .count();
-                eprintln!(
-                    "active {:?} have={} locked={} obligations={} inflight={} interested_in_me={} neighbors={}",
-                    p.id,
-                    p.have().count_ones(),
-                    p.locked().count_ones(),
-                    p.obligations.len(),
-                    p.inflight.len(),
-                    interested,
-                    p.neighbors.len()
+                    .count() as u64;
+                let (peer, have, locked) = (
+                    p.id.index(),
+                    u64::from(p.have().count_ones()),
+                    u64::from(p.locked().count_ones()),
                 );
+                let (obligations, inflight, neighbors) = (
+                    p.obligations.len() as u64,
+                    p.inflight.len() as u64,
+                    p.neighbors.len() as u64,
+                );
+                recorder.emit_sampled(Category::Final, || TraceEvent::PeerAtEnd {
+                    peer,
+                    have,
+                    locked,
+                    obligations,
+                    inflight,
+                    interested_in_me: interested,
+                    neighbors,
+                });
             }
         }
         let peers = self
@@ -1209,7 +1386,7 @@ impl Simulation {
                 bytes_inherited: p.bytes_inherited,
             })
             .collect();
-        SimResult {
+        let result = SimResult {
             rounds_run: self.round_idx,
             sim_seconds: self.now.as_secs_f64(),
             peers,
@@ -1220,7 +1397,8 @@ impl Simulation {
             susceptibility: self.susceptibility,
             diversity: self.diversity,
             totals: self.totals,
-        }
+        };
+        (result, recorder.into_report())
     }
 }
 

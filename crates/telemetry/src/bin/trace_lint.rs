@@ -1,0 +1,117 @@
+//! `coop-trace-lint` — validates telemetry artifacts.
+//!
+//! Usage:
+//!
+//! ```text
+//! coop-trace-lint <trace.jsonl> [manifest.json ...]
+//! ```
+//!
+//! Each `.jsonl` argument is checked line by line: every line must parse
+//! as a JSON object carrying string `type` and `cat` fields, with `cat`
+//! one of the known categories. Each `manifest.json` argument must
+//! decode as a full [`coop_telemetry::RunManifest`]. Exit status is 0
+//! when every file is clean; any problem prints a diagnostic to stderr
+//! and exits 1. CI runs this against the smoke run's outputs.
+
+use std::process::ExitCode;
+
+use coop_telemetry::json::{self, Json};
+use coop_telemetry::{Category, RunManifest};
+
+fn lint_jsonl(path: &str, text: &str) -> Result<usize, String> {
+    let known: Vec<&str> = Category::ALL.iter().map(|c| c.name()).collect();
+    let mut events = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = json::parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let ty = doc.get("type").and_then(Json::as_str).ok_or_else(|| {
+            format!("{path}:{}: event has no string 'type' field", lineno + 1)
+        })?;
+        let cat = doc.get("cat").and_then(Json::as_str).ok_or_else(|| {
+            format!("{path}:{}: event '{ty}' has no string 'cat' field", lineno + 1)
+        })?;
+        if !known.contains(&cat) {
+            return Err(format!(
+                "{path}:{}: unknown category '{cat}' (known: {})",
+                lineno + 1,
+                known.join(", ")
+            ));
+        }
+        events += 1;
+    }
+    Ok(events)
+}
+
+fn lint_file(path: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    if path.ends_with(".jsonl") {
+        let events = lint_jsonl(path, &text)?;
+        Ok(format!("{path}: ok ({events} events)"))
+    } else {
+        let manifest = RunManifest::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        Ok(format!(
+            "{path}: ok (artifact {}, {} phases, {} counters)",
+            manifest.artifact,
+            manifest.phases.len(),
+            manifest.counters.len()
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: coop-trace-lint <trace.jsonl | manifest.json> ...");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &args {
+        match lint_file(path) {
+            Ok(summary) => println!("{summary}"),
+            Err(problem) => {
+                eprintln!("{problem}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coop_telemetry::TraceEvent;
+
+    #[test]
+    fn accepts_recorder_output_and_rejects_garbage() {
+        let good = format!(
+            "{}\n{}\n",
+            TraceEvent::EngineStats {
+                events_processed: 1,
+                queue_depth_hwm: 1
+            }
+            .to_jsonl(),
+            TraceEvent::PeerAtEnd {
+                peer: 0,
+                have: 1,
+                locked: 0,
+                obligations: 0,
+                inflight: 0,
+                interested_in_me: 0,
+                neighbors: 4
+            }
+            .to_jsonl()
+        );
+        assert_eq!(lint_jsonl("t.jsonl", &good), Ok(2));
+        assert!(lint_jsonl("t.jsonl", "not json\n").is_err());
+        assert!(lint_jsonl("t.jsonl", "{\"type\":\"x\"}\n").is_err());
+        assert!(lint_jsonl("t.jsonl", "{\"type\":\"x\",\"cat\":\"nope\"}\n").is_err());
+    }
+}

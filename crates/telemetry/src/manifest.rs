@@ -1,0 +1,358 @@
+//! The per-run `manifest.json` — what ran, with what configuration, and
+//! how long each phase took.
+//!
+//! Every experiment run writes one manifest next to its artifacts. The
+//! manifest is the *only* artifact allowed to carry wall-clock data; the
+//! CSV/JSON figure artifacts stay byte-deterministic, and determinism
+//! tests compare those while ignoring the manifest.
+
+use std::fmt::Write as _;
+
+use crate::json::{self, write_escaped, Json};
+
+/// Schema version stamped into every manifest.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
+
+/// The manifest file name, next to a run's artifacts.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// 64-bit FNV-1a hasher used for configuration fingerprints.
+///
+/// Matches the fingerprint scheme used by the swarm golden tests: feed
+/// bytes (or whole debug strings), read the hash out with
+/// [`Fnv::finish`].
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Feeds a string (convenience for `Debug`-rendered configs).
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprints any `Debug`-printable value with FNV-1a.
+pub fn fingerprint_debug<T: std::fmt::Debug>(value: &T) -> u64 {
+    let mut h = Fnv::new();
+    h.write_str(&format!("{value:?}"));
+    h.finish()
+}
+
+/// One named wall-clock phase of a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseTiming {
+    /// Phase name (e.g. `"simulate"`, `"write_artifacts"`).
+    pub name: String,
+    /// Wall-clock duration in milliseconds.
+    pub wall_ms: u64,
+}
+
+/// Everything `manifest.json` records about one run.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct RunManifest {
+    /// Which artifact ran (e.g. `"fig4"`).
+    pub artifact: String,
+    /// The scale preset (e.g. `"quick"`, `"paper"`).
+    pub scale: String,
+    /// FNV-1a fingerprint of the resolved configuration, as produced by
+    /// [`fingerprint_debug`].
+    pub config_fingerprint: u64,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// Number of replicates per mechanism.
+    pub replicates: u64,
+    /// Worker threads used.
+    pub jobs: u64,
+    /// Mechanism names simulated, in slot order.
+    pub mechanisms: Vec<String>,
+    /// Attack scenario label (`"none"` when the figure has no attack).
+    pub attack: String,
+    /// Wall-clock phase timings, in execution order.
+    pub phases: Vec<PhaseTiming>,
+    /// Telemetry counter totals (name, value), sorted by name. Empty when
+    /// telemetry was disabled.
+    pub counters: Vec<(String, u64)>,
+    /// Trace events kept (post-sampling) across the run.
+    pub events_kept: u64,
+}
+
+impl RunManifest {
+    /// Renders the manifest as pretty-printed JSON (two-space indent,
+    /// matching the workspace's other JSON artifacts).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::from("{\n");
+        let field = |out: &mut String, key: &str, value: String, last: bool| {
+            out.push_str("  ");
+            write_escaped(out, key);
+            out.push_str(": ");
+            out.push_str(&value);
+            out.push_str(if last { "\n" } else { ",\n" });
+        };
+        field(
+            &mut out,
+            "schema_version",
+            MANIFEST_SCHEMA_VERSION.to_string(),
+            false,
+        );
+        field(&mut out, "artifact", quoted(&self.artifact), false);
+        field(&mut out, "scale", quoted(&self.scale), false);
+        field(
+            &mut out,
+            "config_fingerprint",
+            quoted(&format!("{:016x}", self.config_fingerprint)),
+            false,
+        );
+        field(&mut out, "seed", self.seed.to_string(), false);
+        field(&mut out, "replicates", self.replicates.to_string(), false);
+        field(&mut out, "jobs", self.jobs.to_string(), false);
+        let mechanisms = {
+            let mut a = String::from("[");
+            for (i, m) in self.mechanisms.iter().enumerate() {
+                if i > 0 {
+                    a.push_str(", ");
+                }
+                a.push_str(&quoted(m));
+            }
+            a.push(']');
+            a
+        };
+        field(&mut out, "mechanisms", mechanisms, false);
+        field(&mut out, "attack", quoted(&self.attack), false);
+        let phases = {
+            let mut a = String::from("{");
+            for (i, p) in self.phases.iter().enumerate() {
+                if i > 0 {
+                    a.push_str(", ");
+                }
+                a.push_str(&quoted(&p.name));
+                let _ = write!(a, ": {}", p.wall_ms);
+            }
+            a.push('}');
+            a
+        };
+        field(&mut out, "phase_wall_ms", phases, false);
+        let counters = {
+            let mut a = String::from("{");
+            for (i, (name, value)) in self.counters.iter().enumerate() {
+                if i > 0 {
+                    a.push_str(", ");
+                }
+                a.push_str(&quoted(name));
+                let _ = write!(a, ": {value}");
+            }
+            a.push('}');
+            a
+        };
+        field(&mut out, "counters", counters, false);
+        field(&mut out, "events_kept", self.events_kept.to_string(), true);
+        out.push('}');
+        out
+    }
+
+    /// Writes `manifest.json` into `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from directory creation or the write.
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(MANIFEST_FILE);
+        let mut text = self.to_json_pretty();
+        text.push('\n');
+        std::fs::write(&path, text)?;
+        Ok(path)
+    }
+
+    /// Parses and validates manifest JSON, returning the decoded manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem (parse
+    /// failure, missing field, or wrong type).
+    pub fn parse(text: &str) -> Result<RunManifest, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        let version = require_u64(&doc, "schema_version")?;
+        if version != MANIFEST_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {version} (expected {MANIFEST_SCHEMA_VERSION})"
+            ));
+        }
+        let fingerprint_hex = require_str(&doc, "config_fingerprint")?;
+        let config_fingerprint = u64::from_str_radix(&fingerprint_hex, 16)
+            .map_err(|_| format!("config_fingerprint '{fingerprint_hex}' is not hex"))?;
+        let mechanisms = match doc.get("mechanisms") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|m| {
+                    m.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "mechanisms entries must be strings".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing or non-array field 'mechanisms'".into()),
+        };
+        let phases = obj_u64_entries(&doc, "phase_wall_ms")?
+            .into_iter()
+            .map(|(name, wall_ms)| PhaseTiming { name, wall_ms })
+            .collect();
+        let counters = obj_u64_entries(&doc, "counters")?;
+        Ok(RunManifest {
+            artifact: require_str(&doc, "artifact")?,
+            scale: require_str(&doc, "scale")?,
+            config_fingerprint,
+            seed: require_u64(&doc, "seed")?,
+            replicates: require_u64(&doc, "replicates")?,
+            jobs: require_u64(&doc, "jobs")?,
+            mechanisms,
+            attack: require_str(&doc, "attack")?,
+            phases,
+            counters,
+            events_kept: require_u64(&doc, "events_kept")?,
+        })
+    }
+}
+
+fn quoted(s: &str) -> String {
+    let mut out = String::new();
+    write_escaped(&mut out, s);
+    out
+}
+
+fn require_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+        .map(|v| v as u64)
+        .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+}
+
+fn require_str(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field '{key}'"))
+}
+
+fn obj_u64_entries(doc: &Json, key: &str) -> Result<Vec<(String, u64)>, String> {
+    match doc.get(key) {
+        Some(Json::Obj(fields)) => fields
+            .iter()
+            .map(|(name, v)| {
+                v.as_f64()
+                    .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+                    .map(|v| (name.clone(), v as u64))
+                    .ok_or_else(|| format!("'{key}.{name}' must be a non-negative integer"))
+            })
+            .collect(),
+        _ => Err(format!("missing or non-object field '{key}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            artifact: "fig4".into(),
+            scale: "quick".into(),
+            config_fingerprint: 0x1234_abcd_5678_ef00,
+            seed: 42,
+            replicates: 2,
+            jobs: 4,
+            mechanisms: vec!["BitTorrent".into(), "T-Chain".into()],
+            attack: "none".into(),
+            phases: vec![
+                PhaseTiming {
+                    name: "simulate".into(),
+                    wall_ms: 1200,
+                },
+                PhaseTiming {
+                    name: "write_artifacts".into(),
+                    wall_ms: 3,
+                },
+            ],
+            counters: vec![("swarm.rounds".into(), 900), ("swarm.grants".into(), 4521)],
+            events_kept: 77,
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_through_parse() {
+        let m = sample();
+        let text = m.to_json_pretty();
+        let back = RunManifest::parse(&text).expect("round trip");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn manifest_is_valid_json_with_expected_fields() {
+        let text = sample().to_json_pretty();
+        let doc = json::parse(&text).expect("valid json");
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_f64),
+            Some(MANIFEST_SCHEMA_VERSION as f64)
+        );
+        assert_eq!(doc.get("artifact").and_then(Json::as_str), Some("fig4"));
+        assert_eq!(
+            doc.get("config_fingerprint").and_then(Json::as_str),
+            Some("1234abcd5678ef00")
+        );
+    }
+
+    #[test]
+    fn parse_rejects_missing_and_malformed_fields() {
+        assert!(RunManifest::parse("not json").is_err());
+        assert!(RunManifest::parse("{}").is_err());
+        let mut text = sample().to_json_pretty();
+        text = text.replace("\"seed\": 42", "\"seed\": \"oops\"");
+        let err = RunManifest::parse(&text).unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        let a = fingerprint_debug(&("config", 1));
+        let b = fingerprint_debug(&("config", 1));
+        let c = fingerprint_debug(&("config", 2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn write_to_creates_the_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "coop-telemetry-manifest-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = sample().write_to(&dir).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(RunManifest::parse(&text).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,586 @@
+//! The [`Recorder`] — counters, histograms, sim-time spans, and sampled
+//! trace events behind one cheap handle.
+//!
+//! A disabled recorder (the default everywhere) is a `None` behind one
+//! branch: every instrumentation call returns immediately, and closures
+//! passed to [`Recorder::emit_with`] are never invoked, so the hot loop
+//! pays one predictable branch per probe site and constructs nothing.
+//!
+//! Determinism guarantee: the recorder *observes* and never *decides*.
+//! It holds no RNG, is consulted by no simulation branch, and records
+//! only values the simulation already computed — so enabling it, or
+//! changing any sampling rate, cannot change a run's results. The
+//! workspace pins this with byte-equality tests over fig4 artifacts.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Category, TraceEvent};
+use crate::sink::Sink;
+
+/// Power-of-two bucketed histogram of `u64` observations.
+///
+/// Bucket `i` counts values `v` with `floor(log2(v)) == i - 1` (bucket 0
+/// counts zeros): 0, 1, 2–3, 4–7, 8–15, … Compact, allocation-free after
+/// the first observation, and stable across platforms.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index `value` falls into.
+    pub fn bucket_of(value: u64) -> usize {
+        match value {
+            0 => 0,
+            v => 1 + v.ilog2() as usize,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = Self::bucket_of(value);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The bucket counts, lowest bucket first (trailing empty buckets are
+    /// not stored).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+/// Per-category keep-every-Nth sampling rates. `1` keeps everything,
+/// `N` keeps the 1st, (N+1)th, … event of that category, `0` drops the
+/// category entirely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sampling {
+    rates: [u64; Category::ALL.len()],
+}
+
+impl Default for Sampling {
+    /// Keep everything.
+    fn default() -> Self {
+        Sampling {
+            rates: [1; Category::ALL.len()],
+        }
+    }
+}
+
+impl Sampling {
+    /// Keeps every event of every category.
+    pub fn keep_all() -> Self {
+        Self::default()
+    }
+
+    /// Sets `category` to keep every `n`-th event (0 drops the category).
+    #[must_use]
+    pub fn every(mut self, category: Category, n: u64) -> Self {
+        self.rates[category.index()] = n;
+        self
+    }
+
+    /// The keep rate for `category`.
+    pub fn rate(&self, category: Category) -> u64 {
+        self.rates[category.index()]
+    }
+}
+
+/// Recorder configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Emit a `RoundProbe` every this many rounds (the `--probe-every`
+    /// CLI cadence). Must be ≥ 1.
+    pub probe_every: u64,
+    /// Bounded ring-buffer capacity for recent kept events.
+    pub ring_capacity: usize,
+    /// Per-category sampling.
+    pub sampling: Sampling,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            probe_every: 10,
+            ring_capacity: 1024,
+            sampling: Sampling::default(),
+        }
+    }
+}
+
+/// Accumulated duration statistics for one named span.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SpanStats {
+    /// Completed spans under this name.
+    pub count: u64,
+    /// Total sim-time seconds across completed spans.
+    pub total_s: f64,
+    /// Longest single span in seconds.
+    pub max_s: f64,
+}
+
+/// Everything a recorder gathered over one run, extracted with
+/// [`Recorder::into_report`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// Named counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Named histograms, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+    /// Completed sim-time spans, sorted by name.
+    pub spans: Vec<(String, SpanStats)>,
+    /// Every kept event, in emission order (the full stream — not the
+    /// bounded ring).
+    pub events: Vec<TraceEvent>,
+    /// Events dropped by sampling, per category index.
+    pub sampled_out: [u64; Category::ALL.len()],
+}
+
+impl TelemetryReport {
+    /// The value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Events of one category, in order.
+    pub fn events_in(&self, category: Category) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.category() == category)
+    }
+}
+
+struct Inner {
+    config: TelemetryConfig,
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    spans: BTreeMap<&'static str, SpanStats>,
+    open_spans: BTreeMap<&'static str, f64>,
+    seen: [u64; Category::ALL.len()],
+    kept: u64,
+    ring: std::collections::VecDeque<TraceEvent>,
+    capture: Vec<TraceEvent>,
+    capturing: bool,
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+/// The instrumentation handle threaded through engine, swarm, and
+/// executor. See the module docs for the cost and determinism contract.
+///
+/// # Example
+///
+/// ```
+/// use coop_telemetry::{Recorder, TelemetryConfig, TraceEvent};
+/// let mut rec = Recorder::enabled(TelemetryConfig::default());
+/// rec.incr("rounds", 1);
+/// rec.emit_with(|| TraceEvent::EngineStats {
+///     events_processed: 10,
+///     queue_depth_hwm: 3,
+/// });
+/// let report = rec.into_report();
+/// assert_eq!(report.counter("rounds"), 1);
+/// assert_eq!(report.events.len(), 1);
+/// ```
+#[derive(Default)]
+pub struct Recorder {
+    inner: Option<Box<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Recorder(disabled)"),
+            Some(i) => f
+                .debug_struct("Recorder")
+                .field("counters", &i.counters.len())
+                .field("kept_events", &i.kept)
+                .field("sinks", &i.sinks.len())
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+impl Recorder {
+    /// A disabled recorder: every call is a no-op behind one branch.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// An enabled recorder with full-stream in-memory capture on (the
+    /// common case: run, then [`Recorder::into_report`]).
+    pub fn enabled(config: TelemetryConfig) -> Self {
+        Recorder {
+            inner: Some(Box::new(Inner {
+                config,
+                counters: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+                spans: BTreeMap::new(),
+                open_spans: BTreeMap::new(),
+                seen: [0; Category::ALL.len()],
+                kept: 0,
+                ring: std::collections::VecDeque::new(),
+                capture: Vec::new(),
+                capturing: true,
+                sinks: Vec::new(),
+            })),
+        }
+    }
+
+    /// Whether instrumentation is live.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The probe cadence (`u64::MAX` when disabled, so `round %
+    /// probe_every == 0` checks stay cheap and never fire).
+    pub fn probe_every(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(u64::MAX, |i| i.config.probe_every.max(1))
+    }
+
+    /// Whether a round probe is due at `round`. Always false when
+    /// disabled.
+    pub fn probe_due(&self, round: u64) -> bool {
+        match &self.inner {
+            None => false,
+            Some(i) => round.is_multiple_of(i.config.probe_every.max(1)),
+        }
+    }
+
+    /// Attaches a streaming sink (no-op when disabled).
+    pub fn add_sink(&mut self, sink: Box<dyn Sink>) {
+        if let Some(i) = &mut self.inner {
+            i.sinks.push(sink);
+        }
+    }
+
+    /// Turns full-stream in-memory capture off (streaming sinks and the
+    /// bounded ring still receive events). Useful for very long runs that
+    /// only want a trace file.
+    pub fn set_capture(&mut self, capture: bool) {
+        if let Some(i) = &mut self.inner {
+            i.capturing = capture;
+        }
+    }
+
+    /// Adds `by` to counter `name`.
+    pub fn incr(&mut self, name: &'static str, by: u64) {
+        if let Some(i) = &mut self.inner {
+            *i.counters.entry(name).or_insert(0) += by;
+        }
+    }
+
+    /// Sets counter `name` to the maximum of its current value and `v`
+    /// (high-water marks).
+    pub fn record_max(&mut self, name: &'static str, v: u64) {
+        if let Some(i) = &mut self.inner {
+            let e = i.counters.entry(name).or_insert(0);
+            *e = (*e).max(v);
+        }
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        if let Some(i) = &mut self.inner {
+            i.histograms.entry(name).or_default().observe(value);
+        }
+    }
+
+    /// Opens a sim-time span. Re-opening an already-open name restarts it.
+    pub fn span_begin(&mut self, name: &'static str, sim_s: f64) {
+        if let Some(i) = &mut self.inner {
+            i.open_spans.insert(name, sim_s);
+        }
+    }
+
+    /// Closes a sim-time span opened with [`Recorder::span_begin`],
+    /// accumulating its duration. Unmatched ends are ignored.
+    pub fn span_end(&mut self, name: &'static str, sim_s: f64) {
+        if let Some(i) = &mut self.inner {
+            if let Some(start) = i.open_spans.remove(name) {
+                let d = (sim_s - start).max(0.0);
+                let s = i.spans.entry(name).or_default();
+                s.count += 1;
+                s.total_s += d;
+                s.max_s = s.max_s.max(d);
+            }
+        }
+    }
+
+    /// Emits an event, constructing it lazily — `make` never runs when
+    /// the recorder is disabled or the event is sampled out.
+    pub fn emit_with(&mut self, make: impl FnOnce() -> TraceEvent) {
+        let Some(i) = &mut self.inner else { return };
+        // Sampling is per category; the category is known only after
+        // construction, so sampling decisions use a two-step protocol:
+        // cheap construction is the caller's job (pass a closure that
+        // builds from already-computed values), and the keep decision
+        // happens on the constructed event.
+        let event = make();
+        let cat = event.category();
+        let seen = &mut i.seen[cat.index()];
+        let rate = i.config.sampling.rate(cat);
+        let keep = rate != 0 && *seen % rate == 0;
+        *seen += 1;
+        if !keep {
+            return;
+        }
+        let seq = i.kept;
+        i.kept += 1;
+        for sink in &mut i.sinks {
+            sink.record(seq, &event);
+        }
+        if i.config.ring_capacity > 0 {
+            if i.ring.len() == i.config.ring_capacity {
+                i.ring.pop_front();
+            }
+            i.ring.push_back(event.clone());
+        }
+        if i.capturing {
+            i.capture.push(event);
+        }
+    }
+
+    /// Like [`Recorder::emit_with`] but skips construction entirely when
+    /// the next event of `category` would be sampled out — use on hot
+    /// paths where building the event itself has a cost.
+    pub fn emit_sampled(&mut self, category: Category, make: impl FnOnce() -> TraceEvent) {
+        let Some(i) = &mut self.inner else { return };
+        let rate = i.config.sampling.rate(category);
+        let seen = i.seen[category.index()];
+        if rate == 0 || seen % rate != 0 {
+            i.seen[category.index()] = seen + 1;
+            return;
+        }
+        self.emit_with(make);
+    }
+
+    /// The last kept events, oldest first (the bounded ring).
+    pub fn recent(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(i) => i.ring.iter().cloned().collect(),
+        }
+    }
+
+    /// Flushes sinks and extracts everything gathered. The recorder is
+    /// consumed; a disabled recorder yields an empty default report.
+    pub fn into_report(self) -> TelemetryReport {
+        let Some(mut i) = self.inner else {
+            return TelemetryReport::default();
+        };
+        for sink in &mut i.sinks {
+            sink.flush();
+        }
+        let mut sampled_out = [0u64; Category::ALL.len()];
+        for (idx, &seen) in i.seen.iter().enumerate() {
+            let rate = i.config.sampling.rates[idx];
+            let kept = if rate == 0 { 0 } else { seen.div_ceil(rate) };
+            sampled_out[idx] = seen - kept;
+        }
+        TelemetryReport {
+            counters: i
+                .counters
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            histograms: i
+                .histograms
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            spans: i
+                .spans
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            events: i.capture,
+            sampled_out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    fn engine_event(n: u64) -> TraceEvent {
+        TraceEvent::EngineStats {
+            events_processed: n,
+            queue_depth_hwm: 0,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_does_nothing_and_never_constructs() {
+        let mut rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        assert!(!rec.probe_due(0));
+        rec.incr("x", 1);
+        rec.observe("h", 5);
+        rec.emit_with(|| unreachable!("must not construct when disabled"));
+        let report = rec.into_report();
+        assert_eq!(report, TelemetryReport::default());
+    }
+
+    #[test]
+    fn counters_histograms_and_spans_accumulate() {
+        let mut rec = Recorder::enabled(TelemetryConfig::default());
+        rec.incr("rounds", 2);
+        rec.incr("rounds", 3);
+        rec.record_max("hwm", 4);
+        rec.record_max("hwm", 2);
+        rec.observe("depth", 0);
+        rec.observe("depth", 9);
+        rec.span_begin("warmup", 1.0);
+        rec.span_end("warmup", 3.5);
+        let report = rec.into_report();
+        assert_eq!(report.counter("rounds"), 5);
+        assert_eq!(report.counter("hwm"), 4);
+        let (_, h) = &report.histograms[0];
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 9);
+        assert_eq!(h.mean(), Some(4.5));
+        let (name, span) = &report.spans[0];
+        assert_eq!(name, "warmup");
+        assert_eq!(span.count, 1);
+        assert!((span.total_s - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4] {
+            h.observe(v);
+        }
+        assert_eq!(h.buckets(), &[1, 1, 2, 1]);
+    }
+
+    #[test]
+    fn sampling_keeps_every_nth_per_category() {
+        let config = TelemetryConfig {
+            sampling: Sampling::keep_all().every(Category::Engine, 3),
+            ..TelemetryConfig::default()
+        };
+        let mut rec = Recorder::enabled(config);
+        for n in 0..7 {
+            rec.emit_with(|| engine_event(n));
+        }
+        let report = rec.into_report();
+        let kept: Vec<u64> = report
+            .events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::EngineStats {
+                    events_processed, ..
+                } => *events_processed,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![0, 3, 6]);
+        assert_eq!(report.sampled_out[Category::Engine.index()], 4);
+    }
+
+    #[test]
+    fn emit_sampled_skips_construction_when_dropped() {
+        let config = TelemetryConfig {
+            sampling: Sampling::keep_all().every(Category::Engine, 2),
+            ..TelemetryConfig::default()
+        };
+        let mut rec = Recorder::enabled(config);
+        rec.emit_sampled(Category::Engine, || engine_event(0)); // kept
+        rec.emit_sampled(Category::Engine, || unreachable!("sampled out"));
+        rec.emit_sampled(Category::Engine, || engine_event(2)); // kept
+        assert_eq!(rec.recent().len(), 2);
+    }
+
+    #[test]
+    fn rate_zero_drops_category_entirely() {
+        let config = TelemetryConfig {
+            sampling: Sampling::keep_all().every(Category::Engine, 0),
+            ..TelemetryConfig::default()
+        };
+        let mut rec = Recorder::enabled(config);
+        rec.emit_with(|| engine_event(0));
+        rec.emit_sampled(Category::Engine, || unreachable!("dropped category"));
+        let report = rec.into_report();
+        assert!(report.events.is_empty());
+        assert_eq!(report.sampled_out[Category::Engine.index()], 2);
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded_and_keeps_latest() {
+        let config = TelemetryConfig {
+            ring_capacity: 2,
+            ..TelemetryConfig::default()
+        };
+        let mut rec = Recorder::enabled(config);
+        for n in 0..5 {
+            rec.emit_with(|| engine_event(n));
+        }
+        assert_eq!(rec.recent(), vec![engine_event(3), engine_event(4)]);
+        // Full capture still has everything.
+        assert_eq!(rec.into_report().events.len(), 5);
+    }
+
+    #[test]
+    fn sinks_receive_kept_events_and_probe_cadence_holds() {
+        let sink = MemorySink::new();
+        let mut rec = Recorder::enabled(TelemetryConfig {
+            probe_every: 4,
+            ..TelemetryConfig::default()
+        });
+        rec.add_sink(Box::new(sink.clone()));
+        assert!(rec.probe_due(0));
+        assert!(!rec.probe_due(3));
+        assert!(rec.probe_due(8));
+        rec.emit_with(|| engine_event(1));
+        assert_eq!(sink.len(), 1);
+        rec.set_capture(false);
+        rec.emit_with(|| engine_event(2));
+        assert_eq!(sink.len(), 2, "sinks still stream with capture off");
+        assert_eq!(rec.into_report().events.len(), 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! Pluggable destinations for trace events.
+//!
+//! A [`Recorder`](crate::Recorder) always retains the last
+//! `ring_capacity` kept events in a bounded ring buffer; sinks are the
+//! *streaming* side — each kept event is offered to every attached sink
+//! as it happens. Four implementations cover the workspace's needs:
+//! [`JsonlSink`] (a file or any writer), [`CsvProbeSink`] (round-probe
+//! time series as CSV), [`StderrSink`] (the `COOP_SWARM_DEBUG`
+//! shorthand), and [`MemorySink`] (tests and the batch executor's
+//! ordered post-run writing).
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::event::TraceEvent;
+
+/// A destination for kept trace events.
+pub trait Sink: Send {
+    /// Receives one event, with its sequence number in the kept stream.
+    fn record(&mut self, seq: u64, event: &TraceEvent);
+
+    /// Flushes any buffered output (end of run).
+    fn flush(&mut self) {}
+}
+
+/// Streams events as JSON Lines to any writer (typically a
+/// `BufWriter<File>`).
+pub struct JsonlSink<W: Write + Send> {
+    writer: W,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer }
+    }
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Creates (truncating) a JSONL trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from file creation.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(JsonlSink::new(std::io::BufWriter::new(
+            std::fs::File::create(path)?,
+        )))
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&mut self, _seq: u64, event: &TraceEvent) {
+        let _ = writeln!(self.writer, "{}", event.to_jsonl());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Extracts the [`TraceEvent::RoundProbe`] time series as CSV — the
+/// plottable gauge stream (active/bootstrapped/completed peers,
+/// in-flight transfers) behind a run. All other event kinds are ignored.
+pub struct CsvProbeSink<W: Write + Send> {
+    writer: W,
+}
+
+/// The header row [`CsvProbeSink`] writes before its first record.
+pub const PROBE_CSV_HEADER: &str = "round,sim_s,active,bootstrapped,completed,inflight";
+
+impl<W: Write + Send> CsvProbeSink<W> {
+    /// Wraps a writer, emitting the CSV header immediately.
+    pub fn new(mut writer: W) -> Self {
+        let _ = writeln!(writer, "{PROBE_CSV_HEADER}");
+        CsvProbeSink { writer }
+    }
+}
+
+impl CsvProbeSink<std::io::BufWriter<std::fs::File>> {
+    /// Creates (truncating) a probe CSV file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from file creation.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(CsvProbeSink::new(std::io::BufWriter::new(
+            std::fs::File::create(path)?,
+        )))
+    }
+}
+
+impl<W: Write + Send> Sink for CsvProbeSink<W> {
+    fn record(&mut self, _seq: u64, event: &TraceEvent) {
+        if let TraceEvent::RoundProbe {
+            round,
+            sim_s,
+            active,
+            bootstrapped,
+            completed,
+            inflight,
+            ..
+        } = event
+        {
+            let _ = writeln!(
+                self.writer,
+                "{round},{sim_s},{active},{bootstrapped},{completed},{inflight}"
+            );
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Writes events to stderr, one JSONL line each — the structured
+/// replacement for the old ad-hoc debug `eprintln!`s.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn record(&mut self, _seq: u64, event: &TraceEvent) {
+        eprintln!("{}", event.to_jsonl());
+    }
+}
+
+/// Collects every kept event in memory. Cloning the sink shares the
+/// buffer, so a test (or the batch executor) can keep a handle while the
+/// recorder owns the sink.
+#[derive(Clone, Debug, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of the events collected so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Number of events collected.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// Whether no events have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, _seq: u64, event: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(round: u64) -> TraceEvent {
+        TraceEvent::EngineStats {
+            events_processed: round,
+            queue_depth_hwm: 1,
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(0, &event(1));
+        sink.record(1, &event(2));
+        sink.flush();
+        let text = String::from_utf8(sink.writer).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            crate::json::parse(line).expect("valid json");
+        }
+    }
+
+    #[test]
+    fn csv_probe_sink_keeps_only_round_probes() {
+        let mut sink = CsvProbeSink::new(Vec::new());
+        sink.record(0, &event(1)); // EngineStats: ignored
+        sink.record(
+            1,
+            &TraceEvent::RoundProbe {
+                round: 3,
+                sim_s: 4.0,
+                active: 10,
+                bootstrapped: 8,
+                completed: 2,
+                inflight: 5,
+                bytes_by_reason_delta: vec![1, 2],
+                availability_buckets: vec![0, 1],
+            },
+        );
+        sink.flush();
+        let text = String::from_utf8(sink.writer).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec![PROBE_CSV_HEADER, "3,4,10,8,2,5"]);
+    }
+
+    #[test]
+    fn memory_sink_handles_share_the_buffer() {
+        let sink = MemorySink::new();
+        let mut writer = sink.clone();
+        assert!(sink.is_empty());
+        writer.record(0, &event(7));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.events()[0], event(7));
+    }
+}
