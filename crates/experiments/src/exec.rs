@@ -19,6 +19,7 @@
 //! scheduling order leak into result order.
 
 use coop_attacks::AttackPlan;
+use coop_faults::FaultPlan;
 use coop_incentives::MechanismKind;
 use coop_swarm::SimResult;
 use coop_telemetry::{Recorder, TelemetryConfig, TelemetryReport};
@@ -39,6 +40,8 @@ pub struct SimJob {
     pub seed: u64,
     /// Attack scenario, or `None` for an all-compliant swarm.
     pub plan: Option<AttackPlan>,
+    /// Fault/churn scenario, or `None` for a fault-free run.
+    pub faults: Option<FaultPlan>,
 }
 
 impl SimJob {
@@ -63,13 +66,20 @@ impl SimJob {
                 scale,
                 seed,
                 plan: plan_for(kind),
+                faults: None,
             })
             .collect()
     }
 
     /// Runs this job to completion.
     pub fn run(&self) -> SimResult {
-        run_sim(self.kind, self.scale, self.plan.as_ref(), self.seed)
+        run_sim(
+            self.kind,
+            self.scale,
+            self.plan.as_ref(),
+            self.faults.as_ref(),
+            self.seed,
+        )
     }
 
     /// Runs this job with an enabled recorder built from `config`,
@@ -80,6 +90,7 @@ impl SimJob {
             self.kind,
             self.scale,
             self.plan.as_ref(),
+            self.faults.as_ref(),
             self.seed,
             Recorder::enabled(config.clone()),
         )

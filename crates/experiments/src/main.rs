@@ -1,10 +1,11 @@
 //! `coop-experiments` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! coop-experiments <table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fluid|ablations|extensions|all>
+//! coop-experiments <table1|table2|table3|fig1|fig2|fig3|fig4|fig4-churn|fig5|fig6|fluid|ablations|extensions|all>
 //!                  [--scale quick|default|paper] [--seed N] [--replicates N]
 //!                  [--jobs N] [--out-dir DIR]
 //!                  [--telemetry] [--trace-out FILE] [--probe-every N]
+//!                  [--churn RATE] [--loss PROB] [--seeder-exit FRACTION]
 //! ```
 //!
 //! Reports print to stdout; CSV/JSON series land in `target/experiments/`
@@ -95,6 +96,19 @@ fn run_one(artifact: Artifact, spec: &RunSpec, executor: &Executor) {
             runners::fig4::run_with_telemetry(scale, seed, executor, &telemetry, &out)
                 .0
                 .render()
+        ),
+        Artifact::Fig4Churn => println!(
+            "{}",
+            runners::fig4_churn::run_with_telemetry(
+                scale,
+                seed,
+                spec.fault_plan(),
+                executor,
+                &telemetry,
+                &out
+            )
+            .0
+            .render()
         ),
         Artifact::Fig5 => println!(
             "{}",

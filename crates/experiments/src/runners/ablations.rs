@@ -171,6 +171,7 @@ pub fn run_with(scale: Scale, seed: u64, executor: &Executor) -> AblationReport 
             MechanismKind::Altruism,
             scale,
             Some(&AttackPlan::simple(f)),
+            None,
             seed,
         );
         point(f, &result)
@@ -180,6 +181,7 @@ pub fn run_with(scale: Scale, seed: u64, executor: &Executor) -> AblationReport 
             MechanismKind::TChain,
             scale,
             Some(&AttackPlan::most_effective(MechanismKind::TChain, f)),
+            None,
             seed,
         );
         point(f, &result)
@@ -193,7 +195,7 @@ pub fn run_with(scale: Scale, seed: u64, executor: &Executor) -> AblationReport 
     let reputation_false_praise = executor.map(&praise_plans, |_, &(x, ref plan)| {
         point(
             x,
-            &run_sim(MechanismKind::Reputation, scale, Some(plan), seed),
+            &run_sim(MechanismKind::Reputation, scale, Some(plan), None, seed),
         )
     });
 
@@ -201,7 +203,7 @@ pub fn run_with(scale: Scale, seed: u64, executor: &Executor) -> AblationReport 
     let whitewash_sweep = executor.map(&[5u64, 10, 20, 40], |_, &w| {
         let mut plan = AttackPlan::simple(0.2);
         plan.whitewash_interval = Some(w);
-        let result = run_sim(MechanismKind::FairTorrent, scale, Some(&plan), seed);
+        let result = run_sim(MechanismKind::FairTorrent, scale, Some(&plan), None, seed);
         point(w as f64, &result)
     });
 

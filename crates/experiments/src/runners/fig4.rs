@@ -162,7 +162,7 @@ pub(crate) fn run_figure_traced(
 }
 
 /// Milliseconds elapsed since `start` (saturating).
-fn elapsed_ms(start: std::time::Instant) -> u64 {
+pub(crate) fn elapsed_ms(start: std::time::Instant) -> u64 {
     u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX)
 }
 
@@ -173,7 +173,7 @@ fn elapsed_ms(start: std::time::Instant) -> u64 {
 /// Everything here carries wall-clock data, which is why none of it goes
 /// into figure artifacts — those must stay byte-deterministic.
 #[allow(clippy::too_many_arguments)] // plumbing for the manifest fields
-fn emit_run_outputs(
+pub(crate) fn emit_run_outputs(
     figure: &str,
     trace: &BatchTrace,
     opts: &TelemetryOpts,

@@ -6,6 +6,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
+pub mod fig4_churn;
 pub mod fig5;
 pub mod fig6;
 pub mod fluid;
@@ -14,6 +15,7 @@ pub mod table2;
 pub mod table3;
 
 use coop_attacks::AttackPlan;
+use coop_faults::FaultPlan;
 use coop_incentives::MechanismKind;
 use coop_swarm::{flash_crowd_with, SimResult, Simulation};
 use coop_telemetry::{Recorder, TelemetryReport};
@@ -21,15 +23,16 @@ use coop_telemetry::{Recorder, TelemetryReport};
 use crate::Scale;
 
 /// Runs one swarm simulation of `kind` at `scale`, optionally under an
-/// attack plan. The seed controls population, arrivals and every random
-/// draw; identical inputs give identical results.
+/// attack plan and/or a fault plan. The seed controls population, arrivals
+/// and every random draw; identical inputs give identical results.
 pub(crate) fn run_sim(
     kind: MechanismKind,
     scale: Scale,
     plan: Option<&AttackPlan>,
+    faults: Option<&FaultPlan>,
     seed: u64,
 ) -> SimResult {
-    run_sim_traced(kind, scale, plan, seed, Recorder::disabled()).0
+    run_sim_traced(kind, scale, plan, faults, seed, Recorder::disabled()).0
 }
 
 /// [`run_sim`] with an attached telemetry recorder. The recorder is purely
@@ -39,6 +42,7 @@ pub(crate) fn run_sim_traced(
     kind: MechanismKind,
     scale: Scale,
     plan: Option<&AttackPlan>,
+    faults: Option<&FaultPlan>,
     seed: u64,
     recorder: Recorder,
 ) -> (SimResult, TelemetryReport) {
@@ -58,6 +62,9 @@ pub(crate) fn run_sim_traced(
     if let Some(plan) = plan {
         // The builder seeds patches with `config.seed`, which is `seed`.
         builder = builder.attack_plan(*plan);
+    }
+    if let Some(faults) = faults {
+        builder = builder.fault_plan(*faults);
     }
     builder
         .build()

@@ -7,6 +7,8 @@
 
 use std::path::PathBuf;
 
+use coop_faults::FaultPlan;
+
 use crate::exec::Executor;
 use crate::telemetry::TelemetryOpts;
 use crate::Scale;
@@ -22,6 +24,7 @@ pub enum Artifact {
     Fig2,
     Fig3,
     Fig4,
+    Fig4Churn,
     Fig5,
     Fig6,
     Fluid,
@@ -33,7 +36,7 @@ pub enum Artifact {
 
 impl Artifact {
     /// The individual artifacts, in the order `all` runs them.
-    pub const ALL: [Artifact; 12] = [
+    pub const ALL: [Artifact; 13] = [
         Artifact::Table1,
         Artifact::Fig1,
         Artifact::Fig2,
@@ -41,6 +44,7 @@ impl Artifact {
         Artifact::Table2,
         Artifact::Table3,
         Artifact::Fig4,
+        Artifact::Fig4Churn,
         Artifact::Fig5,
         Artifact::Fig6,
         Artifact::Fluid,
@@ -62,6 +66,7 @@ impl Artifact {
             "fig2" => Ok(Artifact::Fig2),
             "fig3" => Ok(Artifact::Fig3),
             "fig4" => Ok(Artifact::Fig4),
+            "fig4-churn" | "fig4churn" => Ok(Artifact::Fig4Churn),
             "fig5" => Ok(Artifact::Fig5),
             "fig6" => Ok(Artifact::Fig6),
             "fluid" => Ok(Artifact::Fluid),
@@ -82,6 +87,7 @@ impl Artifact {
             Artifact::Fig2 => "fig2",
             Artifact::Fig3 => "fig3",
             Artifact::Fig4 => "fig4",
+            Artifact::Fig4Churn => "fig4-churn",
             Artifact::Fig5 => "fig5",
             Artifact::Fig6 => "fig6",
             Artifact::Fluid => "fluid",
@@ -111,7 +117,7 @@ impl Artifact {
 /// assert_eq!(spec.jobs, 4);
 /// assert_eq!(spec.seeds(), (42..50).collect::<Vec<_>>());
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunSpec {
     /// What to regenerate.
     pub artifact: Artifact,
@@ -135,6 +141,13 @@ pub struct RunSpec {
     pub trace_out: Option<PathBuf>,
     /// Round-probe cadence for telemetry (`--probe-every`, default 10).
     pub probe_every: u64,
+    /// Per-round churn departure hazard (`--churn`, fig4-churn only).
+    pub churn: Option<f64>,
+    /// Per-transfer message-loss probability (`--loss`, fig4-churn only).
+    pub loss: Option<f64>,
+    /// Seeder exits once this fraction of compliant peers completed
+    /// (`--seeder-exit`, fig4-churn only).
+    pub seeder_exit: Option<f64>,
 }
 
 /// Why an argv slice failed to parse into a [`RunSpec`].
@@ -187,10 +200,11 @@ impl std::error::Error for SpecError {}
 
 /// The usage string printed alongside parse errors.
 pub const USAGE: &str = "usage: coop-experiments \
-<table1|table2|table3|fig1|fig2|fig3|fig4|fig5|fig6|fluid|ablations|extensions|all>
+<table1|table2|table3|fig1|fig2|fig3|fig4|fig4-churn|fig5|fig6|fluid|ablations|extensions|all>
        [--scale quick|default|paper] [--seed N] [--replicates N]
        [--jobs N] [--out-dir DIR]
-       [--telemetry] [--trace-out FILE] [--probe-every N]";
+       [--telemetry] [--trace-out FILE] [--probe-every N]
+       [--churn RATE] [--loss PROB] [--seeder-exit FRACTION]  (fig4-churn)";
 
 impl RunSpec {
     /// Parses CLI arguments (without the program name).
@@ -209,6 +223,9 @@ impl RunSpec {
         let mut telemetry = false;
         let mut trace_out = None;
         let mut probe_every = 10u64;
+        let mut churn = None;
+        let mut loss = None;
+        let mut seeder_exit = None;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -243,6 +260,23 @@ impl RunSpec {
                 "--probe-every" => {
                     probe_every = parse_number(&mut it, "--probe-every", 1)?;
                 }
+                "--churn" => {
+                    churn = Some(parse_float(&mut it, "--churn", 1.0)?);
+                }
+                "--loss" => {
+                    loss = Some(parse_float(&mut it, "--loss", 1.0)?);
+                }
+                "--seeder-exit" => {
+                    let v = parse_float(&mut it, "--seeder-exit", 1.0)?;
+                    if v <= 0.0 {
+                        return Err(SpecError::InvalidValue {
+                            flag: "--seeder-exit",
+                            value: format!("{v}"),
+                            reason: "must be in (0, 1]".to_string(),
+                        });
+                    }
+                    seeder_exit = Some(v);
+                }
                 other if other.starts_with('-') => {
                     return Err(SpecError::UnknownFlag(other.to_string()));
                 }
@@ -256,8 +290,24 @@ impl RunSpec {
                 }
             }
         }
+        let artifact = artifact.ok_or(SpecError::MissingArtifact)?;
+        if artifact != Artifact::Fig4Churn {
+            for (flag, set) in [
+                ("--churn", churn.is_some()),
+                ("--loss", loss.is_some()),
+                ("--seeder-exit", seeder_exit.is_some()),
+            ] {
+                if set {
+                    return Err(SpecError::InvalidValue {
+                        flag,
+                        value: artifact.name().to_string(),
+                        reason: "fault flags are only supported by fig4-churn".to_string(),
+                    });
+                }
+            }
+        }
         Ok(RunSpec {
-            artifact: artifact.ok_or(SpecError::MissingArtifact)?,
+            artifact,
             scale,
             seed,
             replicates,
@@ -266,6 +316,9 @@ impl RunSpec {
             telemetry,
             trace_out,
             probe_every,
+            churn,
+            loss,
+            seeder_exit,
         })
     }
 
@@ -277,6 +330,26 @@ impl RunSpec {
     /// An [`Executor`] sized to this spec's `--jobs`.
     pub fn executor(&self) -> Executor {
         Executor::new(self.jobs)
+    }
+
+    /// The base fault plan implied by `--churn`, `--loss` and
+    /// `--seeder-exit`, or `None` when no fault flag was given (the
+    /// fig4-churn runner then uses its default sweep).
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        if self.churn.is_none() && self.loss.is_none() && self.seeder_exit.is_none() {
+            return None;
+        }
+        let mut plan = FaultPlan::none();
+        if let Some(rate) = self.churn {
+            plan.churn_rate = rate;
+        }
+        if let Some(prob) = self.loss {
+            plan.loss_prob = prob;
+        }
+        if let Some(fraction) = self.seeder_exit {
+            plan.seeder_exit_fraction = Some(fraction);
+        }
+        Some(plan)
     }
 
     /// The telemetry options implied by `--telemetry`, `--trace-out`,
@@ -316,6 +389,28 @@ fn parse_number(
             flag,
             value: v,
             reason: "expected a non-negative integer".to_string(),
+        }),
+    }
+}
+
+/// Parses `flag`'s value as a finite float in `[0, max]`.
+fn parse_float(
+    it: &mut impl Iterator<Item = String>,
+    flag: &'static str,
+    max: f64,
+) -> Result<f64, SpecError> {
+    let v = next_value(it, flag)?;
+    match v.parse::<f64>() {
+        Ok(x) if x.is_finite() && (0.0..=max).contains(&x) => Ok(x),
+        Ok(_) => Err(SpecError::InvalidValue {
+            flag,
+            value: v,
+            reason: format!("must be a finite number in [0, {max}]"),
+        }),
+        Err(_) => Err(SpecError::InvalidValue {
+            flag,
+            value: v,
+            reason: "expected a number".to_string(),
         }),
     }
 }
@@ -408,6 +503,56 @@ mod tests {
         // A typo'd telemetry flag is still an unknown flag.
         let err = parse(&["fig4", "--telemetri"]).unwrap_err();
         assert_eq!(err, SpecError::UnknownFlag("--telemetri".to_string()));
+    }
+
+    #[test]
+    fn fault_flags_parse_into_a_plan() {
+        let spec = parse(&[
+            "fig4-churn",
+            "--churn",
+            "0.02",
+            "--loss",
+            "0.1",
+            "--seeder-exit",
+            "0.5",
+        ])
+        .unwrap();
+        assert_eq!(spec.artifact, Artifact::Fig4Churn);
+        let plan = spec.fault_plan().unwrap();
+        assert_eq!(plan.churn_rate, 0.02);
+        assert_eq!(plan.loss_prob, 0.1);
+        assert_eq!(plan.seeder_exit_fraction, Some(0.5));
+        assert!(plan.fixed_lifetime_rounds.is_none());
+
+        // No fault flags: the runner picks its default sweep.
+        let spec = parse(&["fig4-churn"]).unwrap();
+        assert_eq!(spec.fault_plan(), None);
+    }
+
+    #[test]
+    fn fault_flag_values_are_validated() {
+        let err = parse(&["fig4-churn", "--loss", "1.5"]).unwrap_err();
+        assert!(matches!(err, SpecError::InvalidValue { flag: "--loss", .. }), "{err:?}");
+
+        let err = parse(&["fig4-churn", "--churn", "NaN"]).unwrap_err();
+        assert!(matches!(err, SpecError::InvalidValue { flag: "--churn", .. }), "{err:?}");
+
+        let err = parse(&["fig4-churn", "--seeder-exit", "0"]).unwrap_err();
+        assert!(
+            matches!(err, SpecError::InvalidValue { flag: "--seeder-exit", .. }),
+            "{err:?}"
+        );
+
+        let err = parse(&["fig4-churn", "--churn"]).unwrap_err();
+        assert_eq!(err, SpecError::MissingValue { flag: "--churn" });
+    }
+
+    #[test]
+    fn fault_flags_rejected_for_other_artifacts() {
+        let err = parse(&["fig4", "--churn", "0.02"]).unwrap_err();
+        assert!(matches!(err, SpecError::InvalidValue { flag: "--churn", .. }), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("fig4-churn"), "{msg}");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use coop_telemetry::Recorder;
 
 use crate::config::{ConfigError, PeerSpec, SwarmConfig};
+use crate::faults::{FaultPatch, FaultSchedule};
 use crate::sim::Simulation;
 
 /// A transformation applied to the population before the simulation is
@@ -46,6 +47,12 @@ pub enum BuildError {
         /// What is wrong with the spec.
         reason: String,
     },
+    /// The compiled fault schedule violates a structural invariant (see
+    /// [`FaultSchedule::validate`]).
+    InvalidFaults {
+        /// The first violation found.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -55,6 +62,9 @@ impl std::fmt::Display for BuildError {
             BuildError::EmptyPopulation => write!(f, "population must not be empty"),
             BuildError::InvalidPeer { index, reason } => {
                 write!(f, "invalid peer spec at index {index}: {reason}")
+            }
+            BuildError::InvalidFaults { reason } => {
+                write!(f, "invalid fault schedule: {reason}")
             }
         }
     }
@@ -98,6 +108,8 @@ pub struct SimulationBuilder {
     config: SwarmConfig,
     population: Vec<PeerSpec>,
     patches: Vec<Box<dyn PopulationPatch>>,
+    fault_patch: Option<Box<dyn FaultPatch>>,
+    fault_schedule: Option<FaultSchedule>,
     recorder: Recorder,
 }
 
@@ -107,6 +119,7 @@ impl std::fmt::Debug for SimulationBuilder {
             .field("config", &self.config)
             .field("population", &self.population.len())
             .field("patches", &self.patches.len())
+            .field("faults", &self.fault_patch.is_some())
             .finish()
     }
 }
@@ -117,6 +130,8 @@ impl SimulationBuilder {
             config,
             population: Vec::new(),
             patches: Vec::new(),
+            fault_patch: None,
+            fault_schedule: None,
             recorder: Recorder::disabled(),
         }
     }
@@ -144,6 +159,26 @@ impl SimulationBuilder {
         self
     }
 
+    /// Attaches a fault plan — typically a `coop_faults::FaultPlan` —
+    /// compiled at [`build`](SimulationBuilder::build) time (after attack
+    /// patches, so faults see the final population) into a pre-drawn
+    /// [`FaultSchedule`]. Replaces any earlier `fault_plan` or
+    /// [`fault_schedule`](SimulationBuilder::fault_schedule) call.
+    pub fn fault_plan(mut self, plan: impl FaultPatch + 'static) -> Self {
+        self.fault_patch = Some(Box::new(plan));
+        self.fault_schedule = None;
+        self
+    }
+
+    /// Attaches an already-compiled fault schedule directly (tests use
+    /// this; `fault_plan` is the usual entry point). Replaces any earlier
+    /// [`fault_plan`](SimulationBuilder::fault_plan) call.
+    pub fn fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.fault_schedule = Some(schedule);
+        self.fault_patch = None;
+        self
+    }
+
     /// Validates everything and assembles the simulation.
     ///
     /// # Errors
@@ -151,7 +186,9 @@ impl SimulationBuilder {
     /// - [`BuildError::Config`] if the configuration is invalid;
     /// - [`BuildError::EmptyPopulation`] if no peers were supplied;
     /// - [`BuildError::InvalidPeer`] if any (post-patch) spec has a
-    ///   non-finite or negative capacity or a zero whitewash interval.
+    ///   non-finite or negative capacity or a zero whitewash interval;
+    /// - [`BuildError::InvalidFaults`] if the compiled fault schedule
+    ///   fails [`FaultSchedule::validate`].
     pub fn build(mut self) -> Result<Simulation, BuildError> {
         self.config.validate()?;
         if self.population.is_empty() {
@@ -160,6 +197,30 @@ impl SimulationBuilder {
         let seed = self.config.seed;
         for patch in &self.patches {
             patch.apply_patch(&mut self.population, seed);
+        }
+        // Faults compile after attack patches so the schedule is drawn
+        // against the final population (and may stagger its arrivals).
+        let faults = match (&self.fault_patch, self.fault_schedule.take()) {
+            (Some(patch), _) => patch.compile_faults(&mut self.population, &self.config),
+            (None, Some(schedule)) => schedule,
+            (None, None) => FaultSchedule::empty(),
+        };
+        faults
+            .validate(self.population.len())
+            .map_err(|reason| BuildError::InvalidFaults { reason })?;
+        // No fault may fire at or before its peer's arrival round — a
+        // schedule naming a peer that has not spawned yet would be
+        // silently unapplicable.
+        let driver = coop_des::RoundDriver::new(self.config.round);
+        for ev in faults.events() {
+            let arrival_round = driver.round_of(self.population[ev.peer].arrival);
+            if ev.round <= arrival_round {
+                return Err(BuildError::InvalidFaults {
+                    reason: format!(
+                        "{ev:?} fires at or before the peer's arrival round {arrival_round}"
+                    ),
+                });
+            }
         }
         for (index, spec) in self.population.iter().enumerate() {
             if !spec.capacity_bps.is_finite() || spec.capacity_bps < 0.0 {
@@ -182,6 +243,7 @@ impl SimulationBuilder {
             self.config,
             self.population,
             self.recorder,
+            faults,
         ))
     }
 }
@@ -190,6 +252,7 @@ impl SimulationBuilder {
 mod tests {
     use super::*;
     use crate::config::{flash_crowd, PeerTags};
+    use crate::faults::{FaultEvent, FaultKind};
     use coop_incentives::MechanismKind;
 
     fn base() -> (SwarmConfig, Vec<PeerSpec>) {
@@ -277,5 +340,58 @@ mod tests {
             .unwrap();
         let result = sim.run();
         assert!(result.peers.iter().any(|r| !r.compliant));
+    }
+
+    #[test]
+    fn rejects_invalid_fault_schedule() {
+        let (config, population) = base();
+        let bad = FaultSchedule::from_events(
+            vec![FaultEvent {
+                round: 3,
+                peer: 100, // out of range for 6 peers
+                kind: FaultKind::Depart,
+            }],
+            0.0,
+            0,
+        );
+        let err = Simulation::builder(config)
+            .population(population)
+            .fault_schedule(bad)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::InvalidFaults { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn fault_patch_sees_final_population_and_config() {
+        let (mut config, population) = base();
+        config.seed = 42;
+        let sim = Simulation::builder(config)
+            .population(population)
+            .attack_plan(|pop: &mut [PeerSpec], _seed: u64| {
+                pop[1].tags.compliant = false;
+                1
+            })
+            .fault_plan(|pop: &mut [PeerSpec], config: &SwarmConfig| {
+                assert_eq!(config.seed, 42, "fault patches see the config");
+                assert!(!pop[1].tags.compliant, "faults compile after attacks");
+                // Fault patches may restage arrivals (Poisson staggering
+                // does); here it also pins the arrival round below the
+                // departure round.
+                pop[0].arrival = coop_des::SimTime::ZERO;
+                FaultSchedule::from_events(
+                    vec![FaultEvent {
+                        round: 5,
+                        peer: 0,
+                        kind: FaultKind::Depart,
+                    }],
+                    0.0,
+                    config.seed,
+                )
+            })
+            .build()
+            .unwrap();
+        let result = sim.run();
+        assert!(result.rounds_run > 0);
     }
 }

@@ -40,6 +40,7 @@
 
 mod builder;
 mod config;
+mod faults;
 mod peer;
 mod result;
 mod sim;
@@ -51,5 +52,6 @@ pub use config::{
     flash_crowd, flash_crowd_with, staggered_arrivals, ConfigError, MechanismFactory, PeerSpec,
     PeerTags, PieceStrategy, SwarmConfig,
 };
+pub use faults::{FaultEvent, FaultKind, FaultPatch, FaultSchedule};
 pub use result::{PeerRecord, SimResult, Totals};
 pub use sim::{Simulation, SEEDER_ID};

@@ -28,6 +28,8 @@ pub enum Departure {
     Completed(SimTime),
     /// Retired this identity via whitewashing (a successor id exists).
     Whitewashed(SimTime),
+    /// Removed by the fault schedule (churn departure or seeder failure).
+    Churned(SimTime),
 }
 
 /// Mutable state of one peer identity.
@@ -67,6 +69,10 @@ pub struct PeerState {
     pub bootstrap_time: Option<SimTime>,
     /// Set when the peer departs.
     pub departure: Option<Departure>,
+    /// True while the fault schedule holds this peer in an outage: the
+    /// peer keeps its bitfield and neighbors but neither uploads nor
+    /// downloads until the matching outage-end round.
+    pub offline: bool,
     /// Usable bytes received (plain deliveries plus unlocks).
     pub bytes_received_usable: u64,
     /// Raw bytes received (including still-locked and later-expired
@@ -109,6 +115,7 @@ impl PeerState {
             neighbors: BTreeSet::new(),
             bootstrap_time: None,
             departure: None,
+            offline: false,
             bytes_received_usable: 0,
             bytes_received_raw: 0,
             bytes_sent: 0,

@@ -52,6 +52,9 @@ pub struct Totals {
     /// `GrantReason::index()` — the empirical counterpart of Table III's
     /// bandwidth attribution.
     pub bytes_by_reason: [u64; 9],
+    /// Bytes of completed piece transfers lost to fault-injected link
+    /// loss (sender paid for them; the receiver never got the piece).
+    pub fault_dropped_bytes: u64,
 }
 
 impl Totals {
@@ -93,6 +96,11 @@ pub struct SimResult {
     pub diversity: TimeSeries,
     /// Byte totals.
     pub totals: Totals,
+    /// True when the run ended because the swarm became unsatisfiable —
+    /// some active peer still wants a piece no online peer (or seeder)
+    /// holds, and no bytes can ever move again. Only fault schedules can
+    /// cause this (the fault-free seeder offers every piece forever).
+    pub stalled: bool,
 }
 
 impl SimResult {
@@ -261,6 +269,7 @@ mod tests {
                 freerider_received_from_peers: 225,
                 aborted_bytes: 0,
                 bytes_by_reason: [0; 9],
+                fault_dropped_bytes: 0,
             },
             ..SimResult::default()
         };

@@ -26,6 +26,7 @@ use rand::seq::SliceRandom;
 use rand::RngCore;
 
 use crate::config::{ConfigError, PeerSpec, PieceStrategy, SwarmConfig};
+use crate::faults::{FaultKind, FaultSchedule};
 use crate::peer::{Departure, PeerState};
 use crate::result::{PeerRecord, SimResult, Totals};
 use crate::transfer::{InFlight, TransferTable};
@@ -74,6 +75,26 @@ pub struct Simulation {
     /// [`Totals::bytes_by_reason`] as of the previous round probe, for
     /// per-probe deltas.
     probe_prev_bytes: [u64; GrantReason::ALL.len()],
+    /// The pre-drawn fault schedule ([`FaultSchedule::empty`] when no
+    /// faults were configured — the round loop then takes exactly the
+    /// fault-free branches).
+    faults: FaultSchedule,
+    /// Cursor into `faults.events()` (events are applied in order, once).
+    fault_cursor: usize,
+    /// Spec index → spawned peer id: fault events are keyed by spec index
+    /// (stable across runs), resolved here at application time. Whitewash
+    /// successor identities are not tracked — a fault targeting a retired
+    /// identity is skipped.
+    spec_peer: Vec<Option<PeerId>>,
+    /// False once the fault schedule takes the seeder offline (failure
+    /// round reached or the seeder-exit completion threshold crossed).
+    seeder_online: bool,
+    /// Set when the run terminated because the swarm became
+    /// unsatisfiable (see [`SimResult::stalled`]).
+    stalled: bool,
+    /// [`Totals::uploaded_total`] at the end of the previous round, to
+    /// detect quiescent rounds for stall detection.
+    prev_uploaded_total: u64,
     totals: Totals,
     fairness_avg: TimeSeries,
     diversity: TimeSeries,
@@ -120,6 +141,7 @@ impl Simulation {
         config: SwarmConfig,
         population: Vec<PeerSpec>,
         recorder: Recorder,
+        faults: FaultSchedule,
     ) -> Self {
         // `COOP_SWARM_DEBUG` is shorthand for "stream end-of-run state
         // dumps to stderr": when set and no recorder was supplied, spin up
@@ -155,6 +177,7 @@ impl Simulation {
         // The first round is processed at the end of its window, after the
         // arrivals within it.
         engine.schedule(rounds.start_of(1), Event::RoundTick);
+        let spec_count = specs.len();
         Simulation {
             seeds: SeedTree::new(config.seed),
             availability: AvailabilityMap::new(num_pieces),
@@ -175,6 +198,12 @@ impl Simulation {
             scratch_held: Bitfield::new(0),
             recorder,
             probe_prev_bytes: [0; GrantReason::ALL.len()],
+            spec_peer: vec![None; spec_count],
+            faults,
+            fault_cursor: 0,
+            seeder_online: true,
+            stalled: false,
+            prev_uploaded_total: 0,
             totals: Totals::default(),
             fairness_avg: TimeSeries::new(),
             diversity: TimeSeries::new(),
@@ -215,6 +244,20 @@ impl Simulation {
             .is_some_and(|p| p.is_active())
     }
 
+    /// Whether `id` can currently exchange bytes: active *and* not held
+    /// dark by a fault-schedule outage. Identical to [`Self::is_active`]
+    /// when no fault schedule is attached (no peer is ever offline), so
+    /// every interaction path below uses this without perturbing
+    /// fault-free runs.
+    pub fn is_online(&self, id: PeerId) -> bool {
+        if id == SEEDER_ID {
+            return false;
+        }
+        self.peers
+            .get(id.index() as usize)
+            .is_some_and(|p| p.is_active() && !p.offline)
+    }
+
     /// Global reputation of `id` (0 for unknown/departed identities).
     /// With `trusted_reputation` enabled this is the EigenTrust score
     /// (recomputed once per round); otherwise the raw claimed-upload
@@ -234,7 +277,7 @@ impl Simulation {
 
     /// Does active peer `who` need at least one piece `from` can offer?
     pub fn needs(&self, who: PeerId, from: PeerId) -> bool {
-        if who == from || !self.is_active(who) {
+        if who == from || !self.is_online(who) {
             return false;
         }
         // A partially transferred piece keeps the pair interested; without
@@ -245,8 +288,11 @@ impl Simulation {
         }
         let w = self.peer(who);
         let offer = if from == SEEDER_ID {
+            if !self.seeder_online {
+                return false;
+            }
             &self.seeder_bf
-        } else if self.is_active(from) {
+        } else if self.is_online(from) {
             self.peer(from).offer()
         } else {
             return false;
@@ -296,7 +342,23 @@ impl Simulation {
                         !p.is_active()
                             || !(p.tags.compliant || p.tags.whitewash_interval.is_some())
                     });
-                if !all_done && self.round_idx < self.config.max_rounds {
+                // Stall detection (fault schedules only): when a round
+                // moved no bytes and some run-holding peer wants a piece
+                // no live source will ever offer again (its last copy
+                // departed), the run can never reach `all_done` — stop
+                // now with a `Stalled` outcome instead of spinning to
+                // `max_rounds`.
+                let moved = self.totals.uploaded_total() != self.prev_uploaded_total;
+                self.prev_uploaded_total = self.totals.uploaded_total();
+                if !all_done
+                    && !moved
+                    && !self.faults.is_inert()
+                    && self.swarm_unsatisfiable()
+                {
+                    self.stalled = true;
+                    self.recorder.incr("swarm.fault.stalls", 1);
+                    self.record_fault("stalled", u32::MAX, 0);
+                } else if !all_done && self.round_idx < self.config.max_rounds {
                     eng.schedule(self.rounds.start_of(self.round_idx + 1), Event::RoundTick);
                 }
             }
@@ -306,6 +368,10 @@ impl Simulation {
     fn spawn_peer(&mut self, idx: usize, now: SimTime) {
         let spec = self.specs[idx].take().expect("arrival fires once");
         let id = PeerId::new(self.peers.len() as u32);
+        // Peer ids follow spawn order, not spec order (staggered arrivals
+        // interleave); fault events are keyed by spec index and resolved
+        // through this map.
+        self.spec_peer[idx] = Some(id);
         let mechanism = (spec.mechanism)();
         let mut peer = PeerState::new(
             id,
@@ -380,14 +446,14 @@ impl Simulation {
         for (idx, p) in peers.iter().enumerate() {
             let list = &mut candidates[idx];
             list.clear();
-            if !p.is_active() {
+            if !p.is_active() || p.offline {
                 continue;
             }
             list.extend(p.neighbors.iter().copied().filter(|&n| {
                 n == SEEDER_ID
                     || peers
                         .get(n.index() as usize)
-                        .is_some_and(PeerState::is_active)
+                        .is_some_and(|q| q.is_active() && !q.offline)
             }));
         }
     }
@@ -401,6 +467,7 @@ impl Simulation {
     }
 
     fn step_round(&mut self, now: SimTime) {
+        self.apply_faults_pass(now);
         self.whitewash_pass(now);
         self.collusion_praise_pass();
         if self.config.trusted_reputation {
@@ -414,7 +481,7 @@ impl Simulation {
         let mut order: Vec<u32> = self
             .peers
             .iter()
-            .filter(|p| p.is_active())
+            .filter(|p| p.is_active() && !p.offline)
             .map(|p| p.id.index())
             .collect();
         {
@@ -490,7 +557,7 @@ impl Simulation {
 
     fn allocate_and_execute(&mut self, id: PeerId, now: SimTime) {
         let idx = id.index() as usize;
-        if !self.peers[idx].is_active() {
+        if !self.peers[idx].is_active() || self.peers[idx].offline {
             return;
         }
         let budget = self.config.bytes_per_round(self.peers[idx].capacity_bps);
@@ -597,7 +664,7 @@ impl Simulation {
         rng: &mut dyn RngCore,
         start_new: bool,
     ) -> u64 {
-        if to == from || to == SEEDER_ID || !self.is_active(to) {
+        if to == from || to == SEEDER_ID || !self.is_online(to) {
             return 0;
         }
         let mut left = bytes;
@@ -621,7 +688,18 @@ impl Simulation {
                 self.account_bytes(from, to, step);
                 self.totals.bytes_by_reason[reason.index()] += step;
                 if let Some(done) = self.transfers.progress(from, to, step, self.round_idx) {
-                    self.deliver(from, to, done, now);
+                    // Per-link message loss: a pure hash of (loss_seed,
+                    // link, piece, round) — a no-op single branch when the
+                    // schedule carries no loss probability.
+                    let from_raw = if from == SEEDER_ID { u32::MAX } else { from.index() };
+                    if self
+                        .faults
+                        .drops_piece(from_raw, to.index(), done.piece, self.round_idx)
+                    {
+                        self.drop_delivery(to, done);
+                    } else {
+                        self.deliver(from, to, done, now);
+                    }
                 }
                 left -= step;
                 used += step;
@@ -1018,6 +1096,198 @@ impl Simulation {
         self.peers[idx].inflight_conditional = 0;
     }
 
+    /// Applies every fault whose round has come, at the top of the round
+    /// (before whitewashing and allocation). A no-op — one `is_inert`
+    /// branch — when no fault schedule is attached, so fault-free runs
+    /// are untouched.
+    fn apply_faults_pass(&mut self, now: SimTime) {
+        if self.faults.is_inert() {
+            return;
+        }
+        self.seeder_fault_pass();
+        while self.fault_cursor < self.faults.events().len() {
+            let ev = self.faults.events()[self.fault_cursor];
+            if ev.round > self.round_idx {
+                break;
+            }
+            self.fault_cursor += 1;
+            // Resolve the spec index to the spawned identity. Unspawned
+            // (arrival still pending — hand-built schedules only) or
+            // already-departed identities (completed, whitewashed, or
+            // churned earlier) are skipped: the schedule describes what
+            // the environment *would* do, not what must happen.
+            let Some(id) = self.spec_peer.get(ev.peer).copied().flatten() else {
+                continue;
+            };
+            let idx = id.index() as usize;
+            if !self.peers[idx].is_active() {
+                continue;
+            }
+            match ev.kind {
+                FaultKind::Depart => {
+                    if self.peers[idx].offline {
+                        // A schedule never departs a peer mid-outage, but
+                        // an end-at-departure-round event may still be
+                        // pending; restore availability before `depart`
+                        // removes it so the counts stay balanced.
+                        self.end_outage(id);
+                    }
+                    self.depart(id, Departure::Churned(now));
+                    self.recorder.incr("swarm.fault.departures", 1);
+                    self.record_fault(FaultKind::Depart.name(), id.index(), 0);
+                }
+                FaultKind::OutageStart => {
+                    self.start_outage(id);
+                    self.recorder.incr("swarm.fault.outages", 1);
+                    self.record_fault(FaultKind::OutageStart.name(), id.index(), 0);
+                }
+                FaultKind::OutageEnd => {
+                    if self.peers[idx].offline {
+                        self.end_outage(id);
+                        self.record_fault(FaultKind::OutageEnd.name(), id.index(), 0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Takes the seeder permanently offline when the schedule says so:
+    /// at a fixed failure round, or once the configured fraction of the
+    /// expected compliant population has completed (the "selfish
+    /// leech-off" where the original seeder stops seeding as soon as the
+    /// content has spread).
+    fn seeder_fault_pass(&mut self) {
+        if !self.seeder_online {
+            return;
+        }
+        let failed = self
+            .faults
+            .seeder_failure_round
+            .is_some_and(|r| self.round_idx >= r);
+        let exited = self.faults.seeder_exit_fraction.is_some_and(|f| {
+            let done = self
+                .peers
+                .iter()
+                .filter(|p| {
+                    p.tags.compliant && matches!(p.departure, Some(Departure::Completed(_)))
+                })
+                .count();
+            done > 0 && done as f64 >= f * self.expected_compliant as f64
+        });
+        if !(failed || exited) {
+            return;
+        }
+        self.seeder_online = false;
+        let dropped = self.transfers.drop_peer(SEEDER_ID);
+        for ((_, t), fl) in dropped {
+            if t != SEEDER_ID {
+                let p = &mut self.peers[t.index() as usize];
+                p.inflight.remove(&fl.piece);
+                if fl.condition.is_some() {
+                    p.inflight_conditional = p.inflight_conditional.saturating_sub(1);
+                }
+            }
+        }
+        self.recorder.incr("swarm.fault.seeder_offline", 1);
+        self.record_fault("seeder_offline", u32::MAX, 0);
+    }
+
+    /// Suspends a peer: its transfers (both directions) are dropped and
+    /// its pieces leave the availability map, but it keeps its bitfield,
+    /// ledgers, obligations and neighbor links for resumption.
+    fn start_outage(&mut self, id: PeerId) {
+        let dropped = self.transfers.drop_peer(id);
+        for ((_, t), fl) in dropped {
+            if t != id && t != SEEDER_ID {
+                let p = &mut self.peers[t.index() as usize];
+                p.inflight.remove(&fl.piece);
+                if fl.condition.is_some() {
+                    p.inflight_conditional = p.inflight_conditional.saturating_sub(1);
+                }
+            }
+        }
+        let idx = id.index() as usize;
+        self.availability.remove_peer(self.peers[idx].have());
+        self.peers[idx].offline = true;
+        self.peers[idx].inflight.clear();
+        self.peers[idx].inflight_conditional = 0;
+    }
+
+    /// Brings a suspended peer back: its pieces re-enter the availability
+    /// map and it resumes through the ordinary allocation paths next
+    /// round (re-bootstrapping its transfers from its kept bitfield).
+    fn end_outage(&mut self, id: PeerId) {
+        let idx = id.index() as usize;
+        self.peers[idx].offline = false;
+        let have: Vec<u32> = self.peers[idx].have().iter_ones().collect();
+        for p in have {
+            self.availability.on_piece_acquired(p);
+        }
+    }
+
+    /// Telemetry for one applied fault (no-op when the recorder is off).
+    fn record_fault(&mut self, kind: &'static str, peer: u32, bytes: u64) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        self.recorder.incr("swarm.fault.events", 1);
+        let round = self.round_idx;
+        self.recorder
+            .emit_sampled(Category::Fault, || TraceEvent::Fault {
+                round,
+                peer,
+                kind,
+                bytes,
+            });
+    }
+
+    /// A completed piece transfer lost in transit: the receiver never
+    /// gets the piece (it stays absent and re-requestable), and the wire
+    /// bytes move from its download tally into the dropped-bytes total —
+    /// upload-side accounting stands, the sender did spend the bandwidth.
+    fn drop_delivery(&mut self, to: PeerId, done: InFlight) {
+        let to_idx = to.index() as usize;
+        let r = &mut self.peers[to_idx];
+        r.inflight.remove(&done.piece);
+        if done.condition.is_some() {
+            r.inflight_conditional = r.inflight_conditional.saturating_sub(1);
+        }
+        r.bytes_received_raw = r.bytes_received_raw.saturating_sub(done.piece_len);
+        if !r.tags.compliant {
+            self.totals.freerider_received_raw = self
+                .totals
+                .freerider_received_raw
+                .saturating_sub(done.piece_len);
+        }
+        self.totals.fault_dropped_bytes += done.piece_len;
+        self.recorder.incr("swarm.fault.drops", 1);
+        self.recorder.incr("swarm.fault.dropped_bytes", done.piece_len);
+        self.record_fault("piece_drop", to.index(), done.piece_len);
+    }
+
+    /// Is the swarm unsatisfiable — does some peer that holds the run
+    /// open want a piece that no surviving source will ever offer again?
+    /// Offline peers count as sources (their outage ends before any
+    /// departure, so their pieces return), as does the seeder while
+    /// online; pending arrivals defer the verdict entirely.
+    fn swarm_unsatisfiable(&self) -> bool {
+        if self.seeder_online || self.specs.iter().any(|s| s.is_some()) {
+            return false;
+        }
+        let mut sources = Bitfield::new(self.config.file.num_pieces());
+        for p in self.peers.iter().filter(|p| p.is_active()) {
+            for piece in p.offer().iter_ones() {
+                sources.set(piece);
+            }
+        }
+        self.peers.iter().any(|p| {
+            p.is_active()
+                && (p.tags.compliant || p.tags.whitewash_interval.is_some())
+                && !p.is_complete()
+                && p.absent().iter_ones().any(|piece| !sources.get(piece))
+        })
+    }
+
     fn whitewash_pass(&mut self, now: SimTime) {
         let round = self.round_idx;
         let targets: Vec<u32> = self
@@ -1025,6 +1295,7 @@ impl Simulation {
             .iter()
             .filter(|p| {
                 p.is_active()
+                    && !p.offline
                     && p.tags
                         .whitewash_interval
                         .is_some_and(|w| round > p.arrival_round && (round - p.arrival_round).is_multiple_of(w))
@@ -1113,7 +1384,7 @@ impl Simulation {
         let members: Vec<(PeerId, u16, u64)> = self
             .peers
             .iter()
-            .filter(|p| p.is_active())
+            .filter(|p| p.is_active() && !p.offline)
             .filter_map(|p| {
                 p.tags
                     .collusion_ring
@@ -1181,6 +1452,9 @@ impl Simulation {
     }
 
     fn seeder_allocate(&mut self, now: SimTime) {
+        if !self.seeder_online {
+            return;
+        }
         let budget = self.config.bytes_per_round(self.config.seeder_bps);
         if budget == 0 {
             return;
@@ -1397,6 +1671,7 @@ impl Simulation {
             susceptibility: self.susceptibility,
             diversity: self.diversity,
             totals: self.totals,
+            stalled: self.stalled,
         };
         (result, recorder.into_report())
     }
@@ -1649,6 +1924,149 @@ mod tests {
         let mut config = SwarmConfig::tiny_test();
         config.neighbor_degree = 0;
         assert!(Simulation::builder(config).build().is_err());
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_identity() {
+        use crate::faults::FaultSchedule;
+        let baseline = run_kind(MechanismKind::BitTorrent, 10, 7);
+        let mut config = SwarmConfig::tiny_test();
+        config.seed = 7;
+        let population = flash_crowd(&config, 10, MechanismKind::BitTorrent, 7);
+        let with_empty = Simulation::builder(config)
+            .population(population)
+            .fault_schedule(FaultSchedule::empty())
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(baseline, with_empty, "empty schedule must be the identity");
+        assert!(!with_empty.stalled);
+    }
+
+    #[test]
+    fn churned_peer_departs_without_completing() {
+        use crate::faults::{FaultEvent, FaultKind, FaultSchedule};
+        let mut config = SwarmConfig::tiny_test();
+        config.seed = 21;
+        let mut population = flash_crowd(&config, 10, MechanismKind::Altruism, 21);
+        // Pin every arrival to t=0 so spec order is spawn order and the
+        // departure round is unambiguously after arrival.
+        for spec in &mut population {
+            spec.arrival = SimTime::ZERO;
+        }
+        let schedule = FaultSchedule::from_events(
+            vec![FaultEvent {
+                round: 3,
+                peer: 0,
+                kind: FaultKind::Depart,
+            }],
+            0.0,
+            0,
+        );
+        let r = Simulation::builder(config)
+            .population(population)
+            .fault_schedule(schedule)
+            .build()
+            .unwrap()
+            .run();
+        // All arrivals fire at t=0 in spec order, so spec 0 is peer 0.
+        assert!(r.peers[0].completion_s.is_none(), "churned peer never completes");
+        assert!(!r.stalled, "live seeder keeps the swarm satisfiable");
+        assert!(
+            r.completed_count() >= 8,
+            "the rest of the swarm completes: {}",
+            r.completed_count()
+        );
+    }
+
+    #[test]
+    fn outage_peer_resumes_and_completes() {
+        use crate::faults::{FaultEvent, FaultKind, FaultSchedule};
+        let mut config = SwarmConfig::tiny_test();
+        config.seed = 23;
+        let mut population = flash_crowd(&config, 10, MechanismKind::Altruism, 23);
+        for spec in &mut population {
+            spec.arrival = SimTime::ZERO;
+        }
+        let schedule = FaultSchedule::from_events(
+            vec![
+                FaultEvent {
+                    round: 2,
+                    peer: 0,
+                    kind: FaultKind::OutageStart,
+                },
+                FaultEvent {
+                    round: 8,
+                    peer: 0,
+                    kind: FaultKind::OutageEnd,
+                },
+            ],
+            0.0,
+            0,
+        );
+        let r = Simulation::builder(config)
+            .population(population)
+            .fault_schedule(schedule)
+            .build()
+            .unwrap()
+            .run();
+        assert!(
+            r.peers[0].completion_s.is_some(),
+            "peer re-enters after the outage and finishes"
+        );
+        assert!(r.completed_fraction() > 0.9);
+    }
+
+    #[test]
+    fn link_loss_conserves_bytes_and_is_survivable() {
+        use crate::faults::FaultSchedule;
+        let mut config = SwarmConfig::tiny_test();
+        config.seed = 29;
+        let population = flash_crowd(&config, 10, MechanismKind::Altruism, 29);
+        let schedule = FaultSchedule::from_events(Vec::new(), 0.2, 29);
+        let r = Simulation::builder(config)
+            .population(population)
+            .fault_schedule(schedule)
+            .build()
+            .unwrap()
+            .run();
+        assert!(r.totals.fault_dropped_bytes > 0, "20% loss drops something");
+        let sent: u64 =
+            r.peers.iter().map(|p| p.bytes_sent).sum::<u64>() + r.totals.uploaded_seeder;
+        let received: u64 = r.peers.iter().map(|p| p.bytes_received_raw).sum();
+        assert_eq!(
+            sent,
+            received + r.totals.fault_dropped_bytes,
+            "uploaded = downloaded + dropped"
+        );
+        assert!(
+            r.completed_fraction() > 0.9,
+            "lost pieces are re-fetched: {}",
+            r.completed_fraction()
+        );
+    }
+
+    #[test]
+    fn early_seeder_failure_stalls_the_swarm() {
+        use crate::faults::FaultSchedule;
+        let mut config = SwarmConfig::tiny_test();
+        config.seed = 31;
+        let population = flash_crowd(&config, 6, MechanismKind::Altruism, 31);
+        let mut schedule = FaultSchedule::empty();
+        schedule.seeder_failure_round = Some(1);
+        let r = Simulation::builder(config.clone())
+            .population(population)
+            .fault_schedule(schedule)
+            .build()
+            .unwrap()
+            .run();
+        assert!(r.stalled, "missing pieces can never be recovered");
+        assert!(
+            r.rounds_run < config.max_rounds,
+            "stall detection terminates early ({} rounds)",
+            r.rounds_run
+        );
+        assert_eq!(r.completed_count(), 0, "nobody had the full file");
     }
 
     #[test]

@@ -15,7 +15,9 @@ use coop_attacks::FreeRider;
 use coop_des::Duration;
 use coop_incentives::analysis::capacity::CapacityClassMix;
 use coop_incentives::MechanismKind;
-use coop_swarm::{flash_crowd_with, PeerSpec, PeerTags, SimResult, Simulation, SwarmConfig};
+use coop_swarm::{
+    flash_crowd_with, FaultSchedule, PeerSpec, PeerTags, SimResult, Simulation, SwarmConfig,
+};
 
 /// FNV-1a accumulator: tiny, dependency-free, and stable across platforms.
 struct Fnv(u64);
@@ -95,6 +97,14 @@ fn fingerprint(r: &SimResult) -> u64 {
 /// large-view free-rider, a whitewashing free-rider, and a two-member
 /// collusion ring, under one mechanism.
 fn scenario(kind: MechanismKind, seed: u64) -> SimResult {
+    scenario_with_faults(kind, seed, None)
+}
+
+fn scenario_with_faults(
+    kind: MechanismKind,
+    seed: u64,
+    faults: Option<FaultSchedule>,
+) -> SimResult {
     let mut config = SwarmConfig::tiny_test();
     config.seed = seed;
     config.neighbor_degree = 4;
@@ -133,11 +143,11 @@ fn scenario(kind: MechanismKind, seed: u64) -> SimResult {
         spec.tags = tags;
         spec.mechanism = Box::new(move || Box::new(FreeRider::new(kind)));
     }
-    Simulation::builder(config)
-        .population(pop)
-        .build()
-        .unwrap()
-        .run()
+    let mut builder = Simulation::builder(config).population(pop);
+    if let Some(faults) = faults {
+        builder = builder.fault_schedule(faults);
+    }
+    builder.build().unwrap().run()
 }
 
 /// Pinned fingerprints for seed 42, one per mechanism, in
@@ -173,4 +183,20 @@ fn same_seed_same_fingerprint() {
     let a = fingerprint(&scenario(MechanismKind::FairTorrent, 7));
     let b = fingerprint(&scenario(MechanismKind::FairTorrent, 7));
     assert_eq!(a, b);
+}
+
+/// An empty fault schedule is the identity: attaching one must reproduce
+/// the exact golden fingerprints of the schedule-free runs — the fault
+/// layer may not perturb a single branch of the fault-free hot path.
+#[test]
+fn empty_fault_schedule_matches_goldens() {
+    let actual: Vec<u64> = MechanismKind::ALL
+        .iter()
+        .map(|&kind| fingerprint(&scenario_with_faults(kind, 42, Some(FaultSchedule::empty()))))
+        .collect();
+    assert_eq!(
+        actual,
+        GOLDEN.to_vec(),
+        "an empty fault schedule changed the hot path"
+    );
 }

@@ -23,17 +23,21 @@ pub enum Category {
     Engine,
     /// Executor job spans (`JobSpan`).
     Exec,
+    /// Fault-injection lifecycle (`Fault`): churn departures, outages,
+    /// dropped piece transfers, seeder failure, stall detection.
+    Fault,
 }
 
 impl Category {
     /// All categories, in declaration order.
-    pub const ALL: [Category; 6] = [
+    pub const ALL: [Category; 7] = [
         Category::Probe,
         Category::Grant,
         Category::Transfer,
         Category::Final,
         Category::Engine,
         Category::Exec,
+        Category::Fault,
     ];
 
     /// Stable index for per-category bookkeeping.
@@ -50,6 +54,7 @@ impl Category {
             Category::Final => "final",
             Category::Engine => "engine",
             Category::Exec => "exec",
+            Category::Fault => "fault",
         }
     }
 }
@@ -152,6 +157,21 @@ pub enum TraceEvent {
         /// Event-queue depth high-water mark.
         queue_depth_hwm: u64,
     },
+    /// One applied fault-schedule action (churn departure, outage start or
+    /// end, dropped piece delivery, seeder going offline, stall
+    /// detection).
+    Fault {
+        /// Round index at which the fault applied.
+        round: u64,
+        /// The affected peer (`u32::MAX` for swarm-level faults: seeder
+        /// failure and stall detection).
+        peer: u32,
+        /// The fault kind (`churn_depart`, `outage_start`, `outage_end`,
+        /// `piece_drop`, `seeder_offline`, `stalled`).
+        kind: &'static str,
+        /// Bytes lost to the fault (nonzero only for `piece_drop`).
+        bytes: u64,
+    },
     /// A completed executor job (wall-clock bearing; experiments layer).
     JobSpan {
         /// Slot index in the batch.
@@ -176,6 +196,7 @@ impl TraceEvent {
             TraceEvent::TransferStalled { .. } => Category::Transfer,
             TraceEvent::InflightAtEnd { .. } | TraceEvent::PeerAtEnd { .. } => Category::Final,
             TraceEvent::EngineStats { .. } => Category::Engine,
+            TraceEvent::Fault { .. } => Category::Fault,
             TraceEvent::JobSpan { .. } => Category::Exec,
         }
     }
@@ -287,6 +308,19 @@ impl TraceEvent {
                     .uint("events_processed", *events_processed)
                     .uint("queue_depth_hwm", *queue_depth_hwm);
             }
+            TraceEvent::Fault {
+                round,
+                peer,
+                kind,
+                bytes,
+            } => {
+                o.str("type", "fault")
+                    .str("cat", Category::Fault.name())
+                    .uint("round", *round)
+                    .uint("peer", u64::from(*peer))
+                    .str("kind", kind)
+                    .uint("bytes", *bytes);
+            }
             TraceEvent::JobSpan {
                 slot,
                 label,
@@ -361,6 +395,12 @@ mod tests {
             TraceEvent::EngineStats {
                 events_processed: 500,
                 queue_depth_hwm: 12,
+            },
+            TraceEvent::Fault {
+                round: 17,
+                peer: 4,
+                kind: "churn_depart",
+                bytes: 0,
             },
             TraceEvent::JobSpan {
                 slot: 0,

@@ -3,8 +3,10 @@
 //! completion implying full receipt.
 
 use coop_attacks::AttackPlan;
+use coop_faults::FaultPlan;
 use coop_incentives::MechanismKind;
 use coop_swarm::{flash_crowd, SimResult, Simulation, SwarmConfig};
+use coop_telemetry::{Recorder, TelemetryConfig};
 
 fn run(kind: MechanismKind, plan: Option<AttackPlan>, seed: u64) -> (SimResult, SwarmConfig) {
     let mut config = SwarmConfig::tiny_test();
@@ -94,6 +96,64 @@ fn invariants_hold_under_large_view_and_whitewash() {
         assert_invariants(&r, &config, kind.name());
         // Whitewashing spawned successor identities.
         assert!(r.peers.len() > 16, "{kind}: successors exist");
+    }
+}
+
+#[test]
+fn bytes_conserved_under_faults_and_reconciled_with_telemetry() {
+    // Under fault injection, Eq. (1) gains one term: bytes the sender paid
+    // for but a fault dropped in transit. Conservation then reads
+    //   uploaded = received_raw + fault_dropped_bytes,
+    // and the dropped total must agree exactly with the telemetry layer's
+    // fault counters — two independent accountings of the same events.
+    let plan = FaultPlan::churn(0.01).with_outages(0.5, 3).with_loss(0.2);
+    for kind in [
+        MechanismKind::Altruism,
+        MechanismKind::BitTorrent,
+        MechanismKind::TChain,
+    ] {
+        let mut config = SwarmConfig::tiny_test();
+        config.seed = 12;
+        let population = flash_crowd(&config, 16, kind, 12);
+        let (r, report) = Simulation::builder(config)
+            .population(population)
+            .fault_plan(plan)
+            .recorder(Recorder::enabled(TelemetryConfig::default()))
+            .build()
+            .unwrap()
+            .run_traced();
+
+        let sent: u64 =
+            r.peers.iter().map(|p| p.bytes_sent).sum::<u64>() + r.totals.uploaded_seeder;
+        let received: u64 = r.peers.iter().map(|p| p.bytes_received_raw).sum();
+        assert_eq!(
+            sent,
+            received + r.totals.fault_dropped_bytes,
+            "{kind}: conservation with the fault-drop term"
+        );
+        assert!(
+            r.totals.fault_dropped_bytes > 0,
+            "{kind}: a 20% loss rate drops something"
+        );
+
+        let counter = |name: &str| -> u64 {
+            report
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |&(_, v)| v)
+        };
+        assert_eq!(
+            counter("swarm.fault.dropped_bytes"),
+            r.totals.fault_dropped_bytes,
+            "{kind}: telemetry agrees with the totals ledger"
+        );
+        assert!(counter("swarm.fault.drops") > 0, "{kind}");
+        assert!(counter("swarm.fault.departures") > 0, "{kind}: churn departed someone");
+        assert!(
+            counter("swarm.fault.events") >= counter("swarm.fault.departures"),
+            "{kind}: every departure is a fault event"
+        );
     }
 }
 

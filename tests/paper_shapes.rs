@@ -2,11 +2,32 @@
 //! paper's headline orderings (who wins, by roughly what factor) at quick
 //! scale.
 
+use coop_attacks::AttackPlan;
 use coop_experiments::runners::{fig4, fig5, fig6, table2};
-use coop_experiments::Scale;
+use coop_experiments::{Scale, SimJob};
+use coop_faults::FaultPlan;
 use coop_incentives::MechanismKind;
+use coop_swarm::SimResult;
 
 const SEED: u64 = 20260706;
+
+/// A mild per-round departure hazard: mean lifetime 200 rounds, long
+/// against quick-scale completion times, so most peers finish before they
+/// churn out.
+const MILD_CHURN: f64 = 0.005;
+
+/// One quick-scale run of `kind` under mild churn (and optionally an
+/// attack plan).
+fn churned(kind: MechanismKind, plan: Option<AttackPlan>, faults: FaultPlan) -> SimResult {
+    SimJob {
+        kind,
+        scale: Scale::Quick,
+        seed: SEED,
+        plan,
+        faults: Some(faults),
+    }
+    .run()
+}
 
 #[test]
 fn fig4a_altruism_most_efficient_reciprocity_never_finishes() {
@@ -143,6 +164,70 @@ fn fig6_large_view_amplifies_leakage_but_not_for_tchain() {
         }
     }
     assert!(amplified >= 2, "only {amplified} algorithms amplified");
+}
+
+#[test]
+fn fig4b_fairness_ordering_survives_mild_churn() {
+    // The paper's fairness ranking (FairTorrent at least as fair as
+    // BitTorrent) is a structural property of the mechanisms, not of a
+    // static population — mild churn must not invert it.
+    let plan = FaultPlan::churn(MILD_CHURN);
+    let ft = churned(MechanismKind::FairTorrent, None, plan);
+    let bt = churned(MechanismKind::BitTorrent, None, plan);
+    assert!(
+        ft.completed_fraction() > 0.5 && bt.completed_fraction() > 0.5,
+        "mild churn leaves most peers completing: ft {} bt {}",
+        ft.completed_fraction(),
+        bt.completed_fraction()
+    );
+    assert!(!ft.stalled && !bt.stalled);
+    assert!(
+        ft.final_fairness_stat() <= bt.final_fairness_stat() + 0.05,
+        "FairTorrent stays at least as fair as BitTorrent under churn: {} vs {}",
+        ft.final_fairness_stat(),
+        bt.final_fairness_stat()
+    );
+}
+
+#[test]
+fn fig5_altruism_efficiency_unaffected_by_freeriders_under_churn() {
+    // Altruism serves everyone unconditionally, so free-riders slow the
+    // compliant crowd only by their withheld capacity — churn on top of
+    // the attack must not change that qualitative story.
+    let plan = FaultPlan::churn(MILD_CHURN);
+    let clean = churned(MechanismKind::Altruism, None, plan);
+    let attacked = churned(MechanismKind::Altruism, Some(AttackPlan::simple(0.2)), plan);
+    let ct_clean = clean.mean_completion_time().expect("altruism completes");
+    let ct_attacked = attacked.mean_completion_time().expect("still completes");
+    assert!(
+        attacked.completed_fraction() > 0.5,
+        "compliant peers still finish: {}",
+        attacked.completed_fraction()
+    );
+    assert!(
+        ct_attacked < ct_clean * 2.0,
+        "free-riders must not wreck altruism under churn: {ct_attacked:.1} vs {ct_clean:.1}"
+    );
+}
+
+#[test]
+fn zero_rate_fault_plan_is_byte_identical_to_no_plan() {
+    // A plan whose every rate is zero compiles to the empty schedule, and
+    // the empty schedule is the identity: every recorded number matches
+    // the plan-free run bit for bit (the swarm crate additionally pins
+    // this against its golden fingerprints).
+    for kind in [MechanismKind::FairTorrent, MechanismKind::Altruism] {
+        let with = churned(kind, None, FaultPlan::none());
+        let without = SimJob {
+            kind,
+            scale: Scale::Quick,
+            seed: SEED,
+            plan: None,
+            faults: None,
+        }
+        .run();
+        assert_eq!(with, without, "{kind}: FaultPlan::none() must be the identity");
+    }
 }
 
 #[test]

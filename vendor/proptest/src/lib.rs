@@ -144,6 +144,10 @@ pub mod strategy {
         (0 A, 1 B)
         (0 A, 1 B, 2 C)
         (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
     }
 
     /// Uniform over the type's whole domain (`any::<T>()`).
