@@ -1,11 +1,12 @@
 //! `coop-experiments` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! coop-experiments <table1|table2|table3|fig1|fig2|fig3|fig4|fig4-churn|fig5|fig6|fluid|ablations|extensions|all>
+//! coop-experiments <table1|table2|table3|fig1|fig2|fig3|fig4|fig4-churn|fig4-scale|fig5|fig6|fluid|ablations|extensions|all>
 //!                  [--scale quick|default|paper] [--seed N] [--replicates N]
 //!                  [--jobs N] [--out-dir DIR]
 //!                  [--telemetry] [--trace-out FILE] [--probe-every N]
 //!                  [--churn RATE] [--loss PROB] [--seeder-exit FRACTION]
+//!                  [--peers N[,N...]]
 //! ```
 //!
 //! Reports print to stdout; CSV/JSON series land in `target/experiments/`
@@ -97,6 +98,18 @@ fn run_one(artifact: Artifact, spec: &RunSpec, executor: &Executor) {
                 .0
                 .render()
         ),
+        Artifact::Fig4Scale => {
+            let (report, perf, _) = runners::fig4_scale::run_with_telemetry(
+                scale,
+                seed,
+                spec.peers.as_deref(),
+                executor,
+                &telemetry,
+                &out,
+            );
+            println!("{}", report.render());
+            println!("{}", perf.render());
+        }
         Artifact::Fig4Churn => println!(
             "{}",
             runners::fig4_churn::run_with_telemetry(

@@ -1,0 +1,434 @@
+//! **fig4-scale** — the hot-path scaling sweep: every mechanism re-run
+//! over a population ladder (1k → 10k by default), reporting both the
+//! deterministic simulation outcomes and the harness's own throughput
+//! (rounds/sec, peak RSS) at each size.
+//!
+//! Unlike the paper figures this artifact benchmarks the *simulator*, not
+//! the mechanisms: the per-cell swarm config is fixed per `--scale` (small
+//! file, capped rounds) so per-peer work is constant and the population is
+//! the only axis. The outputs are split by the repo's telemetry rule —
+//! wall-clock readings never enter figure artifacts:
+//!
+//! * `fig4scale_sweep_{scale}.csv` / `fig4scale_{scale}.json` hold only
+//!   deterministic columns (byte-identical for any `--jobs` count);
+//! * `fig4scale_perf_{scale}.csv` / `fig4scale_perf_{scale}.json` hold the
+//!   rounds/sec and peak-RSS columns and vary run to run.
+
+use coop_des::Duration;
+use coop_incentives::analysis::capacity::CapacityClassMix;
+use coop_incentives::MechanismKind;
+use coop_piece::FileSpec;
+use coop_swarm::{flash_crowd_with, Simulation, SwarmConfig};
+use coop_telemetry::Recorder;
+use serde::Serialize;
+
+use crate::exec::Executor;
+use crate::runners::fig4::{elapsed_ms, emit_run_outputs};
+use crate::table::num;
+use crate::telemetry::{BatchTrace, JobTrace, TelemetryOpts};
+use crate::{OutputDir, Scale, Table};
+
+/// The default population ladder.
+pub const POPULATIONS: [usize; 4] = [1000, 2000, 5000, 10000];
+
+/// The swarm configuration for one sweep cell: per-peer work is pinned by
+/// `scale` (file size and round cap) so population is the only axis.
+/// `quick` is sized for the CI smoke job.
+pub fn cell_config(scale: Scale, seed: u64) -> SwarmConfig {
+    let mut c = SwarmConfig::scaled_default();
+    let (bytes, rounds) = match scale {
+        Scale::Quick => (2 * 1024 * 1024, 300),
+        Scale::Default => (8 * 1024 * 1024, 600),
+        Scale::Paper => (32 * 1024 * 1024, 1200),
+    };
+    c.file = FileSpec::new(bytes, 64 * 1024);
+    c.neighbor_degree = 20;
+    c.seeder_bps = 512_000.0;
+    c.max_rounds = rounds;
+    c.sample_every = 8;
+    c.seed = seed;
+    c
+}
+
+/// One deterministic (population, mechanism) cell of the sweep.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ScaleRow {
+    /// Swarm population for this cell.
+    pub peers: usize,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Rounds the simulation actually executed.
+    pub rounds_run: u64,
+    /// Fraction of compliant peers that completed the download.
+    pub completed_fraction: f64,
+    /// Mean completion time (seconds) over completed compliant peers.
+    pub mean_completion_s: Option<f64>,
+    /// Final fairness statistic `F` (0 = perfectly fair).
+    pub fairness_f: f64,
+    /// Whether the run ended in an unsatisfiable (stalled) swarm.
+    pub stalled: bool,
+}
+
+/// One wall-clock (population, mechanism) cell of the sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct PerfRow {
+    /// Swarm population for this cell.
+    pub peers: usize,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Rounds the simulation actually executed.
+    pub rounds_run: u64,
+    /// Wall-clock milliseconds the cell took.
+    pub wall_ms: u64,
+    /// Simulation throughput: rounds executed per wall-clock second.
+    pub rounds_per_sec: f64,
+    /// Process peak RSS (`VmHWM`, kB) sampled after the cell finished.
+    /// This is the process-wide high-water mark, so it is nondecreasing
+    /// in completion order; 0 when `/proc` is unavailable.
+    pub peak_rss_kb: u64,
+}
+
+/// The deterministic half of the sweep report.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScaleReport {
+    /// Artifact name ("fig4-scale").
+    pub figure: String,
+    /// Scale used for the per-cell config.
+    pub scale: String,
+    /// Seed used.
+    pub seed: u64,
+    /// Rows in (population, [`MechanismKind::ALL`]) order.
+    pub rows: Vec<ScaleRow>,
+}
+
+/// The wall-clock half of the sweep report (never byte-stable).
+#[derive(Clone, Debug, Serialize)]
+pub struct ScalePerfReport {
+    /// Artifact name ("fig4-scale").
+    pub figure: String,
+    /// Scale used for the per-cell config.
+    pub scale: String,
+    /// Seed used.
+    pub seed: u64,
+    /// Worker threads the sweep fanned out across.
+    pub jobs: u64,
+    /// Rows in (population, [`MechanismKind::ALL`]) order.
+    pub rows: Vec<PerfRow>,
+}
+
+impl ScaleReport {
+    /// The row for one (population, mechanism) cell.
+    pub fn get(&self, peers: usize, kind: MechanismKind) -> &ScaleRow {
+        self.rows
+            .iter()
+            .find(|r| r.peers == peers && r.algorithm == kind.name())
+            .expect("all cells present")
+    }
+
+    /// Renders the deterministic table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "peers",
+            "Algorithm",
+            "rounds",
+            "completed",
+            "mean ct (s)",
+            "F",
+            "stalled",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.peers.to_string(),
+                r.algorithm.clone(),
+                r.rounds_run.to_string(),
+                num(r.completed_fraction),
+                r.mean_completion_s.map_or("n/a".into(), num),
+                num(r.fairness_f),
+                r.stalled.to_string(),
+            ]);
+        }
+        format!(
+            "fig4-scale — population sweep ({} scale, seed {})\n{}",
+            self.scale,
+            self.seed,
+            t.render()
+        )
+    }
+}
+
+impl ScalePerfReport {
+    /// Renders the throughput table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "peers",
+            "Algorithm",
+            "rounds",
+            "wall (ms)",
+            "rounds/sec",
+            "peak RSS (kB)",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.peers.to_string(),
+                r.algorithm.clone(),
+                r.rounds_run.to_string(),
+                r.wall_ms.to_string(),
+                format!("{:.1}", r.rounds_per_sec),
+                r.peak_rss_kb.to_string(),
+            ]);
+        }
+        format!(
+            "fig4-scale — throughput ({} jobs; wall-clock data, not byte-stable)\n{}",
+            self.jobs,
+            t.render()
+        )
+    }
+}
+
+/// The process's peak resident set (`VmHWM`) in kB, or 0 when
+/// `/proc/self/status` is unavailable.
+pub(crate) fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Runs the default sweep with machine-sized parallelism and no telemetry.
+pub fn run(scale: Scale, seed: u64) -> (ScaleReport, ScalePerfReport) {
+    let (report, perf, _) = run_with_telemetry(
+        scale,
+        seed,
+        None,
+        &Executor::default(),
+        &TelemetryOpts::disabled(),
+        &OutputDir::default_dir(),
+    );
+    (report, perf)
+}
+
+/// Runs the scaling sweep: for each population in `peers` (default
+/// [`POPULATIONS`]), all six mechanisms run on the fixed per-cell config.
+/// Cells fan out across `executor`; the deterministic artifacts are
+/// written sequentially from slot-ordered results (byte-identical for any
+/// worker count), the perf artifacts carry the wall-clock columns.
+pub fn run_with_telemetry(
+    scale: Scale,
+    seed: u64,
+    peers: Option<&[usize]>,
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+) -> (ScaleReport, ScalePerfReport, Option<BatchTrace>) {
+    let peers: Vec<usize> = peers.unwrap_or(&POPULATIONS).to_vec();
+    let cells: Vec<(usize, MechanismKind)> = peers
+        .iter()
+        .flat_map(|&n| MechanismKind::ALL.iter().map(move |&kind| (n, kind)))
+        .collect();
+    let recorder_config = opts.is_enabled().then(|| opts.recorder_config());
+    let sim_start = std::time::Instant::now();
+    let runs = executor.map(&cells, |slot, &(n, kind)| {
+        let started = std::time::Instant::now();
+        let recorder = match &recorder_config {
+            Some(config) => Recorder::enabled(config.clone()),
+            None => Recorder::disabled(),
+        };
+        let config = cell_config(scale, seed);
+        let mix = CapacityClassMix::paper_default();
+        let population =
+            flash_crowd_with(&config, n, kind, seed, &mix, Duration::from_secs(10));
+        let (result, report) = Simulation::builder(config)
+            .population(population)
+            .recorder(recorder)
+            .build()
+            .expect("cell configs validate")
+            .run_traced();
+        let wall_ms = elapsed_ms(started);
+        let trace = JobTrace {
+            slot,
+            label: format!("{}@{n}", kind.name()),
+            seed,
+            wall_ms,
+            slow: false,
+            report,
+        };
+        (result, wall_ms, peak_rss_kb(), trace)
+    });
+    let sim_ms = elapsed_ms(sim_start);
+    let write_start = std::time::Instant::now();
+
+    let mut rows = Vec::with_capacity(runs.len());
+    let mut perf_rows = Vec::with_capacity(runs.len());
+    let mut traces = Vec::with_capacity(runs.len());
+    for (&(n, kind), (result, wall_ms, rss_kb, trace)) in cells.iter().zip(runs) {
+        rows.push(ScaleRow {
+            peers: n,
+            algorithm: kind.name().to_string(),
+            rounds_run: result.rounds_run,
+            completed_fraction: result.completed_fraction(),
+            mean_completion_s: result.mean_completion_time(),
+            fairness_f: result.final_fairness_stat(),
+            stalled: result.stalled,
+        });
+        perf_rows.push(PerfRow {
+            peers: n,
+            algorithm: kind.name().to_string(),
+            rounds_run: result.rounds_run,
+            wall_ms,
+            rounds_per_sec: result.rounds_run as f64 * 1000.0 / wall_ms.max(1) as f64,
+            peak_rss_kb: rss_kb,
+        });
+        traces.push(trace);
+    }
+    let report = ScaleReport {
+        figure: "fig4-scale".to_string(),
+        scale: scale.name().to_string(),
+        seed,
+        rows,
+    };
+    let perf = ScalePerfReport {
+        figure: "fig4-scale".to_string(),
+        scale: scale.name().to_string(),
+        seed,
+        jobs: executor.jobs() as u64,
+        rows: perf_rows,
+    };
+
+    let sweep_rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.peers.to_string(),
+                r.algorithm.clone(),
+                r.rounds_run.to_string(),
+                format!("{}", r.completed_fraction),
+                r.mean_completion_s.map_or(String::new(), |v| format!("{v}")),
+                format!("{}", r.fairness_f),
+                r.stalled.to_string(),
+            ]
+        })
+        .collect();
+    let _ = out.csv_rows(
+        &format!("fig4scale_sweep_{}", scale.name()),
+        &[
+            "peers",
+            "algorithm",
+            "rounds_run",
+            "completed_fraction",
+            "mean_completion_s",
+            "fairness_f",
+            "stalled",
+        ],
+        &sweep_rows,
+    );
+    let _ = out.json(&format!("fig4scale_{}", scale.name()), &report);
+
+    let perf_csv: Vec<Vec<String>> = perf
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.peers.to_string(),
+                r.algorithm.clone(),
+                r.rounds_run.to_string(),
+                r.wall_ms.to_string(),
+                format!("{}", r.rounds_per_sec),
+                r.peak_rss_kb.to_string(),
+            ]
+        })
+        .collect();
+    let _ = out.csv_rows(
+        &format!("fig4scale_perf_{}", scale.name()),
+        &[
+            "peers",
+            "algorithm",
+            "rounds_run",
+            "wall_ms",
+            "rounds_per_sec",
+            "peak_rss_kb",
+        ],
+        &perf_csv,
+    );
+    let _ = out.json(&format!("fig4scale_perf_{}", scale.name()), &perf);
+
+    let trace = recorder_config.is_some().then(|| {
+        let mut trace = BatchTrace::new(traces);
+        trace.push_phase("simulate", sim_ms);
+        trace.push_phase("write_artifacts", elapsed_ms(write_start));
+        emit_run_outputs(
+            "fig4-scale",
+            &trace,
+            opts,
+            out,
+            scale,
+            seed,
+            1,
+            executor.jobs() as u64,
+            "none",
+        );
+        trace
+    });
+    (report, perf, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> OutputDir {
+        OutputDir::new(std::env::temp_dir().join(format!(
+            "coop-scale-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        )))
+    }
+
+    #[test]
+    fn sweep_covers_grid_and_is_deterministic_across_worker_counts() {
+        let out = tmp();
+        let opts = TelemetryOpts::disabled();
+        let run = |jobs: usize| {
+            run_with_telemetry(
+                Scale::Quick,
+                11,
+                Some(&[10, 14]),
+                &Executor::new(jobs),
+                &opts,
+                &out,
+            )
+        };
+        let (seq, perf, trace) = run(1);
+        assert!(trace.is_none());
+        assert_eq!(seq.rows.len(), 2 * MechanismKind::ALL.len());
+        assert_eq!(perf.rows.len(), seq.rows.len());
+        for (row, perf_row) in seq.rows.iter().zip(&perf.rows) {
+            assert_eq!(row.peers, perf_row.peers);
+            assert_eq!(row.rounds_run, perf_row.rounds_run);
+            assert!(perf_row.rounds_per_sec > 0.0);
+        }
+        let alt = seq.get(14, MechanismKind::Altruism);
+        assert_eq!(alt.peers, 14);
+
+        // The deterministic half is identical for any worker count.
+        let (par, _, _) = run(4);
+        assert_eq!(seq.rows, par.rows);
+        assert!(seq.render().contains("fig4-scale"));
+        assert!(ScalePerfReport::render(&perf).contains("rounds/sec"));
+    }
+
+    #[test]
+    fn peak_rss_reads_proc() {
+        // On Linux VmHWM is always present; elsewhere the probe degrades
+        // to 0 rather than failing.
+        let kb = peak_rss_kb();
+        if cfg!(target_os = "linux") {
+            assert!(kb > 0);
+        }
+    }
+}

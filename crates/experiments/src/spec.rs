@@ -25,12 +25,16 @@ pub enum Artifact {
     Fig3,
     Fig4,
     Fig4Churn,
+    /// The hot-path scaling sweep (population × mechanism, rounds/sec and
+    /// peak-RSS columns). Not part of `all`: its perf artifacts carry
+    /// wall-clock data and exist to benchmark the harness, not the paper.
+    Fig4Scale,
     Fig5,
     Fig6,
     Fluid,
     Ablations,
     Extensions,
-    /// Every artifact above, in paper order.
+    /// Every artifact above except `fig4-scale`, in paper order.
     All,
 }
 
@@ -67,6 +71,7 @@ impl Artifact {
             "fig3" => Ok(Artifact::Fig3),
             "fig4" => Ok(Artifact::Fig4),
             "fig4-churn" | "fig4churn" => Ok(Artifact::Fig4Churn),
+            "fig4-scale" | "fig4scale" => Ok(Artifact::Fig4Scale),
             "fig5" => Ok(Artifact::Fig5),
             "fig6" => Ok(Artifact::Fig6),
             "fluid" => Ok(Artifact::Fluid),
@@ -88,6 +93,7 @@ impl Artifact {
             Artifact::Fig3 => "fig3",
             Artifact::Fig4 => "fig4",
             Artifact::Fig4Churn => "fig4-churn",
+            Artifact::Fig4Scale => "fig4-scale",
             Artifact::Fig5 => "fig5",
             Artifact::Fig6 => "fig6",
             Artifact::Fluid => "fluid",
@@ -148,6 +154,9 @@ pub struct RunSpec {
     /// Seeder exits once this fraction of compliant peers completed
     /// (`--seeder-exit`, fig4-churn only).
     pub seeder_exit: Option<f64>,
+    /// Population sweep override (`--peers N[,N...]`, fig4-scale only);
+    /// `None` means the runner's default sweep.
+    pub peers: Option<Vec<usize>>,
 }
 
 /// Why an argv slice failed to parse into a [`RunSpec`].
@@ -200,11 +209,12 @@ impl std::error::Error for SpecError {}
 
 /// The usage string printed alongside parse errors.
 pub const USAGE: &str = "usage: coop-experiments \
-<table1|table2|table3|fig1|fig2|fig3|fig4|fig4-churn|fig5|fig6|fluid|ablations|extensions|all>
+<table1|table2|table3|fig1|fig2|fig3|fig4|fig4-churn|fig4-scale|fig5|fig6|fluid|ablations|extensions|all>
        [--scale quick|default|paper] [--seed N] [--replicates N]
        [--jobs N] [--out-dir DIR]
        [--telemetry] [--trace-out FILE] [--probe-every N]
-       [--churn RATE] [--loss PROB] [--seeder-exit FRACTION]  (fig4-churn)";
+       [--churn RATE] [--loss PROB] [--seeder-exit FRACTION]  (fig4-churn)
+       [--peers N[,N...]]  (fig4-scale)";
 
 impl RunSpec {
     /// Parses CLI arguments (without the program name).
@@ -226,6 +236,7 @@ impl RunSpec {
         let mut churn = None;
         let mut loss = None;
         let mut seeder_exit = None;
+        let mut peers = None;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -277,6 +288,9 @@ impl RunSpec {
                     }
                     seeder_exit = Some(v);
                 }
+                "--peers" => {
+                    peers = Some(parse_peer_list(&mut it)?);
+                }
                 other if other.starts_with('-') => {
                     return Err(SpecError::UnknownFlag(other.to_string()));
                 }
@@ -306,6 +320,13 @@ impl RunSpec {
                 }
             }
         }
+        if artifact != Artifact::Fig4Scale && peers.is_some() {
+            return Err(SpecError::InvalidValue {
+                flag: "--peers",
+                value: artifact.name().to_string(),
+                reason: "--peers is only supported by fig4-scale".to_string(),
+            });
+        }
         Ok(RunSpec {
             artifact,
             scale,
@@ -319,6 +340,7 @@ impl RunSpec {
             churn,
             loss,
             seeder_exit,
+            peers,
         })
     }
 
@@ -391,6 +413,28 @@ fn parse_number(
             reason: "expected a non-negative integer".to_string(),
         }),
     }
+}
+
+/// Parses `--peers`' value as a comma-separated population list (each at
+/// least 2 — a swarm needs a downloader besides the seeder).
+fn parse_peer_list(it: &mut impl Iterator<Item = String>) -> Result<Vec<usize>, SpecError> {
+    let v = next_value(it, "--peers")?;
+    let invalid = |v: &str| SpecError::InvalidValue {
+        flag: "--peers",
+        value: v.to_string(),
+        reason: "expected a comma-separated list of populations, each at least 2".to_string(),
+    };
+    let mut list = Vec::new();
+    for part in v.split(',') {
+        match part.trim().parse::<usize>() {
+            Ok(n) if n >= 2 => list.push(n),
+            _ => return Err(invalid(&v)),
+        }
+    }
+    if list.is_empty() {
+        return Err(invalid(&v));
+    }
+    Ok(list)
 }
 
 /// Parses `flag`'s value as a finite float in `[0, max]`.
@@ -617,10 +661,50 @@ mod tests {
 
     #[test]
     fn artifact_names_round_trip() {
-        for artifact in Artifact::ALL.into_iter().chain([Artifact::All]) {
+        // fig4-scale is parseable but deliberately not part of `all`.
+        for artifact in Artifact::ALL
+            .into_iter()
+            .chain([Artifact::Fig4Scale, Artifact::All])
+        {
             assert_eq!(Artifact::parse(artifact.name()).unwrap(), artifact);
         }
+        assert!(!Artifact::ALL.contains(&Artifact::Fig4Scale));
         assert!(Artifact::Fig4.supports_replicates());
         assert!(!Artifact::Table1.supports_replicates());
+        assert!(!Artifact::Fig4Scale.supports_replicates());
+    }
+
+    #[test]
+    fn peer_lists_parse_for_fig4_scale() {
+        let spec = parse(&["fig4-scale", "--peers", "1000,2000,5000"]).unwrap();
+        assert_eq!(spec.artifact, Artifact::Fig4Scale);
+        assert_eq!(spec.peers, Some(vec![1000, 2000, 5000]));
+
+        let spec = parse(&["fig4scale", "--peers", "64"]).unwrap();
+        assert_eq!(spec.peers, Some(vec![64]));
+
+        // Without the flag the runner picks its default sweep.
+        let spec = parse(&["fig4-scale"]).unwrap();
+        assert_eq!(spec.peers, None);
+    }
+
+    #[test]
+    fn peer_list_values_are_validated() {
+        for bad in ["", "0", "1", "abc", "100,", "100,,200", "100,x"] {
+            let err = parse(&["fig4-scale", "--peers", bad]).unwrap_err();
+            assert!(
+                matches!(err, SpecError::InvalidValue { flag: "--peers", .. }),
+                "{bad:?}: {err:?}"
+            );
+        }
+        let err = parse(&["fig4-scale", "--peers"]).unwrap_err();
+        assert_eq!(err, SpecError::MissingValue { flag: "--peers" });
+    }
+
+    #[test]
+    fn peers_flag_rejected_for_other_artifacts() {
+        let err = parse(&["fig4", "--peers", "1000"]).unwrap_err();
+        assert!(matches!(err, SpecError::InvalidValue { flag: "--peers", .. }), "{err:?}");
+        assert!(err.to_string().contains("fig4-scale"));
     }
 }

@@ -76,6 +76,26 @@ impl AvailabilityMap {
         self.counts[i as usize] += 1;
     }
 
+    /// Records that one fewer peer holds piece `i` (a loss or a partial
+    /// departure). The per-piece inverse of [`AvailabilityMap::on_piece_acquired`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count would go negative.
+    pub fn on_piece_lost(&mut self, i: PieceId) {
+        let c = &mut self.counts[i as usize];
+        assert!(*c > 0, "availability underflow at piece {i}");
+        *c -= 1;
+    }
+
+    /// Read-only view of the per-piece counts, indexed by [`PieceId`].
+    /// Word-skipping hot paths (see [`crate::AvailabilityIndex`]) read
+    /// this slice directly instead of calling [`AvailabilityMap::count`]
+    /// per piece.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
     /// Histogram of how many peers hold `k` pieces, for `k = 0..=max`,
     /// computed from a slice of peer bitfields. Dividing by the number of
     /// peers yields the paper's `p_k` distribution.
@@ -91,6 +111,11 @@ impl AvailabilityMap {
     /// Returns the minimum availability over a set of pieces the caller
     /// still needs, or `None` if `needed` yields nothing. Used to detect
     /// starvation (a needed piece held by no connected peer).
+    ///
+    /// This walks `needed` one piece at a time; hot paths with a needed
+    /// set already in [`Bitfield`] form should use
+    /// [`crate::AvailabilityIndex::min_over`], which skips empty words
+    /// and short-circuits on the first zero-availability piece.
     pub fn min_over(&self, needed: impl IntoIterator<Item = PieceId>) -> Option<u32> {
         needed
             .into_iter()

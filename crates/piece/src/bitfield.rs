@@ -213,6 +213,15 @@ impl Bitfield {
         }
     }
 
+    /// Read-only view of the backing words, least-significant bit first.
+    /// Bits at positions `>= len` are always zero, so word-level scans
+    /// never see phantom pieces. This is the entry point hot loops (the
+    /// availability index, pickers) use to skip all-zero regions a bit at
+    /// a time instead of testing every piece index.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Overwrites this bitfield with the contents of `other`, reusing the
     /// existing word buffer when capacities allow. This is the allocation-
     /// free alternative to `*self = other.clone()` for scratch bitfields

@@ -28,9 +28,11 @@
 mod availability;
 mod bitfield;
 mod file;
+mod index;
 mod picker;
 
 pub use availability::AvailabilityMap;
+pub use index::AvailabilityIndex;
 pub use bitfield::Bitfield;
 pub use file::FileSpec;
 pub use picker::{PiecePicker, PieceSelection, RandomFirstPicker, RarestFirstPicker, SequentialPicker};

@@ -1,0 +1,184 @@
+//! Property-based equivalence tests for [`AvailabilityIndex`]: under
+//! arbitrary have/lose/depart sequences the incremental index must stay
+//! indistinguishable from a from-scratch recount, and its rarest-first
+//! query must agree with the naive [`RarestFirstPicker`] on identical
+//! tie-break RNG. These are the piece-level half of the hot-path
+//! equivalence battery (the swarm-level half is `hotpath_equivalence`).
+
+use coop_piece::{
+    AvailabilityIndex, AvailabilityMap, Bitfield, PiecePicker, PieceSelection, RarestFirstPicker,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const LEN: u32 = 100; // spans two words, exercising word-skipping tails
+
+fn bitfield_strategy(len: u32) -> impl Strategy<Value = Bitfield> {
+    proptest::collection::vec(any::<bool>(), len as usize).prop_map(move |bits| {
+        let mut bf = Bitfield::new(len);
+        for (i, b) in bits.into_iter().enumerate() {
+            if b {
+                bf.set(i as u32);
+            }
+        }
+        bf
+    })
+}
+
+/// One step of a random swarm history, mirroring every mutation the
+/// simulator applies to its availability index.
+#[derive(Clone, Debug)]
+enum Op {
+    /// A peer joins with a bitfield (membership add).
+    Join(Bitfield),
+    /// The `n`-th live peer (mod population) departs (membership remove).
+    Depart(usize),
+    /// The `n`-th live peer acquires piece `p` (mod missing set), if any.
+    Acquire(usize, u32),
+    /// The `n`-th live peer loses piece `p` (mod held set), if any — the
+    /// fault-injection path.
+    Lose(usize, u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        bitfield_strategy(LEN).prop_map(Op::Join),
+        (any::<u8>()).prop_map(|n| Op::Depart(n as usize)),
+        (any::<u8>(), 0..LEN).prop_map(|(n, p)| Op::Acquire(n as usize, p)),
+        (any::<u8>(), 0..LEN).prop_map(|(n, p)| Op::Lose(n as usize, p)),
+    ]
+}
+
+/// Applies `ops` to both the incremental index and a mirror list of peer
+/// bitfields, returning the mirror (the ground truth for recounting).
+fn replay(ops: &[Op], index: &mut AvailabilityIndex) -> Vec<Bitfield> {
+    let mut peers: Vec<Bitfield> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Join(bf) => {
+                index.add_peer(bf);
+                peers.push(bf.clone());
+            }
+            Op::Depart(n) => {
+                if !peers.is_empty() {
+                    let bf = peers.remove(n % peers.len());
+                    index.remove_peer(&bf);
+                }
+            }
+            Op::Acquire(n, p) => {
+                if !peers.is_empty() {
+                    let slot = n % peers.len();
+                    let bf = &mut peers[slot];
+                    if !bf.get(*p) {
+                        bf.set(*p);
+                        index.on_piece_acquired(*p);
+                    }
+                }
+            }
+            Op::Lose(n, p) => {
+                if !peers.is_empty() {
+                    let slot = n % peers.len();
+                    let bf = &mut peers[slot];
+                    if bf.get(*p) {
+                        bf.unset(*p);
+                        index.on_piece_lost(*p);
+                    }
+                }
+            }
+        }
+    }
+    peers
+}
+
+/// The naive from-scratch availability recount.
+fn recount(peers: &[Bitfield]) -> AvailabilityMap {
+    let mut map = AvailabilityMap::new(LEN);
+    for bf in peers {
+        map.add_peer(bf);
+    }
+    map
+}
+
+/// The naive bucket histogram: observe every piece count into lazily
+/// grown log2 buckets, exactly as the telemetry `Histogram` does.
+fn naive_buckets(map: &AvailabilityMap) -> Vec<u64> {
+    let mut buckets: Vec<u64> = Vec::new();
+    for i in 0..map.num_pieces() {
+        let idx = AvailabilityIndex::bucket_of(map.count(i));
+        if idx >= buckets.len() {
+            buckets.resize(idx + 1, 0);
+        }
+        buckets[idx] += 1;
+    }
+    buckets
+}
+
+proptest! {
+    /// Random have/lose/depart sequences: the incremental counts and
+    /// bucket histogram always equal the from-scratch recount.
+    #[test]
+    fn index_equals_from_scratch_recount(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let mut index = AvailabilityIndex::new(LEN);
+        let peers = replay(&ops, &mut index);
+        let fresh = recount(&peers);
+        prop_assert_eq!(index.map(), &fresh);
+        prop_assert_eq!(index.bucket_counts(), naive_buckets(&fresh));
+        prop_assert_eq!(index.rebuilds(), 0);
+    }
+
+    /// A from-scratch rebuild of the replayed index is a no-op on its
+    /// observable state (and bumps only the rebuild counter).
+    #[test]
+    fn rebuild_is_observationally_identity(ops in proptest::collection::vec(op_strategy(), 0..40)) {
+        let mut index = AvailabilityIndex::new(LEN);
+        let peers = replay(&ops, &mut index);
+        let before = index.clone();
+        index.rebuild_from(peers.iter());
+        prop_assert_eq!(index.map(), before.map());
+        prop_assert_eq!(index.bucket_counts(), before.bucket_counts());
+        prop_assert_eq!(index.rebuilds(), 1);
+    }
+
+    /// On identical tie-break RNG streams, the word-skipping rarest-first
+    /// query returns exactly what the naive picker returns, for arbitrary
+    /// swarm states and bitfield pairs.
+    #[test]
+    fn pick_rarest_agrees_with_naive_picker(
+        ops in proptest::collection::vec(op_strategy(), 0..40),
+        down in bitfield_strategy(LEN),
+        up in bitfield_strategy(LEN),
+        seed in any::<u64>(),
+    ) {
+        let mut index = AvailabilityIndex::new(LEN);
+        replay(&ops, &mut index);
+        let mut fast_rng = SmallRng::seed_from_u64(seed);
+        let mut naive_rng = SmallRng::seed_from_u64(seed);
+        let mut ties = Vec::new();
+        let fast = index.pick_rarest_into(&down, &up, &mut ties, &mut fast_rng);
+        let naive = RarestFirstPicker.pick(&down, &up, index.map(), &mut naive_rng);
+        prop_assert_eq!(fast, naive);
+        // Identical RNG consumption: the next draw from both streams
+        // agrees, so a simulation interleaving many picks stays aligned.
+        prop_assert_eq!(
+            rand::RngCore::next_u64(&mut fast_rng),
+            rand::RngCore::next_u64(&mut naive_rng)
+        );
+        if let PieceSelection::Piece(i) = fast {
+            prop_assert!(!down.get(i));
+            prop_assert!(up.get(i));
+        }
+    }
+
+    /// The index's word-skipping `min_over` agrees with the map's
+    /// per-piece scan over the same needed set.
+    #[test]
+    fn min_over_agrees_with_map_scan(
+        ops in proptest::collection::vec(op_strategy(), 0..40),
+        needed in bitfield_strategy(LEN),
+    ) {
+        let mut index = AvailabilityIndex::new(LEN);
+        replay(&ops, &mut index);
+        prop_assert_eq!(index.min_over(&needed), index.map().min_over(needed.iter_ones()));
+    }
+}

@@ -111,6 +111,7 @@ pub struct SimulationBuilder {
     fault_patch: Option<Box<dyn FaultPatch>>,
     fault_schedule: Option<FaultSchedule>,
     recorder: Recorder,
+    naive_hotpath: bool,
 }
 
 impl std::fmt::Debug for SimulationBuilder {
@@ -133,7 +134,21 @@ impl SimulationBuilder {
             fault_patch: None,
             fault_schedule: None,
             recorder: Recorder::disabled(),
+            naive_hotpath: false,
         }
+    }
+
+    /// Routes the round loop through the pre-index hot path (per-probe
+    /// availability recounts, per-round candidate rebuilds, per-bit
+    /// rarest-first picks, full peer-struct membership scans). Results
+    /// are identical to the default indexed path — the
+    /// `hotpath_equivalence` battery pins this — so this switch exists
+    /// only as the oracle for equivalence tests and the baseline for the
+    /// `scale` bench. Gated behind the `hotpath-oracle` feature.
+    #[cfg(any(test, feature = "hotpath-oracle"))]
+    pub fn naive_hotpath(mut self, naive: bool) -> Self {
+        self.naive_hotpath = naive;
+        self
     }
 
     /// Attaches a telemetry [`Recorder`] (disabled by default). The
@@ -239,12 +254,9 @@ impl SimulationBuilder {
                 });
             }
         }
-        Ok(Simulation::assemble(
-            self.config,
-            self.population,
-            self.recorder,
-            faults,
-        ))
+        let mut sim = Simulation::assemble(self.config, self.population, self.recorder, faults);
+        sim.naive_hotpath = self.naive_hotpath;
+        Ok(sim)
     }
 }
 

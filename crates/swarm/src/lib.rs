@@ -44,6 +44,7 @@ mod faults;
 mod peer;
 mod result;
 mod sim;
+mod soa;
 mod transfer;
 mod view_impl;
 

@@ -19,7 +19,7 @@ use coop_incentives::ledger::{ReportedReputation, ReputationTable};
 use coop_incentives::metrics::TimeSeries;
 use coop_incentives::{GrantReason, Obligation, PeerId, ReciprocationCondition};
 use coop_piece::{
-    AvailabilityMap, Bitfield, PiecePicker, PieceSelection, RandomFirstPicker, RarestFirstPicker,
+    AvailabilityIndex, Bitfield, PiecePicker, PieceSelection, RandomFirstPicker, RarestFirstPicker,
     SequentialPicker,
 };
 use rand::seq::SliceRandom;
@@ -29,6 +29,7 @@ use crate::config::{ConfigError, PeerSpec, PieceStrategy, SwarmConfig};
 use crate::faults::{FaultKind, FaultSchedule};
 use crate::peer::{Departure, PeerState};
 use crate::result::{PeerRecord, SimResult, Totals};
+use crate::soa::HotPeers;
 use crate::transfer::{InFlight, TransferTable};
 use crate::view_impl::SimView;
 
@@ -49,7 +50,7 @@ pub struct Simulation {
     engine: Engine<Event>,
     rounds: RoundDriver,
     seeds: SeedTree,
-    availability: AvailabilityMap,
+    availability: AvailabilityIndex,
     transfers: TransferTable,
     reputation: ReputationTable,
     seeder_bf: Bitfield,
@@ -59,15 +60,46 @@ pub struct Simulation {
     reports: ReportedReputation,
     pretrusted: Vec<PeerId>,
     trusted_cache: std::collections::HashMap<PeerId, f64>,
-    /// Per-peer active-neighbor lists, rebuilt by
-    /// [`Self::precompute_candidates`] and borrowed by every [`SimView`]
-    /// between rebuilds. Inner vectors are reused across rounds so the
-    /// steady-state round loop performs no per-allocation heap traffic.
-    candidates: Vec<Vec<PeerId>>,
+    /// Flat CSR-style active-neighbor adjacency: peer `i`'s candidate
+    /// list is `adj[adj_off[i]..adj_off[i+1]]`. Rebuilt by
+    /// [`Self::refresh_candidates`] only when [`Self::adj_dirty`] says a
+    /// membership or status change invalidated it, and borrowed by every
+    /// [`SimView`] between rebuilds.
+    adj: Vec<PeerId>,
+    /// `peers.len() + 1` offsets into [`Self::adj`].
+    adj_off: Vec<u32>,
+    /// Set by every mutation that can change candidate lists (spawns,
+    /// departures, outages, neighbor replenishment); cleared on rebuild.
+    adj_dirty: bool,
+    /// How many adjacency rebuilds actually ran (telemetry).
+    adjacency_rebuilds: u64,
+    /// Struct-of-arrays mirror of the hot per-peer fields, kept in
+    /// lockstep with [`Self::peers`] (see [`HotPeers`]).
+    hot: HotPeers,
     /// Scratch "pieces already held or in flight" bitfield for
     /// [`Self::pick_piece`], reused across calls instead of cloning the
     /// downloader's bitfield per candidate piece selection.
     scratch_held: Bitfield,
+    /// Scratch rarest-tie buffer for the indexed piece pick, reused so
+    /// steady-state piece selection allocates nothing.
+    scratch_ties: Vec<u32>,
+    /// Arrivals not yet spawned (`specs` entries still `Some`).
+    pending_arrivals: usize,
+    /// Active peers that hold the run open (compliant or whitewashing);
+    /// with `pending_arrivals` this replaces the per-round all-done scan.
+    open_active: usize,
+    /// Compliant peers that departed via completion (replaces the
+    /// seeder-exit pass's per-round population scan).
+    compliant_completed: usize,
+    /// Run every hot-path consumer through the pre-index scans (fresh
+    /// per-probe availability histograms, per-round candidate rebuilds,
+    /// per-bit rarest-first picks, full peer-struct membership scans).
+    /// The `hotpath_equivalence` battery and the `scale` bench flip this
+    /// on as the oracle/baseline; results must be identical either way.
+    pub(crate) naive_hotpath: bool,
+    /// Fresh availability histogram rebuilds performed by naive-mode
+    /// probes (telemetry; always zero on the indexed path).
+    naive_probe_rebuilds: u64,
     /// Observational telemetry. Never consulted by simulation logic and
     /// never draws from [`Self::seeds`]: enabling it cannot change a
     /// run's results (pinned by the `telemetry_determinism` test).
@@ -180,7 +212,7 @@ impl Simulation {
         let spec_count = specs.len();
         Simulation {
             seeds: SeedTree::new(config.seed),
-            availability: AvailabilityMap::new(num_pieces),
+            availability: AvailabilityIndex::new(num_pieces),
             transfers: TransferTable::new(),
             reputation: ReputationTable::new(),
             seeder_bf: Bitfield::full(num_pieces),
@@ -194,8 +226,18 @@ impl Simulation {
             reports: ReportedReputation::new(),
             pretrusted: Vec::new(),
             trusted_cache: std::collections::HashMap::new(),
-            candidates: Vec::new(),
+            adj: Vec::new(),
+            adj_off: Vec::new(),
+            adj_dirty: true,
+            adjacency_rebuilds: 0,
+            hot: HotPeers::default(),
             scratch_held: Bitfield::new(0),
+            scratch_ties: Vec::new(),
+            pending_arrivals: spec_count,
+            open_active: 0,
+            compliant_completed: 0,
+            naive_hotpath: false,
+            naive_probe_rebuilds: 0,
             recorder,
             probe_prev_bytes: [0; GrantReason::ALL.len()],
             spec_peer: vec![None; spec_count],
@@ -337,11 +379,24 @@ impl Simulation {
                 // identity either hits its interval or completes, and the
                 // successor chain ends at the first identity that downloads
                 // nothing itself).
-                let all_done = self.specs.iter().all(|s| s.is_none())
-                    && self.peers.iter().all(|p| {
-                        !p.is_active()
-                            || !(p.tags.compliant || p.tags.whitewash_interval.is_some())
-                    });
+                let all_done = if self.naive_hotpath {
+                    self.specs.iter().all(|s| s.is_none())
+                        && self.peers.iter().all(|p| {
+                            !p.is_active()
+                                || !(p.tags.compliant || p.tags.whitewash_interval.is_some())
+                        })
+                } else {
+                    debug_assert_eq!(
+                        self.pending_arrivals == 0 && self.open_active == 0,
+                        self.specs.iter().all(|s| s.is_none())
+                            && self.peers.iter().all(|p| {
+                                !p.is_active()
+                                    || !(p.tags.compliant || p.tags.whitewash_interval.is_some())
+                            }),
+                        "run-open counters diverged from the peer scan"
+                    );
+                    self.pending_arrivals == 0 && self.open_active == 0
+                };
                 // Stall detection (fault schedules only): when a round
                 // moved no bytes and some run-holding peer wants a piece
                 // no live source will ever offer again (its last copy
@@ -407,6 +462,12 @@ impl Simulation {
             self.peers[lv.index() as usize].neighbors.insert(id);
         }
         self.peers.push(peer);
+        self.hot.push(&spec.tags, 0);
+        self.pending_arrivals -= 1;
+        if spec.tags.compliant || spec.tags.whitewash_interval.is_some() {
+            self.open_active += 1;
+        }
+        self.adj_dirty = true;
     }
 
     fn choose_neighbors(&self, me: PeerId, large_view: bool) -> BTreeSet<PeerId> {
@@ -430,40 +491,54 @@ impl Simulation {
         self.seeds.subtree(0x520_0000 + self.round_idx).rng(label)
     }
 
-    /// Rebuilds the per-peer active-neighbor candidate lists.
+    /// Ensures the per-peer active-neighbor candidate lists are current.
     ///
     /// Called once before the allocation loop and once before the
     /// end-of-round mechanism hooks: the active set and neighbor graph only
     /// change in the passes *bracketing* those phases (whitewashing,
     /// replenishment, departures), so within each phase every [`SimView`]
     /// can borrow the same precomputed slice instead of re-filtering the
-    /// neighbor set on each query.
-    fn precompute_candidates(&mut self) {
-        if self.candidates.len() < self.peers.len() {
-            self.candidates.resize_with(self.peers.len(), Vec::new);
-        }
-        let (peers, candidates) = (&self.peers, &mut self.candidates);
-        for (idx, p) in peers.iter().enumerate() {
-            let list = &mut candidates[idx];
-            list.clear();
-            if !p.is_active() || p.offline {
-                continue;
-            }
-            list.extend(p.neighbors.iter().copied().filter(|&n| {
-                n == SEEDER_ID
-                    || peers
-                        .get(n.index() as usize)
-                        .is_some_and(|q| q.is_active() && !q.offline)
-            }));
+    /// neighbor set on each query. Unlike the old per-round rebuild, the
+    /// flat adjacency is only reconstructed when [`Self::adj_dirty`] says a
+    /// membership or status mutation actually invalidated it — quiet
+    /// rounds skip the rebuild entirely.
+    fn refresh_candidates(&mut self) {
+        if self.naive_hotpath || self.adj_dirty || self.adj_off.len() != self.peers.len() + 1 {
+            self.rebuild_adjacency();
         }
     }
 
-    /// This round's active neighbors of `id`, as precomputed by
-    /// [`Self::precompute_candidates`].
+    /// Rebuilds the flat CSR adjacency from scratch. Lists are in
+    /// `BTreeSet` iteration order, identical to the old per-peer vectors.
+    fn rebuild_adjacency(&mut self) {
+        self.adjacency_rebuilds += 1;
+        self.adj_dirty = false;
+        let (peers, adj, off) = (&self.peers, &mut self.adj, &mut self.adj_off);
+        adj.clear();
+        off.clear();
+        off.reserve(peers.len() + 1);
+        off.push(0);
+        for p in peers {
+            if p.is_active() && !p.offline {
+                adj.extend(p.neighbors.iter().copied().filter(|&n| {
+                    n == SEEDER_ID
+                        || peers
+                            .get(n.index() as usize)
+                            .is_some_and(|q| q.is_active() && !q.offline)
+                }));
+            }
+            off.push(adj.len() as u32);
+        }
+    }
+
+    /// This round's active neighbors of `id`, as maintained by
+    /// [`Self::refresh_candidates`].
     pub(crate) fn round_candidates(&self, id: PeerId) -> &[PeerId] {
-        self.candidates
-            .get(id.index() as usize)
-            .map_or(&[][..], Vec::as_slice)
+        let i = id.index() as usize;
+        match (self.adj_off.get(i), self.adj_off.get(i + 1)) {
+            (Some(&a), Some(&b)) => &self.adj[a as usize..b as usize],
+            _ => &[],
+        }
     }
 
     fn step_round(&mut self, now: SimTime) {
@@ -474,16 +549,32 @@ impl Simulation {
             self.trusted_cache = self.reports.trusted_scores(&self.pretrusted);
         }
         self.replenish_neighbors();
-        self.precompute_candidates();
+        self.refresh_candidates();
         self.seeder_allocate(now);
 
         // Peers allocate in a per-round shuffled order.
-        let mut order: Vec<u32> = self
-            .peers
-            .iter()
-            .filter(|p| p.is_active() && !p.offline)
-            .map(|p| p.id.index())
-            .collect();
+        let mut order: Vec<u32> = if self.naive_hotpath {
+            self.peers
+                .iter()
+                .filter(|p| p.is_active() && !p.offline)
+                .map(|p| p.id.index())
+                .collect()
+        } else {
+            let order: Vec<u32> = (0..self.hot.len())
+                .filter(|&i| self.hot.is_online(i))
+                .map(|i| i as u32)
+                .collect();
+            debug_assert_eq!(
+                order,
+                self.peers
+                    .iter()
+                    .filter(|p| p.is_active() && !p.offline)
+                    .map(|p| p.id.index())
+                    .collect::<Vec<u32>>(),
+                "SoA allocation order diverged from the peer scan"
+            );
+            order
+        };
         {
             let mut rng = self.round_rng(0);
             order.shuffle(&mut rng);
@@ -536,10 +627,31 @@ impl Simulation {
             .map(|(now, prev)| now - prev)
             .collect();
         self.probe_prev_bytes = self.totals.bytes_by_reason;
-        let mut availability = Histogram::new();
-        for piece in 0..self.availability.num_pieces() {
-            availability.observe(u64::from(self.availability.count(piece)));
-        }
+        let availability_buckets = if self.naive_hotpath {
+            // The pre-index path: recount every piece into a fresh
+            // histogram on each probe.
+            self.naive_probe_rebuilds += 1;
+            let mut availability = Histogram::new();
+            for piece in 0..self.availability.map().num_pieces() {
+                availability.observe(u64::from(self.availability.map().count(piece)));
+            }
+            availability.buckets().to_vec()
+        } else {
+            let buckets = self.availability.bucket_counts();
+            #[cfg(debug_assertions)]
+            {
+                let mut check = Histogram::new();
+                for piece in 0..self.availability.map().num_pieces() {
+                    check.observe(u64::from(self.availability.map().count(piece)));
+                }
+                debug_assert_eq!(
+                    buckets,
+                    check.buckets().to_vec(),
+                    "incremental availability buckets diverged from a fresh recount"
+                );
+            }
+            buckets
+        };
         self.recorder.observe("swarm.probe.active_peers", active);
         self.recorder
             .observe("swarm.probe.inflight_transfers", inflight);
@@ -551,7 +663,7 @@ impl Simulation {
             completed,
             inflight,
             bytes_by_reason_delta,
-            availability_buckets: availability.buckets().to_vec(),
+            availability_buckets,
         });
     }
 
@@ -787,6 +899,7 @@ impl Simulation {
         for &p in &self.peer(to).inflight {
             held.set(p);
         }
+        let mut ties = std::mem::take(&mut self.scratch_ties);
         let offer = if from == SEEDER_ID {
             &self.seeder_bf
         } else {
@@ -794,11 +907,25 @@ impl Simulation {
         };
         let selection = match self.config.piece_strategy {
             PieceStrategy::RarestFirst => {
-                RarestFirstPicker.pick(&held, offer, &self.availability, rng)
+                if self.naive_hotpath {
+                    // The pre-index path: per-bit missing-piece walk with a
+                    // fresh tie vector per call.
+                    RarestFirstPicker.pick(&held, offer, self.availability.map(), rng)
+                } else {
+                    // Word-skipping walk over the incremental index; draws
+                    // from `rng` exactly as the naive picker does (pinned
+                    // by the `availability_index` proptests).
+                    self.availability.pick_rarest_into(&held, offer, &mut ties, rng)
+                }
             }
-            PieceStrategy::Random => RandomFirstPicker.pick(&held, offer, &self.availability, rng),
-            PieceStrategy::Sequential => SequentialPicker.pick(&held, offer, &self.availability, rng),
+            PieceStrategy::Random => {
+                RandomFirstPicker.pick(&held, offer, self.availability.map(), rng)
+            }
+            PieceStrategy::Sequential => {
+                SequentialPicker.pick(&held, offer, self.availability.map(), rng)
+            }
         };
+        self.scratch_ties = ties;
         self.scratch_held = held;
         match selection {
             PieceSelection::Piece(p) => Some((p, self.config.file.piece_len(p))),
@@ -884,6 +1011,7 @@ impl Simulation {
         r.bytes_received_usable += len;
         let compliant = r.tags.compliant;
         self.availability.on_piece_acquired(piece);
+        self.hot.add_piece(to.index() as usize);
         if !compliant {
             self.totals.freerider_received_usable += len;
             if from != SEEDER_ID {
@@ -947,6 +1075,7 @@ impl Simulation {
             self.peers[idx].bytes_received_usable += len;
             let compliant = self.peers[idx].tags.compliant;
             self.availability.on_piece_acquired(piece);
+            self.hot.add_piece(idx);
             if !compliant {
                 // Locked pieces only ever come from peers (the seeder
                 // uploads unconditionally), so an unlock is peer-sourced.
@@ -1047,12 +1176,29 @@ impl Simulation {
     }
 
     fn completions_pass(&mut self, now: SimTime) {
-        let done: Vec<u32> = self
-            .peers
-            .iter()
-            .filter(|p| p.is_active() && p.is_complete())
-            .map(|p| p.id.index())
-            .collect();
+        let np = self.config.file.num_pieces();
+        let done: Vec<u32> = if self.naive_hotpath {
+            self.peers
+                .iter()
+                .filter(|p| p.is_active() && p.is_complete())
+                .map(|p| p.id.index())
+                .collect()
+        } else {
+            let done: Vec<u32> = (0..self.hot.len())
+                .filter(|&i| self.hot.is_active(i) && self.hot.have_count(i) == np)
+                .map(|i| i as u32)
+                .collect();
+            debug_assert_eq!(
+                done,
+                self.peers
+                    .iter()
+                    .filter(|p| p.is_active() && p.is_complete())
+                    .map(|p| p.id.index())
+                    .collect::<Vec<u32>>(),
+                "SoA completion detection diverged from the bitfield scan"
+            );
+            done
+        };
         for pid in done {
             self.depart(PeerId::new(pid), Departure::Completed(now));
             // A whitewashing attacker sheds its (now history-laden)
@@ -1094,6 +1240,15 @@ impl Simulation {
         self.peers[idx].departure = Some(why);
         self.peers[idx].inflight.clear();
         self.peers[idx].inflight_conditional = 0;
+        self.hot.retire(idx);
+        self.adj_dirty = true;
+        let p = &self.peers[idx];
+        if p.tags.compliant || p.tags.whitewash_interval.is_some() {
+            self.open_active -= 1;
+        }
+        if p.tags.compliant && matches!(why, Departure::Completed(_)) {
+            self.compliant_completed += 1;
+        }
     }
 
     /// Applies every fault whose round has come, at the top of the round
@@ -1165,13 +1320,17 @@ impl Simulation {
             .seeder_failure_round
             .is_some_and(|r| self.round_idx >= r);
         let exited = self.faults.seeder_exit_fraction.is_some_and(|f| {
-            let done = self
-                .peers
-                .iter()
-                .filter(|p| {
-                    p.tags.compliant && matches!(p.departure, Some(Departure::Completed(_)))
-                })
-                .count();
+            debug_assert_eq!(
+                self.compliant_completed,
+                self.peers
+                    .iter()
+                    .filter(|p| {
+                        p.tags.compliant && matches!(p.departure, Some(Departure::Completed(_)))
+                    })
+                    .count(),
+                "completion counter diverged from the departure scan"
+            );
+            let done = self.compliant_completed;
             done > 0 && done as f64 >= f * self.expected_compliant as f64
         });
         if !(failed || exited) {
@@ -1211,6 +1370,8 @@ impl Simulation {
         self.peers[idx].offline = true;
         self.peers[idx].inflight.clear();
         self.peers[idx].inflight_conditional = 0;
+        self.hot.set_offline(idx, true);
+        self.adj_dirty = true;
     }
 
     /// Brings a suspended peer back: its pieces re-enter the availability
@@ -1223,6 +1384,8 @@ impl Simulation {
         for p in have {
             self.availability.on_piece_acquired(p);
         }
+        self.hot.set_offline(idx, false);
+        self.adj_dirty = true;
     }
 
     /// Telemetry for one applied fault (no-op when the recorder is off).
@@ -1271,7 +1434,12 @@ impl Simulation {
     /// departure, so their pieces return), as does the seeder while
     /// online; pending arrivals defer the verdict entirely.
     fn swarm_unsatisfiable(&self) -> bool {
-        if self.seeder_online || self.specs.iter().any(|s| s.is_some()) {
+        debug_assert_eq!(
+            self.pending_arrivals,
+            self.specs.iter().filter(|s| s.is_some()).count(),
+            "pending-arrival counter diverged from the spec scan"
+        );
+        if self.seeder_online || self.pending_arrivals > 0 {
             return false;
         }
         let mut sources = Bitfield::new(self.config.file.num_pieces());
@@ -1290,18 +1458,35 @@ impl Simulation {
 
     fn whitewash_pass(&mut self, now: SimTime) {
         let round = self.round_idx;
-        let targets: Vec<u32> = self
-            .peers
-            .iter()
-            .filter(|p| {
-                p.is_active()
-                    && !p.offline
-                    && p.tags
-                        .whitewash_interval
-                        .is_some_and(|w| round > p.arrival_round && (round - p.arrival_round).is_multiple_of(w))
-            })
-            .map(|p| p.id.index())
-            .collect();
+        let due = |p: &PeerState| {
+            p.tags
+                .whitewash_interval
+                .is_some_and(|w| round > p.arrival_round && (round - p.arrival_round).is_multiple_of(w))
+        };
+        let targets: Vec<u32> = if self.naive_hotpath {
+            self.peers
+                .iter()
+                .filter(|p| p.is_active() && !p.offline && due(p))
+                .map(|p| p.id.index())
+                .collect()
+        } else {
+            // The SoA flags pre-filter the (rare) whitewashers; only they
+            // pay for the interval arithmetic on the full peer struct.
+            let targets: Vec<u32> = (0..self.hot.len())
+                .filter(|&i| self.hot.whitewash_online(i) && due(&self.peers[i]))
+                .map(|i| i as u32)
+                .collect();
+            debug_assert_eq!(
+                targets,
+                self.peers
+                    .iter()
+                    .filter(|p| p.is_active() && !p.offline && due(p))
+                    .map(|p| p.id.index())
+                    .collect::<Vec<u32>>(),
+                "SoA whitewash pre-filter diverged from the peer scan"
+            );
+            targets
+        };
         for pid in targets {
             self.re_identity(PeerId::new(pid), now);
         }
@@ -1333,6 +1518,14 @@ impl Simulation {
         self.peers[old_idx].inflight_conditional = 0;
         self.peers[old_idx].departure = Some(Departure::Whitewashed(now));
         self.availability.remove_peer(self.peers[old_idx].have());
+        self.hot.retire(old_idx);
+        self.adj_dirty = true;
+        {
+            let p = &self.peers[old_idx];
+            if p.tags.compliant || p.tags.whitewash_interval.is_some() {
+                self.open_active -= 1;
+            }
+        }
         self.reputation.forget(old);
         self.reports.forget(old);
         self.spawn_successor(old, now);
@@ -1376,21 +1569,46 @@ impl Simulation {
         }
         peer.neighbors = neighbors;
         self.peers.push(peer);
+        self.hot.push(&tags, have.len() as u32);
+        if tags.compliant || tags.whitewash_interval.is_some() {
+            self.open_active += 1;
+        }
+        self.adj_dirty = true;
     }
 
     fn collusion_praise_pass(&mut self) {
         // Ring members report fictitious uploads for each other, inflating
         // reputations (the reputation algorithm's collusion attack).
-        let members: Vec<(PeerId, u16, u64)> = self
-            .peers
-            .iter()
-            .filter(|p| p.is_active() && !p.offline)
-            .filter_map(|p| {
-                p.tags
-                    .collusion_ring
-                    .map(|r| (p.id, r, p.tags.fake_praise_bytes))
-            })
-            .collect();
+        let scan_members = |peers: &[PeerState]| -> Vec<(PeerId, u16, u64)> {
+            peers
+                .iter()
+                .filter(|p| p.is_active() && !p.offline)
+                .filter_map(|p| {
+                    p.tags
+                        .collusion_ring
+                        .map(|r| (p.id, r, p.tags.fake_praise_bytes))
+                })
+                .collect()
+        };
+        let members: Vec<(PeerId, u16, u64)> = if self.naive_hotpath {
+            scan_members(&self.peers)
+        } else {
+            let members: Vec<(PeerId, u16, u64)> = (0..self.hot.len())
+                .filter(|&i| self.hot.colluder_online(i))
+                .filter_map(|i| {
+                    let p = &self.peers[i];
+                    p.tags
+                        .collusion_ring
+                        .map(|r| (p.id, r, p.tags.fake_praise_bytes))
+                })
+                .collect();
+            debug_assert_eq!(
+                members,
+                scan_members(&self.peers),
+                "SoA collusion pre-filter diverged from the peer scan"
+            );
+            members
+        };
         for &(id, ring, praise) in &members {
             if praise == 0 {
                 continue;
@@ -1412,16 +1630,27 @@ impl Simulation {
 
     fn replenish_neighbors(&mut self) {
         let min_degree = (self.config.neighbor_degree / 2).max(1);
+        // An active peer's neighbor set only ever holds live identities
+        // (edges are symmetric and pruned eagerly on departure; outages
+        // keep the identity alive), so `neighbors.len()` *is* the live
+        // count — no per-neighbor liveness probe needed on the fast path.
         let needy: Vec<u32> = self
             .peers
             .iter()
             .filter(|p| {
-                p.is_active()
-                    && p.neighbors
-                        .iter()
-                        .filter(|&&n| self.is_active(n))
-                        .count()
-                        < min_degree
+                if !p.is_active() {
+                    return false;
+                }
+                if self.naive_hotpath {
+                    p.neighbors.iter().filter(|&&n| self.is_active(n)).count() < min_degree
+                } else {
+                    debug_assert_eq!(
+                        p.neighbors.iter().filter(|&&n| self.is_active(n)).count(),
+                        p.neighbors.len(),
+                        "an active peer's neighbor set held a departed identity"
+                    );
+                    p.neighbors.len() < min_degree
+                }
             })
             .map(|p| p.id.index())
             .collect();
@@ -1438,15 +1667,20 @@ impl Simulation {
                 .map(|p| p.id)
                 .collect();
             pool.shuffle(&mut rng);
-            let have = self.peers[pid as usize]
-                .neighbors
-                .iter()
-                .filter(|&&n| self.is_active(n))
-                .count();
+            let have = if self.naive_hotpath {
+                self.peers[pid as usize]
+                    .neighbors
+                    .iter()
+                    .filter(|&&n| self.is_active(n))
+                    .count()
+            } else {
+                self.peers[pid as usize].neighbors.len()
+            };
             let want = self.config.neighbor_degree.saturating_sub(have);
             for n in pool.into_iter().take(want) {
                 self.peers[pid as usize].neighbors.insert(n);
                 self.peers[n.index() as usize].neighbors.insert(id);
+                self.adj_dirty = true;
             }
         }
     }
@@ -1503,15 +1737,31 @@ impl Simulation {
     fn end_round_pass(&mut self) {
         // Departures since the allocation loop have shrunk the graph;
         // refresh the candidate lists the end-of-round views will serve.
-        self.precompute_candidates();
+        self.refresh_candidates();
         // Mechanism end-of-round hooks run first so they can observe this
         // round's receipts before the ledger window rolls.
-        let ids: Vec<u32> = self
-            .peers
-            .iter()
-            .filter(|p| p.is_active())
-            .map(|p| p.id.index())
-            .collect();
+        let ids: Vec<u32> = if self.naive_hotpath {
+            self.peers
+                .iter()
+                .filter(|p| p.is_active())
+                .map(|p| p.id.index())
+                .collect()
+        } else {
+            let ids: Vec<u32> = (0..self.hot.len())
+                .filter(|&i| self.hot.is_active(i))
+                .map(|i| i as u32)
+                .collect();
+            debug_assert_eq!(
+                ids,
+                self.peers
+                    .iter()
+                    .filter(|p| p.is_active())
+                    .map(|p| p.id.index())
+                    .collect::<Vec<u32>>(),
+                "SoA end-of-round id scan diverged from the peer scan"
+            );
+            ids
+        };
         for pid in ids {
             let idx = pid as usize;
             let Some(mut mech) = self.peers[idx].mechanism.take() else {
@@ -1585,6 +1835,15 @@ impl Simulation {
 
     fn finalize(mut self) -> (SimResult, TelemetryReport) {
         let mut recorder = std::mem::take(&mut self.recorder);
+        // Hot-path health counters: on the indexed path the availability
+        // histogram is never rebuilt from scratch (the CI scale-smoke job
+        // asserts this stays zero), and adjacency rebuilds only happen on
+        // membership changes.
+        recorder.incr(
+            "swarm.availability.rebuilds",
+            self.availability.rebuilds() + self.naive_probe_rebuilds,
+        );
+        recorder.incr("swarm.adjacency.rebuilds", self.adjacency_rebuilds);
         if recorder.is_enabled() {
             recorder.incr("engine.events_processed", self.engine.events_processed());
             recorder.record_max(
@@ -2067,6 +2326,57 @@ mod tests {
             r.rounds_run
         );
         assert_eq!(r.completed_count(), 0, "nobody had the full file");
+    }
+
+    #[test]
+    fn naive_hotpath_is_observationally_identical() {
+        // The fast path (incremental availability index, SoA membership
+        // scans, dirty-tracked adjacency) must be indistinguishable from
+        // the pre-index scans, mechanism by mechanism.
+        for kind in MechanismKind::ALL {
+            let run = |naive: bool| {
+                let mut config = SwarmConfig::tiny_test();
+                config.seed = 47;
+                let population = flash_crowd(&config, 14, kind, 47);
+                Simulation::builder(config)
+                    .population(population)
+                    .naive_hotpath(naive)
+                    .build()
+                    .unwrap()
+                    .run()
+            };
+            assert_eq!(run(false), run(true), "{kind}: hot path diverged from oracle");
+        }
+    }
+
+    #[test]
+    fn naive_hotpath_identical_under_faults() {
+        use crate::faults::{FaultEvent, FaultKind, FaultSchedule};
+        let run = |naive: bool| {
+            let mut config = SwarmConfig::tiny_test();
+            config.seed = 53;
+            let mut population = flash_crowd(&config, 12, MechanismKind::BitTorrent, 53);
+            for spec in &mut population {
+                spec.arrival = SimTime::ZERO;
+            }
+            let schedule = FaultSchedule::from_events(
+                vec![
+                    FaultEvent { round: 2, peer: 1, kind: FaultKind::OutageStart },
+                    FaultEvent { round: 3, peer: 0, kind: FaultKind::Depart },
+                    FaultEvent { round: 6, peer: 1, kind: FaultKind::OutageEnd },
+                ],
+                0.1,
+                53,
+            );
+            Simulation::builder(config)
+                .population(population)
+                .fault_schedule(schedule)
+                .naive_hotpath(naive)
+                .build()
+                .unwrap()
+                .run()
+        };
+        assert_eq!(run(false), run(true), "fault paths diverged from oracle");
     }
 
     #[test]

@@ -32,7 +32,7 @@ impl SwarmView for SimView<'_> {
 
     fn neighbors(&self) -> &[PeerId] {
         // Precomputed once per phase (allocation / end-of-round); see
-        // `Simulation::precompute_candidates`.
+        // `Simulation::refresh_candidates`.
         self.sim.round_candidates(self.me)
     }
 

@@ -1,0 +1,255 @@
+//! The hot-path equivalence battery: proves the incremental availability
+//! index + SoA round loop is **observably identical** to the naive
+//! pre-index path it replaced.
+//!
+//! Three layers of evidence, from strongest to broadest:
+//!
+//! 1. Per-mechanism oracle runs — a fig4-sized swarm executed twice from
+//!    the same seed, once with `naive_hotpath(true)` (the pre-index round
+//!    loop kept behind `coop-swarm`'s `hotpath-oracle` feature: per-round
+//!    candidate rebuilds, per-bit rarest-first picks, full peer-struct
+//!    scans) and once on the indexed path. The full [`SimResult`] must
+//!    compare equal, and its debug fingerprint must match a pinned golden
+//!    constant so *both* paths drifting together is also caught.
+//! 2. Artifact byte-identity across worker counts — `fig4` rendered with
+//!    `--jobs 1` and `--jobs 4` into separate directories must produce
+//!    byte-identical files. Naive-path artifact identity follows from (1)
+//!    plus the deterministic write path: artifacts are a pure function of
+//!    the `SimResult`s.
+//! 3. Component regression pins — `AvailabilityIndex::min_over` and
+//!    `pick_rarest_into` against the full-scan `AvailabilityMap::min_over`
+//!    and the trait-object `RarestFirstPicker` on fig4-shaped bitfields,
+//!    including the pick RNG contract (exactly one draw iff a candidate
+//!    exists).
+//!
+//! If a golden constant changes because simulation semantics intentionally
+//! changed, re-pin it and say why in the commit message.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use coop_des::rng::SeedTree;
+use coop_experiments::{runners, Executor, OutputDir, Scale, TelemetryOpts};
+use coop_incentives::analysis::capacity::CapacityClassMix;
+use coop_incentives::MechanismKind;
+use coop_piece::{AvailabilityIndex, AvailabilityMap, Bitfield, PiecePicker, RarestFirstPicker};
+use coop_swarm::{flash_crowd_with, SimResult, Simulation};
+use coop_telemetry::fingerprint_debug;
+
+const SEED: u64 = 42;
+
+/// One fig4-sized cell (quick scale: 80 peers, 64 pieces), on either the
+/// naive oracle path or the indexed hot path.
+fn run_cell(kind: MechanismKind, naive: bool) -> SimResult {
+    let config = Scale::Quick.config(SEED);
+    let population = flash_crowd_with(
+        &config,
+        Scale::Quick.peers(),
+        kind,
+        SEED,
+        &CapacityClassMix::paper_default(),
+        Scale::Quick.arrival_window(),
+    );
+    Simulation::builder(config)
+        .population(population)
+        .naive_hotpath(naive)
+        .build()
+        .expect("quick config validates")
+        .run()
+}
+
+/// Oracle equivalence plus the golden pin for one mechanism.
+fn check(kind: MechanismKind, golden: u64) {
+    let fast = run_cell(kind, false);
+    let naive = run_cell(kind, true);
+    assert_eq!(
+        fast,
+        naive,
+        "{}: indexed and naive hot paths must produce identical results",
+        kind.name()
+    );
+    assert_eq!(
+        fingerprint_debug(&fast),
+        golden,
+        "{}: result fingerprint drifted from the pinned golden value",
+        kind.name()
+    );
+}
+
+#[test]
+fn reciprocity_naive_and_indexed_agree() {
+    check(MechanismKind::Reciprocity, 0x5e3f_f605_0864_e5e2);
+}
+
+#[test]
+fn tchain_naive_and_indexed_agree() {
+    check(MechanismKind::TChain, 0x73d0_6216_17a0_3a63);
+}
+
+#[test]
+fn bittorrent_naive_and_indexed_agree() {
+    check(MechanismKind::BitTorrent, 0xc4e6_fed2_40b9_65e8);
+}
+
+#[test]
+fn fairtorrent_naive_and_indexed_agree() {
+    check(MechanismKind::FairTorrent, 0x113c_b09b_2808_6c38);
+}
+
+#[test]
+fn reputation_naive_and_indexed_agree() {
+    check(MechanismKind::Reputation, 0x7093_b67d_4da0_ba6e);
+}
+
+#[test]
+fn altruism_naive_and_indexed_agree() {
+    check(MechanismKind::Altruism, 0xa7ad_eca0_39b7_be52);
+}
+
+/// A fresh scratch directory under `target/` for this test run.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join("hotpath_equivalence")
+        .join(tag);
+    // Stale files from a previous run would corrupt the comparison.
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Every file in `dir`, name → bytes.
+fn dir_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("read artifact dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("utf-8 file name")
+            .to_string();
+        files.insert(name, std::fs::read(&path).expect("read artifact"));
+    }
+    files
+}
+
+#[test]
+fn fig4_artifacts_are_byte_identical_across_worker_counts() {
+    let dir_seq = scratch("jobs1");
+    let (report_seq, _) = runners::fig4::run_with_telemetry(
+        Scale::Quick,
+        SEED,
+        &Executor::new(1),
+        &TelemetryOpts::disabled(),
+        &OutputDir::new(&dir_seq),
+    );
+
+    let dir_par = scratch("jobs4");
+    let (report_par, _) = runners::fig4::run_with_telemetry(
+        Scale::Quick,
+        SEED,
+        &Executor::new(4),
+        &TelemetryOpts::disabled(),
+        &OutputDir::new(&dir_par),
+    );
+
+    assert_eq!(
+        report_seq.render(),
+        report_par.render(),
+        "rendered fig4 report must not depend on worker count"
+    );
+
+    let seq = dir_bytes(&dir_seq);
+    let par = dir_bytes(&dir_par);
+    assert!(!seq.is_empty(), "fig4 wrote no artifacts");
+    assert_eq!(
+        seq.keys().collect::<Vec<_>>(),
+        par.keys().collect::<Vec<_>>(),
+        "artifact sets differ between --jobs 1 and --jobs 4"
+    );
+    for (name, bytes) in &seq {
+        assert_eq!(
+            bytes, &par[name],
+            "artifact {name} differs between --jobs 1 and --jobs 4"
+        );
+    }
+}
+
+/// Fig4-shaped bitfields: the quick-scale piece count, 80 peers whose
+/// holdings are drawn from a seeded RNG with uneven per-piece density.
+fn fig4_shaped_fields() -> (u32, Vec<Bitfield>) {
+    use rand::Rng as _;
+    let pieces = Scale::Quick.config(SEED).file.num_pieces();
+    let mut rng = SeedTree::new(SEED).rng(7);
+    let fields = (0..Scale::Quick.peers())
+        .map(|_| {
+            let mut bf = Bitfield::new(pieces);
+            for i in 0..pieces {
+                if rng.gen_bool(f64::from(1 + i % 7) / 10.0) {
+                    bf.set(i);
+                }
+            }
+            bf
+        })
+        .collect();
+    (pieces, fields)
+}
+
+#[test]
+fn index_min_over_matches_full_scan_on_fig4_shapes() {
+    let (pieces, fields) = fig4_shaped_fields();
+    let mut map = AvailabilityMap::new(pieces);
+    let mut index = AvailabilityIndex::new(pieces);
+    for bf in &fields {
+        map.add_peer(bf);
+        index.add_peer(bf);
+    }
+    for (p, bf) in fields.iter().enumerate() {
+        // The hot-path query shape: minimum availability over the pieces
+        // this peer still needs.
+        let mut needed = Bitfield::new(pieces);
+        for i in 0..pieces {
+            if !bf.get(i) {
+                needed.set(i);
+            }
+        }
+        assert_eq!(
+            index.min_over(&needed),
+            map.min_over(needed.iter_ones()),
+            "peer {p}: indexed min_over diverged from the full scan"
+        );
+    }
+    // Degenerate shapes: empty set and the full piece range.
+    let empty = Bitfield::new(pieces);
+    assert_eq!(index.min_over(&empty), None);
+    let mut all = Bitfield::new(pieces);
+    for i in 0..pieces {
+        all.set(i);
+    }
+    assert_eq!(index.min_over(&all), map.min_over(all.iter_ones()));
+}
+
+#[test]
+fn index_picks_match_rarest_first_picker_on_fig4_shapes() {
+    use rand::Rng as _;
+    let (pieces, fields) = fig4_shaped_fields();
+    let mut index = AvailabilityIndex::new(pieces);
+    for bf in &fields {
+        index.add_peer(bf);
+    }
+    let mut ties = Vec::new();
+    for (p, held) in fields.iter().enumerate() {
+        let offer = &fields[(p + 1) % fields.len()];
+        // Identical RNG streams: the indexed pick must consume exactly the
+        // draws the naive picker does, or downstream decisions desync.
+        let mut naive_rng = SeedTree::new(SEED).rng(p as u64);
+        let mut fast_rng = SeedTree::new(SEED).rng(p as u64);
+        let naive = RarestFirstPicker.pick(held, offer, index.map(), &mut naive_rng);
+        let fast = index.pick_rarest_into(held, offer, &mut ties, &mut fast_rng);
+        assert_eq!(naive, fast, "peer {p}: pick diverged");
+        assert_eq!(
+            naive_rng.gen_range(0..u64::MAX),
+            fast_rng.gen_range(0..u64::MAX),
+            "peer {p}: RNG streams desynced after the pick"
+        );
+    }
+}
