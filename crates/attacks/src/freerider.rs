@@ -33,6 +33,10 @@ impl FreeRider {
 }
 
 impl Mechanism for FreeRider {
+    fn clone_box(&self) -> Box<dyn Mechanism> {
+        Box::new(*self)
+    }
+
     fn kind(&self) -> MechanismKind {
         self.mimics
     }

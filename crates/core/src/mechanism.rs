@@ -200,6 +200,19 @@ pub trait Mechanism: std::fmt::Debug + Send {
     /// released), `false` when the obligation expired unfulfilled.
     /// T-Chain's local-reputation component feeds on this signal.
     fn on_chain_outcome(&mut self, _receiver: PeerId, _honored: bool) {}
+
+    /// Deep-clones this mechanism behind a fresh box, preserving all
+    /// accumulated per-peer state (credit ledgers, local reputations,
+    /// unchoke targets). Mid-run checkpointing needs this to snapshot a
+    /// peer's allocation policy; every implementation is
+    /// `Box::new(self.clone())`.
+    fn clone_box(&self) -> Box<dyn Mechanism>;
+}
+
+impl Clone for Box<dyn Mechanism> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Builds a boxed mechanism of the given kind with the given parameters.

@@ -37,6 +37,10 @@ impl Altruism {
 }
 
 impl Mechanism for Altruism {
+    fn clone_box(&self) -> Box<dyn Mechanism> {
+        Box::new(*self)
+    }
+
     fn kind(&self) -> MechanismKind {
         MechanismKind::Altruism
     }

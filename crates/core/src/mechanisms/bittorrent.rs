@@ -99,6 +99,10 @@ impl BitTorrent {
 }
 
 impl Mechanism for BitTorrent {
+    fn clone_box(&self) -> Box<dyn Mechanism> {
+        Box::new(self.clone())
+    }
+
     fn kind(&self) -> MechanismKind {
         MechanismKind::BitTorrent
     }

@@ -63,6 +63,10 @@ impl PropShare {
 }
 
 impl Mechanism for PropShare {
+    fn clone_box(&self) -> Box<dyn Mechanism> {
+        Box::new(self.clone())
+    }
+
     fn kind(&self) -> MechanismKind {
         MechanismKind::BitTorrent
     }
@@ -166,6 +170,10 @@ impl BitTyrant {
 }
 
 impl Mechanism for BitTyrant {
+    fn clone_box(&self) -> Box<dyn Mechanism> {
+        Box::new(self.clone())
+    }
+
     fn kind(&self) -> MechanismKind {
         MechanismKind::BitTorrent
     }

@@ -47,6 +47,10 @@ impl FairTorrent {
 }
 
 impl Mechanism for FairTorrent {
+    fn clone_box(&self) -> Box<dyn Mechanism> {
+        Box::new(*self)
+    }
+
     fn kind(&self) -> MechanismKind {
         MechanismKind::FairTorrent
     }

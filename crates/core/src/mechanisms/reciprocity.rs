@@ -36,6 +36,10 @@ impl Reciprocity {
 }
 
 impl Mechanism for Reciprocity {
+    fn clone_box(&self) -> Box<dyn Mechanism> {
+        Box::new(*self)
+    }
+
     fn kind(&self) -> MechanismKind {
         MechanismKind::Reciprocity
     }

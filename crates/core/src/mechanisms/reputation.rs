@@ -76,6 +76,10 @@ impl Reputation {
 }
 
 impl Mechanism for Reputation {
+    fn clone_box(&self) -> Box<dyn Mechanism> {
+        Box::new(*self)
+    }
+
     fn kind(&self) -> MechanismKind {
         MechanismKind::Reputation
     }

@@ -111,6 +111,10 @@ impl TChain {
 }
 
 impl Mechanism for TChain {
+    fn clone_box(&self) -> Box<dyn Mechanism> {
+        Box::new(self.clone())
+    }
+
     fn kind(&self) -> MechanismKind {
         MechanismKind::TChain
     }

@@ -45,6 +45,6 @@ pub mod rng;
 mod round;
 
 pub use clock::{Duration, SimTime};
-pub use engine::Engine;
+pub use engine::{Engine, EngineSnapshot};
 pub use queue::{EventQueue, ScheduledEvent};
 pub use round::{Round, RoundDriver};

@@ -81,6 +81,24 @@ impl SeedTree {
     pub fn subtree(&self, label: u64) -> SeedTree {
         SeedTree::new(self.child_seed(label))
     }
+
+    /// Exports the tree's complete stream state for checkpointing.
+    ///
+    /// `SeedTree` streams are *positionless* by construction: consumers
+    /// derive a fresh child RNG per use (per round, per peer, per
+    /// component label) instead of advancing a shared generator, so the
+    /// root seed plus each consumer's own cursor (e.g. the round index)
+    /// pins the position of every stream. A checkpoint therefore stores
+    /// this single word; [`SeedTree::import`] rebuilds a tree whose every
+    /// stream continues exactly where the exported one would.
+    pub fn export(&self) -> u64 {
+        self.root
+    }
+
+    /// Rebuilds a tree from [`SeedTree::export`]ed state.
+    pub fn import(state: u64) -> SeedTree {
+        SeedTree::new(state)
+    }
 }
 
 /// Samples an exponentially distributed value with the given mean, via

@@ -17,16 +17,46 @@
 //! identically whether it runs first on one thread or last on sixteen.
 //! The executor preserves that property end to end by never letting
 //! scheduling order leak into result order.
+//!
+//! # Crash safety
+//!
+//! The executor also carries the run's *robustness policy*:
+//!
+//! - **Panic isolation** — every job attempt runs under
+//!   [`std::panic::catch_unwind`]; a panicking job becomes a
+//!   [`JobFailure`] instead of tearing down the batch, and the remaining
+//!   jobs still complete ([`Executor::run_sims_robust`]).
+//! - **Watchdog timeouts** — with [`Executor::with_job_timeout`] each
+//!   attempt runs on its own watchdog-supervised thread; an attempt that
+//!   outlives the budget is abandoned (the thread detaches) and counts as
+//!   a [`FailureKind::Timeout`].
+//! - **Deterministic retries** — failed attempts are retried up to
+//!   [`Executor::with_retries`] times with an exponential backoff derived
+//!   purely from the job's configuration fingerprint ([`backoff_ms`]), so
+//!   retry timing never injects nondeterminism into results.
+//! - **Journaling & resume** — with [`Executor::with_journal`] every
+//!   finished job is appended (and fsynced) to the run's
+//!   [`RunJournal`]; with [`Executor::with_replay`] jobs already
+//!   completed in a previous interrupted run are satisfied from the
+//!   ledger without re-simulating, which is what makes `--resume`
+//!   byte-identical to an uninterrupted run.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
 
 use coop_attacks::AttackPlan;
 use coop_faults::FaultPlan;
 use coop_incentives::MechanismKind;
 use coop_swarm::SimResult;
-use coop_telemetry::{Recorder, TelemetryConfig, TelemetryReport};
+use coop_telemetry::{fingerprint_debug, Recorder, TelemetryConfig, TelemetryReport};
+use serde::Serialize;
 
+use crate::journal::{JobOutcome, JobRecord, JournalReplay, RunJournal};
 use crate::runners::{run_sim, run_sim_traced};
 use crate::telemetry::{BatchTrace, JobTrace, TelemetryOpts};
-use crate::Scale;
+use crate::{OutputDir, Scale};
 
 /// One independent simulation run: a cell of the mechanism × seed ×
 /// attack-scenario grid.
@@ -86,14 +116,38 @@ impl SimJob {
     /// returning both the result and the gathered telemetry. The result
     /// is identical to [`SimJob::run`] — the recorder only observes.
     pub fn run_traced(&self, config: &TelemetryConfig) -> (SimResult, TelemetryReport) {
+        self.run_with(Some(config), None)
+    }
+
+    /// Runs this job with optional telemetry and an optional mid-run
+    /// checkpoint cadence (`--checkpoint-every`). Checkpointing is
+    /// observational state capture: the [`SimResult`] is identical for any
+    /// cadence, including none (pinned by the swarm crate's
+    /// checkpoint-equivalence battery).
+    pub fn run_with(
+        &self,
+        config: Option<&TelemetryConfig>,
+        checkpoint_every: Option<u64>,
+    ) -> (SimResult, TelemetryReport) {
+        let recorder = match config {
+            Some(config) => Recorder::enabled(config.clone()),
+            None => Recorder::disabled(),
+        };
         run_sim_traced(
             self.kind,
             self.scale,
             self.plan.as_ref(),
             self.faults.as_ref(),
             self.seed,
-            Recorder::enabled(config.clone()),
+            recorder,
+            checkpoint_every,
         )
+    }
+
+    /// The fingerprint of this job's full configuration — the key the
+    /// crash-safety journal files it under.
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_debug(self)
     }
 
     /// The job's display label: its mechanism's canonical name.
@@ -102,23 +156,291 @@ impl SimJob {
     }
 }
 
-/// A bounded pool of scoped worker threads for running independent jobs.
+/// The environment variable the CLI reads to inject deterministic job
+/// panics (a test/CI hook): `LABEL:SEED:COUNT`, e.g.
+/// `BitTorrent:42:1` to make the BitTorrent/seed-42 job panic on its
+/// first attempt only, or `BitTorrent:*:*` to make every BitTorrent job
+/// panic on every attempt.
+pub const PANIC_INJECT_ENV: &str = "COOP_PANIC_INJECT";
+
+/// Deterministic panic injection for exercising the failure path.
+///
+/// Matching jobs panic inside the normal isolation machinery (under
+/// `catch_unwind`, on the watchdog thread when a timeout is set), so
+/// tests and the CI panic-smoke job drive exactly the code paths a real
+/// defect would.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PanicInject {
+    /// Job label the injection targets (mechanism name, exact match).
+    pub label: String,
+    /// Seed the injection targets, or `None` (`*`) for every seed.
+    pub seed: Option<u64>,
+    /// Fail the first N attempts, or `None` (`*`) to fail every attempt.
+    pub fail_attempts: Option<u64>,
+}
+
+impl PanicInject {
+    /// Parses the `LABEL:SEED:COUNT` form (see [`PANIC_INJECT_ENV`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed field.
+    pub fn parse(s: &str) -> Result<PanicInject, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let [label, seed, count] = parts.as_slice() else {
+            return Err(format!(
+                "expected LABEL:SEED:COUNT (seed/count may be '*'), got '{s}'"
+            ));
+        };
+        if label.is_empty() {
+            return Err("label must not be empty".to_string());
+        }
+        let wildcard_or = |field: &str, name: &str| -> Result<Option<u64>, String> {
+            if field == "*" {
+                Ok(None)
+            } else {
+                field
+                    .parse::<u64>()
+                    .map(Some)
+                    .map_err(|_| format!("{name} must be an integer or '*', got '{field}'"))
+            }
+        };
+        Ok(PanicInject {
+            label: (*label).to_string(),
+            seed: wildcard_or(seed, "seed")?,
+            fail_attempts: wildcard_or(count, "count")?,
+        })
+    }
+
+    /// Reads [`PANIC_INJECT_ENV`], returning `Ok(None)` when unset.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for a malformed value.
+    pub fn from_env() -> Result<Option<PanicInject>, String> {
+        match std::env::var(PANIC_INJECT_ENV) {
+            Ok(value) => Self::parse(&value)
+                .map(Some)
+                .map_err(|e| format!("{PANIC_INJECT_ENV}: {e}")),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Whether the job identified by `(label, seed)` should panic on its
+    /// `attempt`-th try (0-based).
+    pub fn should_fail(&self, label: &str, seed: u64, attempt: u64) -> bool {
+        self.label == label
+            && self.seed.is_none_or(|s| s == seed)
+            && self.fail_attempts.is_none_or(|n| attempt < n)
+    }
+}
+
+/// How a job ultimately failed (after exhausting its retries).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum FailureKind {
+    /// The job panicked.
+    Panic,
+    /// The job exceeded the watchdog timeout.
+    Timeout,
+}
+
+impl FailureKind {
+    /// Lower-case name (journal/report vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Timeout => "timeout",
+        }
+    }
+
+    fn outcome(self) -> JobOutcome {
+        match self {
+            FailureKind::Panic => JobOutcome::Panic,
+            FailureKind::Timeout => JobOutcome::Timeout,
+        }
+    }
+}
+
+/// One job that failed every attempt. Identifies the grid cell precisely
+/// — mechanism, population size, and seed — so `failures.json` tells the
+/// operator exactly what to re-run or investigate.
+#[derive(Clone, Debug, Serialize)]
+pub struct JobFailure {
+    /// Batch slot the job occupied.
+    pub slot: usize,
+    /// Mechanism name (the job's label).
+    pub mechanism: String,
+    /// Swarm population (N) of the failed cell.
+    pub peers: usize,
+    /// The job's seed.
+    pub seed: u64,
+    /// Attempts consumed (1 = failed on the only try).
+    pub attempts: u64,
+    /// Panic or timeout.
+    pub kind: FailureKind,
+    /// The panic payload or timeout description.
+    pub message: String,
+    /// The deterministic backoffs slept between attempts (empty when
+    /// `retries` was 0).
+    pub backoff_ms: Vec<u64>,
+}
+
+/// A batch that finished with at least one failed job. The batch itself
+/// ran to completion — every healthy job's result was computed (and
+/// journaled) — but the artifact set for `figure` could not be fully
+/// produced.
+#[derive(Clone, Debug, Serialize)]
+pub struct BatchError {
+    /// The figure/artifact whose batch failed.
+    pub figure: String,
+    /// Total jobs in the batch.
+    pub total: usize,
+    /// The failed jobs, in slot order.
+    pub failures: Vec<JobFailure>,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let first = &self.failures[0];
+        write!(
+            f,
+            "{}: {} of {} jobs failed; first: {} (N={}, seed {}) {} after {} attempt(s): {}",
+            self.figure,
+            self.failures.len(),
+            self.total,
+            first.mechanism,
+            first.peers,
+            first.seed,
+            first.kind.name(),
+            first.attempts,
+            first.message
+        )
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// The `failures.json` file name, next to the run's artifacts.
+pub const FAILURES_FILE: &str = "failures.json";
+
+/// Writes the structured `failures.json` report for every failed batch of
+/// a run (atomically, like all artifacts).
+///
+/// # Errors
+///
+/// Returns any I/O error.
+pub fn write_failures_json(
+    out: &OutputDir,
+    errors: &[BatchError],
+) -> std::io::Result<std::path::PathBuf> {
+    // The vendored serde_derive shim does not support generic types, so
+    // the report owns its data.
+    #[derive(Serialize)]
+    struct FailureReport {
+        failed_jobs: usize,
+        figures: Vec<String>,
+        batches: Vec<BatchError>,
+    }
+    out.json(
+        "failures",
+        &FailureReport {
+            failed_jobs: errors.iter().map(|e| e.failures.len()).sum(),
+            figures: errors.iter().map(|e| e.figure.clone()).collect(),
+            batches: errors.to_vec(),
+        },
+    )
+}
+
+/// The deterministic retry backoff (milliseconds) for a job's
+/// `attempt`-th failure (0-based): exponential in the attempt with
+/// fingerprint-derived jitter, capped at 2 s. Pure function of its inputs
+/// — two runs of the same grid back off identically, so retries never
+/// make results (or journals) diverge.
+pub fn backoff_ms(fingerprint: u64, attempt: u64) -> u64 {
+    let base = 25u64 << attempt.min(6);
+    let mut h = fingerprint ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    (base + h % base).min(2_000)
+}
+
+/// Everything a robust batch produced: slot-aligned results (`None`
+/// where the job failed every attempt), the failures in slot order, and
+/// the batch trace when telemetry was on.
+#[derive(Debug)]
+pub struct BatchRun {
+    /// `results[i]` is job `i`'s result, or `None` if it failed.
+    pub results: Vec<Option<SimResult>>,
+    /// Failed jobs in slot order (empty on a clean batch).
+    pub failures: Vec<JobFailure>,
+    /// The slot-ordered batch trace (telemetry runs only). Failed jobs
+    /// contribute no span; journal-replayed jobs contribute a zero-cost
+    /// span with an empty report.
+    pub trace: Option<BatchTrace>,
+}
+
+impl BatchRun {
+    /// Converts to a [`BatchError`] for `figure` when any job failed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error when `failures` is non-empty.
+    pub fn into_complete(self, figure: &str) -> Result<(Vec<SimResult>, Option<BatchTrace>), BatchError> {
+        if !self.failures.is_empty() {
+            return Err(BatchError {
+                figure: figure.to_string(),
+                total: self.results.len(),
+                failures: self.failures,
+            });
+        }
+        let results = self
+            .results
+            .into_iter()
+            .map(|r| r.expect("no failures, so every slot holds a result"))
+            .collect();
+        Ok((results, self.trace))
+    }
+}
+
+/// How one attempt of one job ended (internal).
+enum AttemptOutcome {
+    Done(Box<(SimResult, TelemetryReport)>),
+    Failed(FailureKind, String),
+}
+
+/// A bounded pool of scoped worker threads for running independent jobs,
+/// plus the batch's robustness policy (retries, watchdog timeout, panic
+/// injection, journal/replay wiring — see the module docs).
 ///
 /// Workers claim jobs from a shared atomic cursor (no per-job locking) and
 /// stamp each result with its slot index; the caller receives results in
 /// input order. With `jobs = 1` the executor degenerates to a plain
 /// sequential loop on the calling thread — useful as the determinism
 /// baseline.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Executor {
     jobs: usize,
+    retries: u64,
+    job_timeout: Option<Duration>,
+    checkpoint_every: Option<u64>,
+    panic_inject: Option<PanicInject>,
+    journal: Option<Arc<RunJournal>>,
+    replay: Option<Arc<JournalReplay>>,
 }
 
 impl Executor {
-    /// An executor with exactly `jobs` workers (clamped to at least 1).
+    /// An executor with exactly `jobs` workers (clamped to at least 1)
+    /// and the default (fail-fast, journal-less) robustness policy.
     pub fn new(jobs: usize) -> Self {
         Executor {
             jobs: jobs.max(1),
+            retries: 0,
+            job_timeout: None,
+            checkpoint_every: None,
+            panic_inject: None,
+            journal: None,
+            replay: None,
         }
     }
 
@@ -127,9 +449,72 @@ impl Executor {
         Executor::new(1)
     }
 
+    /// Retries each failed job up to `retries` extra times (`--retries`).
+    #[must_use]
+    pub fn with_retries(mut self, retries: u64) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Aborts any single job attempt that outlives `timeout`
+    /// (`--job-timeout`). Attempts then run on watchdog-supervised
+    /// threads; a timed-out attempt's thread is abandoned.
+    #[must_use]
+    pub fn with_job_timeout(mut self, timeout: Duration) -> Self {
+        self.job_timeout = Some(timeout);
+        self
+    }
+
+    /// Captures a mid-run simulation checkpoint every `k` rounds in each
+    /// job (`--checkpoint-every`); `0` disables. Observational: results
+    /// are identical for any cadence.
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, k: u64) -> Self {
+        self.checkpoint_every = (k > 0).then_some(k);
+        self
+    }
+
+    /// Installs deterministic panic injection (the
+    /// [`PANIC_INJECT_ENV`] test hook).
+    #[must_use]
+    pub fn with_panic_inject(mut self, inject: Option<PanicInject>) -> Self {
+        self.panic_inject = inject;
+        self
+    }
+
+    /// Appends every finished job to `journal` (fsynced per record).
+    #[must_use]
+    pub fn with_journal(mut self, journal: Arc<RunJournal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Satisfies jobs already completed in `replay` from the ledger
+    /// instead of re-running them (the `--resume` path).
+    #[must_use]
+    pub fn with_replay(mut self, replay: Arc<JournalReplay>) -> Self {
+        self.replay = Some(replay);
+        self
+    }
+
     /// The configured worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// The configured retry budget.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The configured per-attempt watchdog timeout.
+    pub fn job_timeout(&self) -> Option<Duration> {
+        self.job_timeout
+    }
+
+    /// The configured checkpoint cadence.
+    pub fn checkpoint_every(&self) -> Option<u64> {
+        self.checkpoint_every
     }
 
     /// Maps `run` over `items` using up to `self.jobs()` worker threads.
@@ -174,6 +559,38 @@ impl Executor {
         tagged.into_iter().map(|(_, t)| t).collect()
     }
 
+    /// [`Executor::map`] with per-item panic isolation and the executor's
+    /// retry/backoff policy: each item's closure runs under
+    /// `catch_unwind`, failed items retry with the deterministic backoff
+    /// keyed by their slot, and an item that fails every attempt yields
+    /// `Err(panic message)` instead of tearing down the batch.
+    ///
+    /// This is the isolation layer for the closure-based runners
+    /// (ablations, fig4-scale) whose work items are not [`SimJob`]s; it
+    /// has no watchdog and no journal.
+    pub fn try_map<I, T, F>(&self, items: &[I], run: F) -> Vec<Result<T, String>>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        self.map(items, |i, item| {
+            let mut attempt = 0u64;
+            loop {
+                match catch_unwind(AssertUnwindSafe(|| run(i, item))) {
+                    Ok(value) => return Ok(value),
+                    Err(payload) => {
+                        if attempt >= self.retries {
+                            return Err(panic_message(payload.as_ref()));
+                        }
+                        std::thread::sleep(Duration::from_millis(backoff_ms(i as u64, attempt)));
+                        attempt += 1;
+                    }
+                }
+            }
+        })
+    }
+
     /// Runs a batch of simulation jobs, returning results in job order.
     pub fn run_sims(&self, jobs: &[SimJob]) -> Vec<SimResult> {
         self.map(jobs, |_, job| job.run())
@@ -183,36 +600,235 @@ impl Executor {
     /// slot-ordered [`BatchTrace`] (job spans with wall time, slow-job
     /// flags, merged counters).
     ///
-    /// When `opts` is disabled this is exactly [`Executor::run_sims`] —
-    /// results never depend on whether tracing is on, and the trace's
+    /// The fail-fast wrapper around [`Executor::run_sims_robust`]: a job
+    /// that fails every attempt panics here (the historical contract).
+    /// Results never depend on whether tracing is on, and the trace's
     /// slot ordering never depends on the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any job fails every attempt; use
+    /// [`Executor::run_sims_robust`] to handle failures.
     pub fn run_sims_traced(
         &self,
         jobs: &[SimJob],
         opts: &TelemetryOpts,
     ) -> (Vec<SimResult>, Option<BatchTrace>) {
-        if !opts.is_enabled() {
-            return (self.run_sims(jobs), None);
+        let run = self.run_sims_robust(jobs, opts);
+        if let Some(first) = run.failures.first() {
+            panic!(
+                "{} of {} jobs failed; first: {} (seed {}) {}: {}",
+                run.failures.len(),
+                jobs.len(),
+                first.mechanism,
+                first.seed,
+                first.kind.name(),
+                first.message
+            );
         }
-        let config = opts.recorder_config();
-        let runs = self.map(jobs, |slot, job| {
+        let results = run
+            .results
+            .into_iter()
+            .map(|r| r.expect("no failures, so every slot holds a result"))
+            .collect();
+        (results, run.trace)
+    }
+
+    /// Runs a batch under the executor's full robustness policy: journal
+    /// replay, panic isolation, watchdog timeouts, deterministic retries,
+    /// and per-job ledger appends. The batch always runs to the end —
+    /// failed jobs surface as `None` results plus [`JobFailure`] entries
+    /// rather than aborting the run.
+    pub fn run_sims_robust(&self, jobs: &[SimJob], opts: &TelemetryOpts) -> BatchRun {
+        let config = opts.is_enabled().then(|| opts.recorder_config());
+        let runs = self.map(jobs, |slot, job| self.run_one(slot, job, config.as_ref()));
+        let mut results = Vec::with_capacity(jobs.len());
+        let mut failures = Vec::new();
+        let mut traces = Vec::new();
+        for run in runs {
+            match run {
+                Ok((result, trace)) => {
+                    results.push(Some(result));
+                    if let Some(trace) = trace {
+                        traces.push(trace);
+                    }
+                }
+                Err(failure) => {
+                    results.push(None);
+                    failures.push(failure);
+                }
+            }
+        }
+        let trace = config.is_some().then(|| BatchTrace::new(traces));
+        BatchRun {
+            results,
+            failures,
+            trace,
+        }
+    }
+
+    /// Runs one job under the robustness policy (worker-thread context).
+    fn run_one(
+        &self,
+        slot: usize,
+        job: &SimJob,
+        config: Option<&TelemetryConfig>,
+    ) -> Result<(SimResult, Option<JobTrace>), JobFailure> {
+        let fingerprint = job.fingerprint();
+        // Resume: a job the ledger already holds is never re-simulated.
+        if let Some(result) = self
+            .replay
+            .as_deref()
+            .and_then(|replay| replay.completed(fingerprint))
+        {
+            let trace = config.map(|_| JobTrace {
+                slot,
+                label: job.label().to_string(),
+                seed: job.seed,
+                wall_ms: 0,
+                slow: false,
+                retries: 0,
+                report: TelemetryReport::default(),
+            });
+            return Ok((result.clone(), trace));
+        }
+        let mut backoffs = Vec::new();
+        let mut last_failure = None;
+        for attempt in 0..=self.retries {
             let started = std::time::Instant::now();
-            let (result, report) = job.run_traced(&config);
-            let wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
-            (
-                result,
-                JobTrace {
-                    slot,
-                    label: job.label().to_string(),
-                    seed: job.seed,
-                    wall_ms,
-                    slow: false,
-                    report,
-                },
-            )
+            match self.attempt(job, config, attempt) {
+                AttemptOutcome::Done(pair) => {
+                    let (result, report) = *pair;
+                    let wall_ms =
+                        u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+                    self.journal_record(&JobRecord {
+                        fingerprint,
+                        slot: slot as u64,
+                        label: job.label().to_string(),
+                        seed: job.seed,
+                        outcome: JobOutcome::Ok,
+                        attempts: attempt + 1,
+                        result: Some(result.clone()),
+                        error: None,
+                    });
+                    let trace = config.map(|_| JobTrace {
+                        slot,
+                        label: job.label().to_string(),
+                        seed: job.seed,
+                        wall_ms,
+                        slow: false,
+                        retries: attempt,
+                        report,
+                    });
+                    return Ok((result, trace));
+                }
+                AttemptOutcome::Failed(kind, message) => {
+                    last_failure = Some((kind, message));
+                    if attempt < self.retries {
+                        let ms = backoff_ms(fingerprint, attempt);
+                        backoffs.push(ms);
+                        std::thread::sleep(Duration::from_millis(ms));
+                    }
+                }
+            }
+        }
+        let (kind, message) = last_failure.expect("loop ran at least once");
+        let attempts = self.retries + 1;
+        self.journal_record(&JobRecord {
+            fingerprint,
+            slot: slot as u64,
+            label: job.label().to_string(),
+            seed: job.seed,
+            outcome: kind.outcome(),
+            attempts,
+            result: None,
+            error: Some(message.clone()),
         });
-        let (results, traces): (Vec<_>, Vec<_>) = runs.into_iter().unzip();
-        (results, Some(BatchTrace::new(traces)))
+        Err(JobFailure {
+            slot,
+            mechanism: job.label().to_string(),
+            peers: job.scale.peers(),
+            seed: job.seed,
+            attempts,
+            kind,
+            message,
+            backoff_ms: backoffs,
+        })
+    }
+
+    /// One isolated attempt: inline under `catch_unwind` without a
+    /// watchdog, on a supervised thread with one. A timed-out attempt's
+    /// thread is abandoned (it cannot be killed safely) — it finishes in
+    /// the background and its result is discarded.
+    fn attempt(
+        &self,
+        job: &SimJob,
+        config: Option<&TelemetryConfig>,
+        attempt: u64,
+    ) -> AttemptOutcome {
+        let inject = self
+            .panic_inject
+            .as_ref()
+            .is_some_and(|p| p.should_fail(job.label(), job.seed, attempt));
+        let checkpoint_every = self.checkpoint_every;
+        let job = *job;
+        let config = config.cloned();
+        let body = move || {
+            assert!(!inject, "injected panic ({PANIC_INJECT_ENV})");
+            job.run_with(config.as_ref(), checkpoint_every)
+        };
+        match self.job_timeout {
+            None => match catch_unwind(AssertUnwindSafe(body)) {
+                Ok(pair) => AttemptOutcome::Done(Box::new(pair)),
+                Err(payload) => {
+                    AttemptOutcome::Failed(FailureKind::Panic, panic_message(payload.as_ref()))
+                }
+            },
+            Some(timeout) => {
+                let (tx, rx) = mpsc::channel();
+                std::thread::spawn(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(body));
+                    let _ = tx.send(outcome);
+                });
+                match rx.recv_timeout(timeout) {
+                    Ok(Ok(pair)) => AttemptOutcome::Done(Box::new(pair)),
+                    Ok(Err(payload)) => {
+                        AttemptOutcome::Failed(FailureKind::Panic, panic_message(payload.as_ref()))
+                    }
+                    Err(_) => AttemptOutcome::Failed(
+                        FailureKind::Timeout,
+                        format!(
+                            "attempt exceeded the {:.3}s watchdog; worker thread abandoned",
+                            timeout.as_secs_f64()
+                        ),
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Best-effort ledger append; an I/O failure is reported but never
+    /// fails the job (the affected record simply re-runs on resume).
+    fn journal_record(&self, record: &JobRecord) {
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.record_job(record) {
+                eprintln!(
+                    "warning: journal append for {} (seed {}) failed: {e}",
+                    record.label, record.seed
+                );
+            }
+        }
+    }
+}
+
+/// Renders a `catch_unwind` payload as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 
@@ -259,6 +875,82 @@ mod tests {
             assert_eq!(job.seed, [1u64, 2][i / MechanismKind::ALL.len()]);
             assert_eq!(job.kind, MechanismKind::ALL[i % MechanismKind::ALL.len()]);
             assert_eq!(job.plan.is_some(), job.kind == MechanismKind::Altruism);
+        }
+    }
+
+    #[test]
+    fn try_map_isolates_panics_and_retries_deterministically() {
+        let ex = Executor::new(2);
+        let got = ex.try_map(&[1u32, 2, 3], |_, &x| {
+            assert!(x != 2, "boom on {x}");
+            x * 10
+        });
+        assert_eq!(got[0], Ok(10));
+        assert_eq!(got[2], Ok(30));
+        let err = got[1].as_ref().unwrap_err();
+        assert!(err.contains("boom on 2"), "{err}");
+
+        // With retries, a flaky item eventually succeeds.
+        let tries = std::sync::atomic::AtomicU64::new(0);
+        let got = ex.with_retries(2).try_map(&[0u32], |_, _| {
+            let n = tries.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            assert!(n >= 2, "fail the first two attempts");
+            42u32
+        });
+        assert_eq!(got, vec![Ok(42)]);
+    }
+
+    #[test]
+    fn panic_inject_parses_and_matches() {
+        let p = PanicInject::parse("BitTorrent:42:1").unwrap();
+        assert!(p.should_fail("BitTorrent", 42, 0));
+        assert!(!p.should_fail("BitTorrent", 42, 1), "only the first attempt");
+        assert!(!p.should_fail("BitTorrent", 43, 0), "wrong seed");
+        assert!(!p.should_fail("T-Chain", 42, 0), "wrong label");
+
+        let p = PanicInject::parse("T-Chain:*:*").unwrap();
+        assert!(p.should_fail("T-Chain", 1, 0));
+        assert!(p.should_fail("T-Chain", 999, 7));
+
+        for bad in ["", "x", "a:b", "a:b:c:d", "a:nan:1", "a:1:nan", ":1:1"] {
+            assert!(PanicInject::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let fp = 0x1234_5678_9abc_def0u64;
+        assert_eq!(backoff_ms(fp, 0), backoff_ms(fp, 0));
+        for attempt in 0..10 {
+            let ms = backoff_ms(fp, attempt);
+            let base = 25u64 << attempt.min(6);
+            assert!(ms >= base.min(2_000), "attempt {attempt}: {ms}");
+            assert!(ms <= 2_000, "attempt {attempt}: {ms}");
+        }
+        // Different fingerprints jitter differently (with overwhelming
+        // probability for these two).
+        assert_ne!(backoff_ms(1, 0), backoff_ms(2, 0));
+    }
+
+    #[test]
+    fn batch_error_display_names_the_cell() {
+        let err = BatchError {
+            figure: "fig4".to_string(),
+            total: 6,
+            failures: vec![JobFailure {
+                slot: 3,
+                mechanism: "BitTorrent".to_string(),
+                peers: 80,
+                seed: 42,
+                attempts: 2,
+                kind: FailureKind::Panic,
+                message: "boom".to_string(),
+                backoff_ms: vec![31],
+            }],
+        };
+        let text = err.to_string();
+        for needle in ["fig4", "BitTorrent", "N=80", "seed 42", "panic", "boom"] {
+            assert!(text.contains(needle), "{text}");
         }
     }
 }

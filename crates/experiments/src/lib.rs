@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod journal;
 mod output;
 pub mod plot;
 pub mod runners;
@@ -44,7 +45,8 @@ mod spec;
 mod table;
 pub mod telemetry;
 
-pub use exec::{Executor, SimJob};
+pub use exec::{BatchError, Executor, FailureKind, JobFailure, PanicInject, SimJob};
+pub use journal::{JournalReplay, RunJournal};
 pub use output::{write_csv, write_json, OutputDir};
 pub use scale::Scale;
 pub use spec::{Artifact, RunSpec, SpecError, USAGE};

@@ -5,6 +5,8 @@
 //!                  [--scale quick|default|paper] [--seed N] [--replicates N]
 //!                  [--jobs N] [--out-dir DIR]
 //!                  [--telemetry] [--trace-out FILE] [--probe-every N]
+//!                  [--retries N] [--job-timeout SECS] [--checkpoint-every ROUNDS]
+//!                  [--resume DIR]
 //!                  [--churn RATE] [--loss PROB] [--seeder-exit FRACTION]
 //!                  [--peers N[,N...]]
 //! ```
@@ -21,46 +23,205 @@
 //! events to a JSONL file (implying `--telemetry`), and `--probe-every N`
 //! sets the round-probe cadence. Telemetry is purely observational:
 //! reports and figure artifacts are byte-identical with it on or off.
+//!
+//! # Crash safety
+//!
+//! Simulation batches (fig4, fig4-churn, fig5, fig6, all) append every
+//! finished job to a fsynced `journal.jsonl` next to the artifacts. If a
+//! run is killed, `--resume DIR` replays that ledger: completed jobs are
+//! served from the journal, only the missing ones re-run, and the final
+//! artifact set is byte-identical to an uninterrupted run. A job that
+//! panics or exceeds `--job-timeout` is retried `--retries` times with
+//! deterministic backoff; if it still fails, the rest of the batch
+//! completes, the failed cells are listed in `failures.json` (naming
+//! mechanism, population and seed), and the process exits with code 1.
+//! `--checkpoint-every K` additionally captures a mid-run simulation
+//! checkpoint every K rounds inside each job — purely observational, the
+//! results are identical for any cadence.
 
-use coop_experiments::{runners, Artifact, Executor, OutputDir, RunSpec, SpecError, USAGE};
+use std::process::ExitCode;
+use std::sync::Arc;
 
-fn main() {
+use coop_experiments::exec::write_failures_json;
+use coop_experiments::journal::RunHeader;
+use coop_experiments::{
+    runners, Artifact, BatchError, Executor, JournalReplay, OutputDir, PanicInject, RunJournal,
+    RunSpec, SpecError, USAGE,
+};
+
+fn main() -> ExitCode {
     let spec = match RunSpec::parse(std::env::args().skip(1)) {
         Ok(spec) => spec,
         Err(SpecError::Help) => {
             println!("{USAGE}");
-            return;
+            return ExitCode::SUCCESS;
         }
         Err(err) => {
             eprintln!("error: {err}");
             eprintln!("{USAGE}");
-            std::process::exit(2);
+            return ExitCode::from(2);
         }
     };
-    if let Some(dir) = &spec.out_dir {
+    let inject = match PanicInject::from_env() {
+        Ok(inject) => inject,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut executor = spec.executor().with_panic_inject(inject);
+
+    // Journal/replay wiring. The journal covers the batch-simulation
+    // artifacts; analytic tables re-run in milliseconds and need none.
+    let journaled = spec.artifact.supports_resume();
+    let mut journal = None;
+    if let Some(dir) = &spec.resume {
         OutputDir::set_default_root(dir.clone());
+        let replay = match JournalReplay::load(dir) {
+            Ok(replay) => replay,
+            Err(err) => {
+                eprintln!(
+                    "error: --resume {}: cannot read {}: {err}",
+                    dir.display(),
+                    RunJournal::path_in(dir).display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        let expected = run_header(&spec);
+        match &replay.header {
+            Some(header) if *header == expected => {}
+            Some(header) => {
+                eprintln!(
+                    "error: --resume {}: journal belongs to a different run \
+                     (journal: {} {} seed {} x{}; requested: {} {} seed {} x{})",
+                    dir.display(),
+                    header.artifact,
+                    header.scale,
+                    header.seed,
+                    header.replicates,
+                    expected.artifact,
+                    expected.scale,
+                    expected.seed,
+                    expected.replicates,
+                );
+                return ExitCode::from(2);
+            }
+            None => {
+                eprintln!(
+                    "error: --resume {}: journal has no valid run header",
+                    dir.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+        if replay.dropped_lines > 0 {
+            eprintln!(
+                "[resume] {} corrupt journal line(s) dropped; affected jobs will re-run",
+                replay.dropped_lines
+            );
+        }
+        eprintln!(
+            "[resume] replaying {} completed job(s) from {}",
+            replay.completed_count(),
+            RunJournal::path_in(dir).display()
+        );
+        match RunJournal::open_append(dir) {
+            Ok(j) => {
+                let j = Arc::new(j);
+                journal = Some(Arc::clone(&j));
+                executor = executor.with_replay(Arc::new(replay)).with_journal(j);
+            }
+            Err(err) => {
+                eprintln!(
+                    "error: --resume {}: cannot append to journal: {err}",
+                    dir.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        if let Some(dir) = &spec.out_dir {
+            OutputDir::set_default_root(dir.clone());
+        }
+        if journaled {
+            let out = OutputDir::default_dir();
+            match RunJournal::create(out.path(), &run_header(&spec)) {
+                Ok(j) => {
+                    let j = Arc::new(j);
+                    journal = Some(Arc::clone(&j));
+                    executor = executor.with_journal(j);
+                }
+                // A journal is a safety net, never a reason not to run.
+                Err(err) => eprintln!(
+                    "warning: could not create journal in {}: {err}",
+                    out.path().display()
+                ),
+            }
+        }
     }
-    let executor = spec.executor();
+
+    let mut errors: Vec<BatchError> = Vec::new();
     match spec.artifact {
         Artifact::All => {
             for artifact in Artifact::ALL {
-                run_one(artifact, &spec, &executor);
+                run_one(artifact, &spec, &executor, &mut errors);
             }
             println!(
                 "artifacts written to {}",
                 OutputDir::default_dir().path().display()
             );
         }
-        artifact => run_one(artifact, &spec, &executor),
+        artifact => run_one(artifact, &spec, &executor, &mut errors),
+    }
+
+    let out = OutputDir::default_dir();
+    if errors.is_empty() {
+        if let Some(journal) = &journal {
+            if let Err(err) = journal.record_artifact_dir(out.path()) {
+                eprintln!("warning: could not record artifact hashes: {err}");
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    for err in &errors {
+        eprintln!("error: {err}");
+    }
+    match write_failures_json(&out, &errors) {
+        Ok(path) => eprintln!("failure report written to {}", path.display()),
+        Err(err) => eprintln!("warning: could not write failures.json: {err}"),
+    }
+    ExitCode::FAILURE
+}
+
+/// The run identity `--resume` validates against the journal header.
+fn run_header(spec: &RunSpec) -> RunHeader {
+    RunHeader {
+        artifact: spec.artifact.name().to_string(),
+        scale: spec.scale.name().to_string(),
+        seed: spec.seed,
+        replicates: spec.replicates,
     }
 }
 
-fn run_one(artifact: Artifact, spec: &RunSpec, executor: &Executor) {
+/// Runs one artifact, printing its report on success and collecting batch
+/// failures (the run continues; the caller decides the exit code).
+fn run_one(artifact: Artifact, spec: &RunSpec, executor: &Executor, errors: &mut Vec<BatchError>) {
     let (scale, seed) = (spec.scale, spec.seed);
     let replicated = spec.replicates > 1 && artifact.supports_replicates();
     let seeds = spec.seeds();
     let telemetry = spec.telemetry_opts();
     let out = OutputDir::default_dir();
+    // Collects one batch runner's outcome: print the report or keep the
+    // error for the final failures.json / exit code.
+    macro_rules! batch {
+        ($result:expr) => {
+            match $result {
+                Ok(report) => println!("{}", report.render()),
+                Err(err) => errors.push(err),
+            }
+        };
+    }
     match artifact {
         Artifact::Table1 => println!("{}", runners::table1::run(scale, seed).render()),
         Artifact::Table2 => println!("{}", runners::table2::run(scale, seed).render()),
@@ -68,76 +229,56 @@ fn run_one(artifact: Artifact, spec: &RunSpec, executor: &Executor) {
         Artifact::Fig1 => println!("{}", runners::fig1::run(scale, seed).render()),
         Artifact::Fig2 => println!("{}", runners::fig2::run(scale, seed).render()),
         Artifact::Fig3 => println!("{}", runners::fig3::run(scale, seed).render()),
-        Artifact::Fig4 if replicated => println!(
-            "{}",
-            runners::fig4::run_replicated_with_telemetry(
-                scale, &seeds, executor, &telemetry, &out
-            )
-            .0
-            .render()
-        ),
-        Artifact::Fig5 if replicated => println!(
-            "{}",
-            runners::fig5::run_replicated_with_telemetry(
-                scale, &seeds, executor, &telemetry, &out
-            )
-            .0
-            .render()
-        ),
-        Artifact::Fig6 if replicated => println!(
-            "{}",
-            runners::fig6::run_replicated_with_telemetry(
-                scale, &seeds, executor, &telemetry, &out
-            )
-            .0
-            .render()
-        ),
-        Artifact::Fig4 => println!(
-            "{}",
-            runners::fig4::run_with_telemetry(scale, seed, executor, &telemetry, &out)
-                .0
-                .render()
-        ),
+        Artifact::Fig4 if replicated => batch!(runners::fig4::try_run_replicated_with_telemetry(
+            scale, &seeds, executor, &telemetry, &out
+        )
+        .map(|r| r.0)),
+        Artifact::Fig5 if replicated => batch!(runners::fig5::try_run_replicated_with_telemetry(
+            scale, &seeds, executor, &telemetry, &out
+        )
+        .map(|r| r.0)),
+        Artifact::Fig6 if replicated => batch!(runners::fig6::try_run_replicated_with_telemetry(
+            scale, &seeds, executor, &telemetry, &out
+        )
+        .map(|r| r.0)),
+        Artifact::Fig4 => batch!(runners::fig4::try_run_with_telemetry(
+            scale, seed, executor, &telemetry, &out
+        )
+        .map(|r| r.0)),
         Artifact::Fig4Scale => {
-            let (report, perf, _) = runners::fig4_scale::run_with_telemetry(
+            match runners::fig4_scale::try_run_with_telemetry(
                 scale,
                 seed,
                 spec.peers.as_deref(),
                 executor,
                 &telemetry,
                 &out,
-            );
-            println!("{}", report.render());
-            println!("{}", perf.render());
+            ) {
+                Ok((report, perf, _)) => {
+                    println!("{}", report.render());
+                    println!("{}", perf.render());
+                }
+                Err(err) => errors.push(err),
+            }
         }
-        Artifact::Fig4Churn => println!(
-            "{}",
-            runners::fig4_churn::run_with_telemetry(
-                scale,
-                seed,
-                spec.fault_plan(),
-                executor,
-                &telemetry,
-                &out
-            )
-            .0
-            .render()
-        ),
-        Artifact::Fig5 => println!(
-            "{}",
-            runners::fig5::run_with_telemetry(scale, seed, executor, &telemetry, &out)
-                .0
-                .render()
-        ),
-        Artifact::Fig6 => println!(
-            "{}",
-            runners::fig6::run_with_telemetry(scale, seed, executor, &telemetry, &out)
-                .0
-                .render()
-        ),
-        Artifact::Ablations => {
-            println!("{}", runners::ablations::run_with(scale, seed, executor).render());
-        }
+        Artifact::Fig4Churn => batch!(runners::fig4_churn::try_run_with_telemetry(
+            scale,
+            seed,
+            spec.fault_plan(),
+            executor,
+            &telemetry,
+            &out
+        )
+        .map(|r| r.0)),
+        Artifact::Fig5 => batch!(runners::fig5::try_run_with_telemetry(
+            scale, seed, executor, &telemetry, &out
+        )
+        .map(|r| r.0)),
+        Artifact::Fig6 => batch!(runners::fig6::try_run_with_telemetry(
+            scale, seed, executor, &telemetry, &out
+        )
+        .map(|r| r.0)),
+        Artifact::Ablations => batch!(runners::ablations::try_run_with(scale, seed, executor)),
         Artifact::Extensions => println!("{}", runners::extensions::run(scale, seed).render()),
         Artifact::Fluid => println!("{}", runners::fluid::run(scale, seed).render()),
         Artifact::All => unreachable!("expanded by the caller"),

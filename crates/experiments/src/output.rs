@@ -1,10 +1,15 @@
 //! Machine-readable experiment artifacts (CSV series, JSON summaries).
+//!
+//! Every write goes through [`coop_telemetry::write_atomic`] (tmp file +
+//! fsync + rename), so a crash — or a SIGKILL from the resume-smoke CI
+//! job — can never leave a torn CSV or JSON artifact behind: files are
+//! either absent or complete.
 
-use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
+use coop_telemetry::write_atomic;
 use serde::Serialize;
 
 /// Process-wide override for [`OutputDir::default_dir`], set at most once
@@ -73,7 +78,7 @@ impl OutputDir {
         self.csv_rows(name, headers, &rows)
     }
 
-    /// Writes a CSV with arbitrary stringified rows.
+    /// Writes a CSV with arbitrary stringified rows (atomically).
     ///
     /// # Errors
     ///
@@ -84,27 +89,26 @@ impl OutputDir {
         headers: &[&str],
         rows: &[Vec<String>],
     ) -> std::io::Result<PathBuf> {
-        fs::create_dir_all(&self.root)?;
         let path = self.root.join(format!("{name}.csv"));
-        let mut f = fs::File::create(&path)?;
-        writeln!(f, "{}", headers.join(","))?;
+        let mut buf = Vec::new();
+        writeln!(buf, "{}", headers.join(","))?;
         for row in rows {
-            writeln!(f, "{}", row.join(","))?;
+            writeln!(buf, "{}", row.join(","))?;
         }
+        write_atomic(&path, &buf)?;
         Ok(path)
     }
 
-    /// Serializes `value` as pretty JSON.
+    /// Serializes `value` as pretty JSON (atomically).
     ///
     /// # Errors
     ///
     /// Returns any I/O or serialization error.
     pub fn json<T: Serialize>(&self, name: &str, value: &T) -> std::io::Result<PathBuf> {
-        fs::create_dir_all(&self.root)?;
         let path = self.root.join(format!("{name}.json"));
         let data = serde_json::to_string_pretty(value)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        fs::write(&path, data)?;
+        write_atomic(&path, data.as_bytes())?;
         Ok(path)
     }
 }

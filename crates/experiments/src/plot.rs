@@ -249,9 +249,8 @@ impl crate::OutputDir {
     ///
     /// Returns any I/O error.
     pub fn svg(&self, name: &str, chart: &LineChart) -> std::io::Result<std::path::PathBuf> {
-        std::fs::create_dir_all(self.path())?;
         let path = self.path().join(format!("{name}.svg"));
-        std::fs::write(&path, chart.to_svg())?;
+        coop_telemetry::write_atomic_str(&path, &chart.to_svg())?;
         Ok(path)
     }
 }

@@ -15,7 +15,7 @@ use coop_attacks::AttackPlan;
 use coop_incentives::MechanismKind;
 use serde::Serialize;
 
-use crate::exec::Executor;
+use crate::exec::{backoff_ms, BatchError, Executor, FailureKind, JobFailure};
 use crate::runners::run_sim;
 use crate::table::num;
 use crate::{Scale, Table};
@@ -142,8 +142,54 @@ pub fn run(scale: Scale, seed: u64) -> AblationReport {
 /// independent simulations, so they fan out as one batch per sweep;
 /// results (and the JSON artifact) are identical for any worker count.
 pub fn run_with(scale: Scale, seed: u64, executor: &Executor) -> AblationReport {
+    try_run_with(scale, seed, executor).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_with`] under the executor's panic-isolation/retry policy: a sweep
+/// point that fails every attempt yields `Err` naming its sweep, after
+/// every healthy point has still run. No artifact is written on failure.
+///
+/// # Errors
+///
+/// Returns the failed points when any point fails every attempt.
+pub fn try_run_with(
+    scale: Scale,
+    seed: u64,
+    executor: &Executor,
+) -> Result<AblationReport, BatchError> {
+    let mut failures: Vec<JobFailure> = Vec::new();
+    let mut total = 0usize;
+    // Converts one sweep's isolated runs into points, recording each
+    // failed point under the sweep's mechanism label.
+    let mut take = |label: &str, runs: Vec<Result<SweepPoint, String>>| -> Vec<SweepPoint> {
+        total += runs.len();
+        runs.into_iter()
+            .enumerate()
+            .filter_map(|(slot, run)| match run {
+                Ok(point) => Some(point),
+                Err(message) => {
+                    failures.push(JobFailure {
+                        slot,
+                        mechanism: label.to_string(),
+                        peers: scale.peers(),
+                        seed,
+                        attempts: executor.retries() + 1,
+                        kind: FailureKind::Panic,
+                        message,
+                        backoff_ms: (0..executor.retries())
+                            .map(|a| backoff_ms(slot as u64, a))
+                            .collect(),
+                    });
+                    None
+                }
+            })
+            .collect()
+    };
+
     // A: α_BT sweep. The mechanism parameter lives in the swarm config.
-    let alpha_bt_sweep = executor.map(&[0.0, 0.1, 0.2, 0.4], |_, &alpha| {
+    let alpha_bt_sweep = take(
+        "BitTorrent (alpha_bt sweep)",
+        executor.try_map(&[0.0, 0.1, 0.2, 0.4], |_, &alpha| {
             let mut config = scale.config(seed);
             config.mechanism_params.alpha_bt = alpha;
             let mix = coop_incentives::analysis::capacity::CapacityClassMix::paper_default();
@@ -162,50 +208,63 @@ pub fn run_with(scale: Scale, seed: u64, executor: &Executor) -> AblationReport 
                 .expect("valid config")
                 .run();
             point(alpha, &result)
-        });
+        }),
+    );
 
     // B & C: free-rider fraction sweeps.
     let fractions = [0.0, 0.1, 0.2, 0.4];
-    let altruism_fraction_sweep = executor.map(&fractions, |_, &f| {
-        let result = run_sim(
-            MechanismKind::Altruism,
-            scale,
-            Some(&AttackPlan::simple(f)),
-            None,
-            seed,
-        );
-        point(f, &result)
-    });
-    let tchain_fraction_sweep = executor.map(&fractions, |_, &f| {
-        let result = run_sim(
-            MechanismKind::TChain,
-            scale,
-            Some(&AttackPlan::most_effective(MechanismKind::TChain, f)),
-            None,
-            seed,
-        );
-        point(f, &result)
-    });
+    let altruism_fraction_sweep = take(
+        "Altruism (free-rider fraction sweep)",
+        executor.try_map(&fractions, |_, &f| {
+            let result = run_sim(
+                MechanismKind::Altruism,
+                scale,
+                Some(&AttackPlan::simple(f)),
+                None,
+                seed,
+            );
+            point(f, &result)
+        }),
+    );
+    let tchain_fraction_sweep = take(
+        "T-Chain (free-rider fraction sweep)",
+        executor.try_map(&fractions, |_, &f| {
+            let result = run_sim(
+                MechanismKind::TChain,
+                scale,
+                Some(&AttackPlan::most_effective(MechanismKind::TChain, f)),
+                None,
+                seed,
+            );
+            point(f, &result)
+        }),
+    );
 
     // D: reputation false praise.
     let praise_plans = [
         (0.0, AttackPlan::simple(0.2)),
         (1.0, AttackPlan::false_praise(0.2)),
     ];
-    let reputation_false_praise = executor.map(&praise_plans, |_, &(x, ref plan)| {
-        point(
-            x,
-            &run_sim(MechanismKind::Reputation, scale, Some(plan), None, seed),
-        )
-    });
+    let reputation_false_praise = take(
+        "Reputation (false-praise ablation)",
+        executor.try_map(&praise_plans, |_, &(x, ref plan)| {
+            point(
+                x,
+                &run_sim(MechanismKind::Reputation, scale, Some(plan), None, seed),
+            )
+        }),
+    );
 
     // E: whitewash interval sweep.
-    let whitewash_sweep = executor.map(&[5u64, 10, 20, 40], |_, &w| {
-        let mut plan = AttackPlan::simple(0.2);
-        plan.whitewash_interval = Some(w);
-        let result = run_sim(MechanismKind::FairTorrent, scale, Some(&plan), None, seed);
-        point(w as f64, &result)
-    });
+    let whitewash_sweep = take(
+        "FairTorrent (whitewash interval sweep)",
+        executor.try_map(&[5u64, 10, 20, 40], |_, &w| {
+            let mut plan = AttackPlan::simple(0.2);
+            plan.whitewash_interval = Some(w);
+            let result = run_sim(MechanismKind::FairTorrent, scale, Some(&plan), None, seed);
+            point(w as f64, &result)
+        }),
+    );
 
     // F: the paper assumes local-rarest-first selection; quantify what the
     // alternatives cost.
@@ -214,8 +273,10 @@ pub fn run_with(scale: Scale, seed: u64, executor: &Executor) -> AblationReport 
         coop_swarm::PieceStrategy::Random,
         coop_swarm::PieceStrategy::Sequential,
     ];
-    let piece_strategy_sweep = executor.map(&strategies, |i, &strategy| {
-        let mut config = scale.config(seed);
+    let piece_strategy_sweep = take(
+        "Altruism (piece-strategy sweep)",
+        executor.try_map(&strategies, |i, &strategy| {
+            let mut config = scale.config(seed);
         config.piece_strategy = strategy;
         let mix = coop_incentives::analysis::capacity::CapacityClassMix::paper_default();
         let population = coop_swarm::flash_crowd_with(
@@ -232,13 +293,16 @@ pub fn run_with(scale: Scale, seed: u64, executor: &Executor) -> AblationReport 
             .expect("valid config")
             .run();
         point(i as f64, &result)
-    });
+        }),
+    );
 
     // G: the paper's flash crowd is the worst case for reputation
     // bootstrapping (everyone has zero reputation at once). Staggered
     // Poisson arrivals let newcomers land in a system with established
     // reputations.
-    let arrival_model_sweep = executor.map(&[false, true], |_, &staggered| {
+    let arrival_model_sweep = take(
+        "Reputation (arrival-model ablation)",
+        executor.try_map(&[false, true], |_, &staggered| {
             let config = scale.config(seed);
             let mix = coop_incentives::analysis::capacity::CapacityClassMix::paper_default();
             let population = if staggered {
@@ -266,8 +330,16 @@ pub fn run_with(scale: Scale, seed: u64, executor: &Executor) -> AblationReport 
                 .expect("valid config")
                 .run();
             point(if staggered { 1.0 } else { 0.0 }, &result)
-        });
+        }),
+    );
 
+    if !failures.is_empty() {
+        return Err(BatchError {
+            figure: "ablations".to_string(),
+            total,
+            failures,
+        });
+    }
     let report = AblationReport {
         scale: scale.name().to_string(),
         alpha_bt_sweep,
@@ -279,7 +351,7 @@ pub fn run_with(scale: Scale, seed: u64, executor: &Executor) -> AblationReport 
         arrival_model_sweep,
     };
     let _ = crate::write_json(&format!("ablations_{}", scale.name()), &report);
-    report
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use coop_incentives::MechanismKind;
 use coop_swarm::SimResult;
 use serde::Serialize;
 
-use crate::exec::{Executor, SimJob};
+use crate::exec::{BatchError, Executor, SimJob};
 use crate::table::num;
 use crate::telemetry::{BatchTrace, TelemetryOpts};
 use crate::{OutputDir, Scale, Table};
@@ -136,10 +136,35 @@ pub(crate) fn run_figure_traced(
     out: &OutputDir,
     attack: &str,
 ) -> (SimFigureReport, Option<BatchTrace>) {
+    try_run_figure_traced(figure, scale, seed, plan_for, executor, opts, out, attack)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_figure_traced`] under the executor's robustness policy: a job
+/// that fails every attempt yields `Err` instead of panicking, after every
+/// healthy job has still run (and been journaled). No figure artifacts are
+/// written on failure — the artifact set is all-or-nothing, so a resumed
+/// run can regenerate it byte-identically.
+///
+/// # Errors
+///
+/// Returns the batch's failures when any job fails every attempt.
+#[allow(clippy::too_many_arguments)] // one call site per figure, all distinct
+pub(crate) fn try_run_figure_traced(
+    figure: &str,
+    scale: Scale,
+    seed: u64,
+    plan_for: impl Fn(MechanismKind) -> Option<AttackPlan>,
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+    attack: &str,
+) -> Result<(SimFigureReport, Option<BatchTrace>), BatchError> {
     let jobs = SimJob::grid(scale, &[seed], plan_for);
     let sim_start = std::time::Instant::now();
-    let (results, trace) = executor.run_sims_traced(&jobs, opts);
+    let run = executor.run_sims_robust(&jobs, opts);
     let sim_ms = elapsed_ms(sim_start);
+    let (results, trace) = run.into_complete(figure)?;
     let write_start = std::time::Instant::now();
     let report = write_figure_artifacts(figure, scale, seed, &results, out);
     let trace = trace.map(|mut trace| {
@@ -158,7 +183,7 @@ pub(crate) fn run_figure_traced(
         );
         trace
     });
-    (report, trace)
+    Ok((report, trace))
 }
 
 /// Milliseconds elapsed since `start` (saturating).
@@ -382,6 +407,22 @@ pub fn run_with_telemetry(
     run_figure_traced("fig4", scale, seed, |_| None, executor, opts, out, "none")
 }
 
+/// [`run_with_telemetry`] returning batch failures as `Err` instead of
+/// panicking (the crash-safe CLI path).
+///
+/// # Errors
+///
+/// Returns the batch's failures when any job fails every attempt.
+pub fn try_run_with_telemetry(
+    scale: Scale,
+    seed: u64,
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+) -> Result<(SimFigureReport, Option<BatchTrace>), BatchError> {
+    try_run_figure_traced("fig4", scale, seed, |_| None, executor, opts, out, "none")
+}
+
 /// Mean and sample standard deviation of one metric across replicates.
 #[derive(Clone, Copy, Debug, Serialize)]
 pub struct MeanStd {
@@ -519,13 +560,57 @@ pub(crate) fn replicate_traced(
     out: &OutputDir,
     attack: &str,
 ) -> (ReplicatedReport, Option<BatchTrace>) {
+    try_replicate_traced(figure, scale, seeds, plan_for, executor, opts, out, attack)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`replicate_traced`] under the executor's robustness policy. On
+/// failure, per-seed artifacts are still written for every seed whose six
+/// jobs all succeeded (so a resume has less to redo), but the aggregate
+/// report is withheld and `Err` names every failed cell.
+///
+/// # Errors
+///
+/// Returns the batch's failures when any job fails every attempt.
+#[allow(clippy::too_many_arguments)] // one call site per figure, all distinct
+pub(crate) fn try_replicate_traced(
+    figure: &str,
+    scale: Scale,
+    seeds: &[u64],
+    plan_for: impl Fn(MechanismKind) -> Option<AttackPlan>,
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+    attack: &str,
+) -> Result<(ReplicatedReport, Option<BatchTrace>), BatchError> {
     assert!(!seeds.is_empty(), "need at least one seed");
     let jobs = SimJob::grid(scale, seeds, plan_for);
     let sim_start = std::time::Instant::now();
-    let (results, trace) = executor.run_sims_traced(&jobs, opts);
+    let run = executor.run_sims_robust(&jobs, opts);
     let sim_ms = elapsed_ms(sim_start);
-    let write_start = std::time::Instant::now();
     let per_seed = MechanismKind::ALL.len();
+    if !run.failures.is_empty() {
+        for (i, &s) in seeds.iter().enumerate() {
+            let group = &run.results[i * per_seed..(i + 1) * per_seed];
+            if group.iter().all(Option::is_some) {
+                let results: Vec<SimResult> =
+                    group.iter().map(|r| r.clone().expect("checked")).collect();
+                write_figure_artifacts(figure, scale, s, &results, out);
+            }
+        }
+        return Err(BatchError {
+            figure: figure.to_string(),
+            total: jobs.len(),
+            failures: run.failures,
+        });
+    }
+    let results: Vec<SimResult> = run
+        .results
+        .into_iter()
+        .map(|r| r.expect("no failures, so every slot holds a result"))
+        .collect();
+    let trace = run.trace;
+    let write_start = std::time::Instant::now();
     let reports: Vec<SimFigureReport> = seeds
         .iter()
         .enumerate()
@@ -582,7 +667,7 @@ pub(crate) fn replicate_traced(
         );
         trace
     });
-    (report, trace)
+    Ok((report, trace))
 }
 
 /// Runs Fig. 4 over several seeds and aggregates.
@@ -605,6 +690,22 @@ pub fn run_replicated_with_telemetry(
     out: &OutputDir,
 ) -> (ReplicatedReport, Option<BatchTrace>) {
     replicate_traced("fig4", scale, seeds, |_| None, executor, opts, out, "none")
+}
+
+/// [`run_replicated_with_telemetry`] returning batch failures as `Err`
+/// instead of panicking (the crash-safe CLI path).
+///
+/// # Errors
+///
+/// Returns the batch's failures when any job fails every attempt.
+pub fn try_run_replicated_with_telemetry(
+    scale: Scale,
+    seeds: &[u64],
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+) -> Result<(ReplicatedReport, Option<BatchTrace>), BatchError> {
+    try_replicate_traced("fig4", scale, seeds, |_| None, executor, opts, out, "none")
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ use coop_faults::FaultPlan;
 use coop_incentives::MechanismKind;
 use serde::Serialize;
 
-use crate::exec::{Executor, SimJob};
+use crate::exec::{BatchError, Executor, SimJob};
 use crate::runners::fig4::{elapsed_ms, emit_run_outputs};
 use crate::table::num;
 use crate::telemetry::{BatchTrace, TelemetryOpts};
@@ -152,6 +152,23 @@ pub fn run_with_telemetry(
     run_sweep(scale, seed, base, &MULTIPLIERS, executor, opts, out)
 }
 
+/// [`run_with_telemetry`] returning batch failures as `Err` instead of
+/// panicking (the crash-safe CLI path).
+///
+/// # Errors
+///
+/// Returns the batch's failures when any job fails every attempt.
+pub fn try_run_with_telemetry(
+    scale: Scale,
+    seed: u64,
+    base: Option<FaultPlan>,
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+) -> Result<(ChurnReport, Option<BatchTrace>), BatchError> {
+    try_run_sweep(scale, seed, base, &MULTIPLIERS, executor, opts, out)
+}
+
 /// [`run_with_telemetry`] with an explicit multiplier list (tests and the
 /// CI smoke job use a shorter sweep).
 pub fn run_sweep(
@@ -163,6 +180,27 @@ pub fn run_sweep(
     opts: &TelemetryOpts,
     out: &OutputDir,
 ) -> (ChurnReport, Option<BatchTrace>) {
+    try_run_sweep(scale, seed, base, multipliers, executor, opts, out)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_sweep`] under the executor's robustness policy: a cell that fails
+/// every attempt yields `Err` naming it, after every healthy cell has
+/// still run (and been journaled). No sweep artifacts are written on
+/// failure.
+///
+/// # Errors
+///
+/// Returns the batch's failures when any job fails every attempt.
+pub fn try_run_sweep(
+    scale: Scale,
+    seed: u64,
+    base: Option<FaultPlan>,
+    multipliers: &[f64],
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+) -> Result<(ChurnReport, Option<BatchTrace>), BatchError> {
     let mut base = base.unwrap_or_else(|| FaultPlan::churn(DEFAULT_CHURN_RATE));
     if base.churn_rate <= 0.0 {
         base.churn_rate = DEFAULT_CHURN_RATE;
@@ -186,8 +224,9 @@ pub fn run_sweep(
         })
         .collect();
     let sim_start = std::time::Instant::now();
-    let (results, trace) = executor.run_sims_traced(&jobs, opts);
+    let run = executor.run_sims_robust(&jobs, opts);
     let sim_ms = elapsed_ms(sim_start);
+    let (results, trace) = run.into_complete("fig4-churn")?;
     let write_start = std::time::Instant::now();
 
     let per_rate = MechanismKind::ALL.len();
@@ -266,7 +305,7 @@ pub fn run_sweep(
         );
         trace
     });
-    (report, trace)
+    Ok((report, trace))
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@ use coop_swarm::{flash_crowd_with, Simulation, SwarmConfig};
 use coop_telemetry::Recorder;
 use serde::Serialize;
 
-use crate::exec::Executor;
+use crate::exec::{backoff_ms, BatchError, Executor, FailureKind, JobFailure};
 use crate::runners::fig4::{elapsed_ms, emit_run_outputs};
 use crate::table::num;
 use crate::telemetry::{BatchTrace, JobTrace, TelemetryOpts};
@@ -225,6 +225,25 @@ pub fn run_with_telemetry(
     opts: &TelemetryOpts,
     out: &OutputDir,
 ) -> (ScaleReport, ScalePerfReport, Option<BatchTrace>) {
+    try_run_with_telemetry(scale, seed, peers, executor, opts, out)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_with_telemetry`] with per-cell panic isolation: a cell that fails
+/// every attempt yields `Err` naming the (mechanism, N, seed) cell, after
+/// every healthy cell has still run. No artifacts are written on failure.
+///
+/// # Errors
+///
+/// Returns the batch's failures when any cell fails every attempt.
+pub fn try_run_with_telemetry(
+    scale: Scale,
+    seed: u64,
+    peers: Option<&[usize]>,
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+) -> Result<(ScaleReport, ScalePerfReport, Option<BatchTrace>), BatchError> {
     let peers: Vec<usize> = peers.unwrap_or(&POPULATIONS).to_vec();
     let cells: Vec<(usize, MechanismKind)> = peers
         .iter()
@@ -232,7 +251,7 @@ pub fn run_with_telemetry(
         .collect();
     let recorder_config = opts.is_enabled().then(|| opts.recorder_config());
     let sim_start = std::time::Instant::now();
-    let runs = executor.map(&cells, |slot, &(n, kind)| {
+    let runs = executor.try_map(&cells, |slot, &(n, kind)| {
         let started = std::time::Instant::now();
         let recorder = match &recorder_config {
             Some(config) => Recorder::enabled(config.clone()),
@@ -255,6 +274,9 @@ pub fn run_with_telemetry(
             seed,
             wall_ms,
             slow: false,
+            // `try_map` retries opaquely; per-attempt counts are only
+            // tracked for `SimJob` batches.
+            retries: 0,
             report,
         };
         (result, wall_ms, peak_rss_kb(), trace)
@@ -262,10 +284,39 @@ pub fn run_with_telemetry(
     let sim_ms = elapsed_ms(sim_start);
     let write_start = std::time::Instant::now();
 
+    let failures: Vec<JobFailure> = cells
+        .iter()
+        .zip(&runs)
+        .enumerate()
+        .filter_map(|(slot, (&(n, kind), run))| {
+            run.as_ref().err().map(|message| JobFailure {
+                slot,
+                mechanism: kind.name().to_string(),
+                peers: n,
+                seed,
+                attempts: executor.retries() + 1,
+                kind: FailureKind::Panic,
+                message: message.clone(),
+                backoff_ms: (0..executor.retries())
+                    .map(|a| backoff_ms(slot as u64, a))
+                    .collect(),
+            })
+        })
+        .collect();
+    if !failures.is_empty() {
+        return Err(BatchError {
+            figure: "fig4-scale".to_string(),
+            total: cells.len(),
+            failures,
+        });
+    }
+
     let mut rows = Vec::with_capacity(runs.len());
     let mut perf_rows = Vec::with_capacity(runs.len());
     let mut traces = Vec::with_capacity(runs.len());
-    for (&(n, kind), (result, wall_ms, rss_kb, trace)) in cells.iter().zip(runs) {
+    for (&(n, kind), run) in cells.iter().zip(runs) {
+        let (result, wall_ms, rss_kb, trace) =
+            run.expect("failures were returned above");
         rows.push(ScaleRow {
             peers: n,
             algorithm: kind.name().to_string(),
@@ -374,7 +425,7 @@ pub fn run_with_telemetry(
         );
         trace
     });
-    (report, perf, trace)
+    Ok((report, perf, trace))
 }
 
 #[cfg(test)]

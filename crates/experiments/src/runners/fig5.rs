@@ -5,8 +5,10 @@
 
 use coop_attacks::AttackPlan;
 
-use crate::exec::Executor;
-use crate::runners::fig4::{run_figure, run_figure_traced, SimFigureReport};
+use crate::exec::{BatchError, Executor};
+use crate::runners::fig4::{
+    run_figure, run_figure_traced, try_replicate_traced, try_run_figure_traced, SimFigureReport,
+};
 use crate::telemetry::{BatchTrace, TelemetryOpts};
 use crate::{OutputDir, Scale};
 
@@ -54,6 +56,31 @@ pub fn run_with_telemetry(
     )
 }
 
+/// [`run_with_telemetry`] returning batch failures as `Err` instead of
+/// panicking (the crash-safe CLI path).
+///
+/// # Errors
+///
+/// Returns the batch's failures when any job fails every attempt.
+pub fn try_run_with_telemetry(
+    scale: Scale,
+    seed: u64,
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+) -> Result<(SimFigureReport, Option<BatchTrace>), BatchError> {
+    try_run_figure_traced(
+        "fig5",
+        scale,
+        seed,
+        |kind| Some(AttackPlan::most_effective(kind, FREERIDER_FRACTION)),
+        executor,
+        opts,
+        out,
+        ATTACK_LABEL,
+    )
+}
+
 /// Runs Fig. 5 over several seeds and aggregates.
 pub fn run_replicated(scale: Scale, seeds: &[u64]) -> crate::runners::fig4::ReplicatedReport {
     run_replicated_with(scale, seeds, &Executor::default())
@@ -84,6 +111,31 @@ pub fn run_replicated_with_telemetry(
     out: &OutputDir,
 ) -> (crate::runners::fig4::ReplicatedReport, Option<BatchTrace>) {
     crate::runners::fig4::replicate_traced(
+        "fig5",
+        scale,
+        seeds,
+        |kind| Some(AttackPlan::most_effective(kind, FREERIDER_FRACTION)),
+        executor,
+        opts,
+        out,
+        ATTACK_LABEL,
+    )
+}
+
+/// [`run_replicated_with_telemetry`] returning batch failures as `Err`
+/// instead of panicking (the crash-safe CLI path).
+///
+/// # Errors
+///
+/// Returns the batch's failures when any job fails every attempt.
+pub fn try_run_replicated_with_telemetry(
+    scale: Scale,
+    seeds: &[u64],
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+) -> Result<(crate::runners::fig4::ReplicatedReport, Option<BatchTrace>), BatchError> {
+    try_replicate_traced(
         "fig5",
         scale,
         seeds,

@@ -33,12 +33,13 @@ pub(crate) fn run_sim(
     faults: Option<&FaultPlan>,
     seed: u64,
 ) -> SimResult {
-    run_sim_traced(kind, scale, plan, faults, seed, Recorder::disabled()).0
+    run_sim_traced(kind, scale, plan, faults, seed, Recorder::disabled(), None).0
 }
 
-/// [`run_sim`] with an attached telemetry recorder. The recorder is purely
-/// observational: the [`SimResult`] is identical whether it is enabled,
-/// disabled, or sampling at any rate.
+/// [`run_sim`] with an attached telemetry recorder and an optional mid-run
+/// checkpoint cadence. Both are purely observational: the [`SimResult`] is
+/// identical whether the recorder is enabled, disabled, or sampling at any
+/// rate, and for any checkpoint cadence including none.
 pub(crate) fn run_sim_traced(
     kind: MechanismKind,
     scale: Scale,
@@ -46,6 +47,7 @@ pub(crate) fn run_sim_traced(
     faults: Option<&FaultPlan>,
     seed: u64,
     recorder: Recorder,
+    checkpoint_every: Option<u64>,
 ) -> (SimResult, TelemetryReport) {
     let config = scale.config(seed);
     let mix = coop_incentives::analysis::capacity::CapacityClassMix::paper_default();
@@ -66,6 +68,9 @@ pub(crate) fn run_sim_traced(
     }
     if let Some(faults) = faults {
         builder = builder.fault_plan(*faults);
+    }
+    if let Some(every) = checkpoint_every {
+        builder = builder.checkpoint_every(every);
     }
     builder
         .build()

@@ -6,6 +6,7 @@
 //! the offending flag.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use coop_faults::FaultPlan;
 
@@ -108,6 +109,20 @@ impl Artifact {
     pub fn supports_replicates(self) -> bool {
         matches!(self, Artifact::Fig4 | Artifact::Fig5 | Artifact::Fig6)
     }
+
+    /// Whether this artifact's simulation jobs are journaled for
+    /// `--resume` (the batch-simulation artifacts; the analytic tables
+    /// and figures re-run in milliseconds and need no ledger).
+    pub fn supports_resume(self) -> bool {
+        matches!(
+            self,
+            Artifact::Fig4
+                | Artifact::Fig4Churn
+                | Artifact::Fig5
+                | Artifact::Fig6
+                | Artifact::All
+        )
+    }
 }
 
 /// A fully validated experiment invocation.
@@ -157,6 +172,18 @@ pub struct RunSpec {
     /// Population sweep override (`--peers N[,N...]`, fig4-scale only);
     /// `None` means the runner's default sweep.
     pub peers: Option<Vec<usize>>,
+    /// Resume an interrupted run from this artifact directory's journal
+    /// (`--resume DIR`; journaled artifacts only, replaces `--out-dir`).
+    pub resume: Option<PathBuf>,
+    /// Extra attempts for a job that panics or times out (`--retries`,
+    /// default 0 = fail after the first attempt).
+    pub retries: u64,
+    /// Per-attempt watchdog timeout in seconds (`--job-timeout`; `None`
+    /// means no watchdog).
+    pub job_timeout: Option<u64>,
+    /// Mid-run simulation checkpoint cadence in rounds
+    /// (`--checkpoint-every`; `None` means no checkpoints).
+    pub checkpoint_every: Option<u64>,
 }
 
 /// Why an argv slice failed to parse into a [`RunSpec`].
@@ -213,6 +240,8 @@ pub const USAGE: &str = "usage: coop-experiments \
        [--scale quick|default|paper] [--seed N] [--replicates N]
        [--jobs N] [--out-dir DIR]
        [--telemetry] [--trace-out FILE] [--probe-every N]
+       [--retries N] [--job-timeout SECS] [--checkpoint-every ROUNDS]
+       [--resume DIR]  (fig4|fig4-churn|fig5|fig6|all)
        [--churn RATE] [--loss PROB] [--seeder-exit FRACTION]  (fig4-churn)
        [--peers N[,N...]]  (fig4-scale)";
 
@@ -237,6 +266,10 @@ impl RunSpec {
         let mut loss = None;
         let mut seeder_exit = None;
         let mut peers = None;
+        let mut resume = None;
+        let mut retries = 0u64;
+        let mut job_timeout = None;
+        let mut checkpoint_every = None;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -291,6 +324,18 @@ impl RunSpec {
                 "--peers" => {
                     peers = Some(parse_peer_list(&mut it)?);
                 }
+                "--resume" => {
+                    resume = Some(PathBuf::from(next_value(&mut it, "--resume")?));
+                }
+                "--retries" => {
+                    retries = parse_number(&mut it, "--retries", 0)?;
+                }
+                "--job-timeout" => {
+                    job_timeout = Some(parse_number(&mut it, "--job-timeout", 1)?);
+                }
+                "--checkpoint-every" => {
+                    checkpoint_every = Some(parse_number(&mut it, "--checkpoint-every", 1)?);
+                }
                 other if other.starts_with('-') => {
                     return Err(SpecError::UnknownFlag(other.to_string()));
                 }
@@ -327,6 +372,26 @@ impl RunSpec {
                 reason: "--peers is only supported by fig4-scale".to_string(),
             });
         }
+        if resume.is_some() {
+            if !artifact.supports_resume() {
+                return Err(SpecError::InvalidValue {
+                    flag: "--resume",
+                    value: artifact.name().to_string(),
+                    reason: "--resume is only supported by the journaled artifacts \
+                             (fig4, fig4-churn, fig5, fig6, all)"
+                        .to_string(),
+                });
+            }
+            if let Some(dir) = &out_dir {
+                return Err(SpecError::InvalidValue {
+                    flag: "--resume",
+                    value: dir.display().to_string(),
+                    reason: "--resume already names the artifact directory; \
+                             do not also pass --out-dir"
+                        .to_string(),
+                });
+            }
+        }
         Ok(RunSpec {
             artifact,
             scale,
@@ -341,6 +406,10 @@ impl RunSpec {
             loss,
             seeder_exit,
             peers,
+            resume,
+            retries,
+            job_timeout,
+            checkpoint_every,
         })
     }
 
@@ -349,9 +418,19 @@ impl RunSpec {
         (0..self.replicates).map(|i| self.seed + i).collect()
     }
 
-    /// An [`Executor`] sized to this spec's `--jobs`.
+    /// An [`Executor`] sized to this spec's `--jobs` and carrying its
+    /// robustness policy (`--retries`, `--job-timeout`,
+    /// `--checkpoint-every`). Journal/replay wiring is the caller's job —
+    /// it needs the artifact directory.
     pub fn executor(&self) -> Executor {
-        Executor::new(self.jobs)
+        let mut executor = Executor::new(self.jobs).with_retries(self.retries);
+        if let Some(secs) = self.job_timeout {
+            executor = executor.with_job_timeout(Duration::from_secs(secs));
+        }
+        if let Some(every) = self.checkpoint_every {
+            executor = executor.with_checkpoint_every(every);
+        }
+        executor
     }
 
     /// The base fault plan implied by `--churn`, `--loss` and
@@ -699,6 +778,113 @@ mod tests {
         }
         let err = parse(&["fig4-scale", "--peers"]).unwrap_err();
         assert_eq!(err, SpecError::MissingValue { flag: "--peers" });
+    }
+
+    #[test]
+    fn robustness_flags_parse_and_configure_the_executor() {
+        let spec = parse(&[
+            "fig4",
+            "--retries",
+            "2",
+            "--job-timeout",
+            "90",
+            "--checkpoint-every",
+            "50",
+        ])
+        .unwrap();
+        assert_eq!(spec.retries, 2);
+        assert_eq!(spec.job_timeout, Some(90));
+        assert_eq!(spec.checkpoint_every, Some(50));
+        let executor = spec.executor();
+        assert_eq!(executor.retries(), 2);
+        assert_eq!(executor.job_timeout(), Some(Duration::from_secs(90)));
+        assert_eq!(executor.checkpoint_every(), Some(50));
+
+        // Defaults: fail-fast, no watchdog, no checkpoints.
+        let spec = parse(&["fig4"]).unwrap();
+        assert_eq!(spec.retries, 0);
+        assert_eq!(spec.job_timeout, None);
+        assert_eq!(spec.checkpoint_every, None);
+        let executor = spec.executor();
+        assert_eq!(executor.retries(), 0);
+        assert_eq!(executor.job_timeout(), None);
+        assert_eq!(executor.checkpoint_every(), None);
+    }
+
+    #[test]
+    fn robustness_flag_errors_are_named() {
+        let err = parse(&["fig4", "--retries"]).unwrap_err();
+        assert_eq!(err, SpecError::MissingValue { flag: "--retries" });
+        assert!(err.to_string().contains("--retries"));
+
+        let err = parse(&["fig4", "--retries", "many"]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("--retries") && msg.contains("many"), "{msg}");
+
+        let err = parse(&["fig4", "--job-timeout"]).unwrap_err();
+        assert_eq!(err, SpecError::MissingValue { flag: "--job-timeout" });
+
+        let err = parse(&["fig4", "--job-timeout", "0"]).unwrap_err();
+        assert!(
+            matches!(err, SpecError::InvalidValue { flag: "--job-timeout", .. }),
+            "{err:?}"
+        );
+
+        let err = parse(&["fig4", "--job-timeout", "soon"]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("--job-timeout") && msg.contains("soon"), "{msg}");
+
+        let err = parse(&["fig4", "--checkpoint-every"]).unwrap_err();
+        assert_eq!(err, SpecError::MissingValue { flag: "--checkpoint-every" });
+
+        let err = parse(&["fig4", "--checkpoint-every", "0"]).unwrap_err();
+        assert!(
+            matches!(err, SpecError::InvalidValue { flag: "--checkpoint-every", .. }),
+            "{err:?}"
+        );
+
+        let err = parse(&["fig4", "--checkpoint-every", "x"]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("--checkpoint-every") && msg.contains("x"), "{msg}");
+    }
+
+    #[test]
+    fn resume_parses_for_journaled_artifacts() {
+        for artifact in ["fig4", "fig4-churn", "fig5", "fig6", "all"] {
+            let spec = parse(&[artifact, "--resume", "out/run1"]).unwrap();
+            assert_eq!(
+                spec.resume.as_deref(),
+                Some(std::path::Path::new("out/run1")),
+                "{artifact}"
+            );
+            assert!(spec.artifact.supports_resume());
+        }
+        let spec = parse(&["fig4"]).unwrap();
+        assert_eq!(spec.resume, None);
+    }
+
+    #[test]
+    fn resume_errors_are_named() {
+        let err = parse(&["fig4", "--resume"]).unwrap_err();
+        assert_eq!(err, SpecError::MissingValue { flag: "--resume" });
+        assert!(err.to_string().contains("--resume"));
+
+        // Non-journaled artifacts reject it, naming both sides.
+        let err = parse(&["table1", "--resume", "out/run1"]).unwrap_err();
+        assert!(
+            matches!(err, SpecError::InvalidValue { flag: "--resume", .. }),
+            "{err:?}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("--resume") && msg.contains("table1"), "{msg}");
+
+        // --resume and --out-dir are mutually exclusive.
+        let err = parse(&["fig4", "--resume", "out/run1", "--out-dir", "out/x"]).unwrap_err();
+        assert!(
+            matches!(err, SpecError::InvalidValue { flag: "--resume", .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("--out-dir"));
     }
 
     #[test]

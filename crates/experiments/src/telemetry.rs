@@ -91,6 +91,9 @@ pub struct JobTrace {
     pub wall_ms: u64,
     /// Whether the job exceeded [`SLOW_JOB_FACTOR`]× the batch median.
     pub slow: bool,
+    /// Retries (after a panic or watchdog timeout) before this job
+    /// completed; zero for first-attempt successes and journal-cache hits.
+    pub retries: u64,
     /// Everything the job's recorder gathered.
     pub report: TelemetryReport,
 }
@@ -164,6 +167,7 @@ impl BatchTrace {
                     seed: job.seed,
                     wall_ms: job.wall_ms,
                     slow: job.slow,
+                    retries: job.retries,
                 }
                 .to_jsonl(),
             );
@@ -179,17 +183,12 @@ impl BatchTrace {
     ///
     /// Returns any I/O error from directory creation or the write.
     pub fn write_jsonl(&self, path: &Path) -> std::io::Result<usize> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
         let lines = self.jsonl_lines();
         let mut text = lines.join("\n");
         if !text.is_empty() {
             text.push('\n');
         }
-        std::fs::write(path, text)?;
+        coop_telemetry::write_atomic_str(path, &text)?;
         Ok(lines.len())
     }
 
@@ -311,6 +310,7 @@ mod tests {
             seed: 42,
             wall_ms,
             slow: false,
+            retries: 0,
             report: TelemetryReport {
                 counters,
                 ..TelemetryReport::default()

@@ -112,6 +112,7 @@ pub struct SimulationBuilder {
     fault_schedule: Option<FaultSchedule>,
     recorder: Recorder,
     naive_hotpath: bool,
+    checkpoint_every: Option<u64>,
 }
 
 impl std::fmt::Debug for SimulationBuilder {
@@ -135,7 +136,18 @@ impl SimulationBuilder {
             fault_schedule: None,
             recorder: Recorder::disabled(),
             naive_hotpath: false,
+            checkpoint_every: None,
         }
+    }
+
+    /// Captures a [`SimCheckpoint`](crate::SimCheckpoint) after every
+    /// `k`-th completed round (`k = 0` disables, the default). Collect
+    /// them with [`Simulation::run_checkpointed`]. Checkpointing is
+    /// observational: any cadence — including none — yields identical
+    /// results.
+    pub fn checkpoint_every(mut self, k: u64) -> Self {
+        self.checkpoint_every = (k > 0).then_some(k);
+        self
     }
 
     /// Routes the round loop through the pre-index hot path (per-probe
@@ -256,6 +268,7 @@ impl SimulationBuilder {
         }
         let mut sim = Simulation::assemble(self.config, self.population, self.recorder, faults);
         sim.naive_hotpath = self.naive_hotpath;
+        sim.set_checkpoint_every(self.checkpoint_every);
         Ok(sim)
     }
 }

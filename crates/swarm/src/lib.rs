@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod checkpoint;
 mod config;
 mod faults;
 mod peer;
@@ -49,6 +50,7 @@ mod transfer;
 mod view_impl;
 
 pub use builder::{BuildError, PopulationPatch, SimulationBuilder};
+pub use checkpoint::{CheckpointError, CheckpointLog, SimCheckpoint};
 pub use config::{
     flash_crowd, flash_crowd_with, staggered_arrivals, ConfigError, MechanismFactory, PeerSpec,
     PeerTags, PieceStrategy, SwarmConfig,

@@ -33,6 +33,10 @@ pub enum Departure {
 }
 
 /// Mutable state of one peer identity.
+///
+/// `Clone` deep-copies everything including the boxed mechanism (via
+/// [`Mechanism::clone_box`]) — the substrate of mid-run checkpointing.
+#[derive(Clone)]
 pub struct PeerState {
     /// This peer's id.
     pub id: PeerId,

@@ -25,6 +25,7 @@ use coop_piece::{
 use rand::seq::SliceRandom;
 use rand::RngCore;
 
+use crate::checkpoint::{CheckpointError, CheckpointLog, CheckpointState, SimCheckpoint};
 use crate::config::{ConfigError, PeerSpec, PieceStrategy, SwarmConfig};
 use crate::faults::{FaultKind, FaultSchedule};
 use crate::peer::{Departure, PeerState};
@@ -37,7 +38,7 @@ use crate::view_impl::SimView;
 pub const SEEDER_ID: PeerId = PeerId::new(u32::MAX);
 
 #[derive(Debug, Clone, Copy)]
-enum Event {
+pub(crate) enum Event {
     Arrival(usize),
     RoundTick,
 }
@@ -134,6 +135,10 @@ pub struct Simulation {
     bootstrapped_frac: TimeSeries,
     completed_frac: TimeSeries,
     susceptibility: TimeSeries,
+    /// Capture a [`SimCheckpoint`] every K rounds (`None` = never).
+    checkpoint_every: Option<u64>,
+    /// The checkpoints captured so far this run.
+    checkpoints: CheckpointLog,
 }
 
 impl Simulation {
@@ -253,8 +258,16 @@ impl Simulation {
             bootstrapped_frac: TimeSeries::new(),
             completed_frac: TimeSeries::new(),
             susceptibility: TimeSeries::new(),
+            checkpoint_every: None,
+            checkpoints: CheckpointLog::default(),
             config,
         }
+    }
+
+    /// Sets the checkpoint cadence (builder plumbing): capture a
+    /// [`SimCheckpoint`] after every `k`-th completed round.
+    pub(crate) fn set_checkpoint_every(&mut self, k: Option<u64>) {
+        self.checkpoint_every = k.filter(|&k| k > 0);
     }
 
     /// The configuration.
@@ -356,12 +369,162 @@ impl Simulation {
     /// Runs the simulation and also returns what the attached telemetry
     /// [`Recorder`] gathered (an empty report when none was attached —
     /// see [`SimulationBuilder::recorder`](crate::SimulationBuilder::recorder)).
-    pub fn run_traced(mut self) -> (SimResult, TelemetryReport) {
+    pub fn run_traced(self) -> (SimResult, TelemetryReport) {
+        let (result, report, _) = self.run_checkpointed();
+        (result, report)
+    }
+
+    /// Runs the simulation and also returns the [`CheckpointLog`] of
+    /// mid-run snapshots captured at the cadence set by
+    /// [`SimulationBuilder::checkpoint_every`](crate::SimulationBuilder::checkpoint_every)
+    /// (an empty log when no cadence was set).
+    ///
+    /// Checkpointing is observational: results are identical with any
+    /// cadence, including none (pinned by the `checkpoint_equivalence`
+    /// test battery).
+    pub fn run_checkpointed(mut self) -> (SimResult, TelemetryReport, CheckpointLog) {
         let deadline = self.rounds.start_of(self.config.max_rounds + 1);
         let mut engine = std::mem::take(&mut self.engine);
         engine.run_until(deadline, |now, ev, eng| self.handle(now, ev, eng));
         self.engine = engine;
-        self.finalize()
+        let checkpoints = std::mem::take(&mut self.checkpoints);
+        let (result, report) = self.finalize();
+        (result, report, checkpoints)
+    }
+
+    /// Restores a mid-run checkpoint onto this freshly built simulation,
+    /// returning it positioned to resume right after the checkpointed
+    /// round. Finishing the restored run yields a [`SimResult`] exactly
+    /// equal to the straight-through run's.
+    ///
+    /// The receiver must be freshly built (never run) from the same
+    /// configuration and a population of the same shape; it re-supplies
+    /// what a checkpoint deliberately does not carry — the unspawned
+    /// arrival specs (mechanism factories are closures) and the telemetry
+    /// recorder.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::NotFresh`] if this simulation already ran,
+    /// [`CheckpointError::ConfigMismatch`] /
+    /// [`CheckpointError::PopulationMismatch`] if it was built from a
+    /// different config or population shape.
+    pub fn restore(mut self, checkpoint: &SimCheckpoint) -> Result<Simulation, CheckpointError> {
+        if self.round_idx != 0 || !self.peers.is_empty() {
+            return Err(CheckpointError::NotFresh);
+        }
+        let s = &*checkpoint.state;
+        if self.config != s.config {
+            return Err(CheckpointError::ConfigMismatch);
+        }
+        if self.specs.len() != s.spec_peer.len() {
+            return Err(CheckpointError::PopulationMismatch {
+                expected: s.spec_peer.len(),
+                found: self.specs.len(),
+            });
+        }
+        // Peers that had spawned by checkpoint time travel in `peers`;
+        // their Arrival events are gone from the captured queue, so their
+        // specs must not fire again.
+        for (i, spawned) in s.spec_peer.iter().enumerate() {
+            if spawned.is_some() {
+                self.specs[i] = None;
+            }
+        }
+        self.engine = s.engine.clone().restore();
+        self.seeds = SeedTree::import(s.seed_state);
+        self.peers = s.peers.clone();
+        self.availability = s.availability.clone();
+        self.transfers = s.transfers.clone();
+        self.reputation = s.reputation.clone();
+        self.seeder_bf = s.seeder_bf.clone();
+        self.round_idx = s.round_idx;
+        self.now = s.now;
+        self.expected_compliant = s.expected_compliant;
+        self.reports = s.reports.clone();
+        self.pretrusted = s.pretrusted.clone();
+        self.trusted_cache = s.trusted_cache.clone();
+        self.adj = s.adj.clone();
+        self.adj_off = s.adj_off.clone();
+        self.adj_dirty = s.adj_dirty;
+        self.adjacency_rebuilds = s.adjacency_rebuilds;
+        self.hot = s.hot.clone();
+        self.pending_arrivals = s.pending_arrivals;
+        self.open_active = s.open_active;
+        self.compliant_completed = s.compliant_completed;
+        self.naive_hotpath = s.naive_hotpath;
+        self.naive_probe_rebuilds = s.naive_probe_rebuilds;
+        self.probe_prev_bytes = s.probe_prev_bytes;
+        self.faults = s.faults.clone();
+        self.fault_cursor = s.fault_cursor;
+        self.spec_peer = s.spec_peer.clone();
+        self.seeder_online = s.seeder_online;
+        self.stalled = s.stalled;
+        self.prev_uploaded_total = s.prev_uploaded_total;
+        self.totals = s.totals;
+        self.fairness_avg = s.fairness_avg.clone();
+        self.diversity = s.diversity.clone();
+        self.fairness_stat = s.fairness_stat.clone();
+        self.bootstrapped_frac = s.bootstrapped_frac.clone();
+        self.completed_frac = s.completed_frac.clone();
+        self.susceptibility = s.susceptibility.clone();
+        // Scratch buffers, the round driver, the recorder, and the
+        // checkpoint settings stay as built: the first two are
+        // config-derived or lazily sized, the last two are deliberately
+        // not simulation state.
+        Ok(self)
+    }
+
+    /// Deep-copies the entire live state — including the in-flight engine
+    /// queue `eng` (`self.engine` is empty while the run loop owns it) —
+    /// into the checkpoint log.
+    fn capture_checkpoint(&mut self, eng: &Engine<Event>) {
+        let round = self.round_idx;
+        self.recorder.incr("swarm.checkpoints", 1);
+        self.recorder.emit_with(|| TraceEvent::Checkpoint { round });
+        let state = CheckpointState {
+            config: self.config.clone(),
+            engine: eng.snapshot(),
+            seed_state: self.seeds.export(),
+            peers: self.peers.clone(),
+            availability: self.availability.clone(),
+            transfers: self.transfers.clone(),
+            reputation: self.reputation.clone(),
+            seeder_bf: self.seeder_bf.clone(),
+            round_idx: self.round_idx,
+            now: self.now,
+            expected_compliant: self.expected_compliant,
+            reports: self.reports.clone(),
+            pretrusted: self.pretrusted.clone(),
+            trusted_cache: self.trusted_cache.clone(),
+            adj: self.adj.clone(),
+            adj_off: self.adj_off.clone(),
+            adj_dirty: self.adj_dirty,
+            adjacency_rebuilds: self.adjacency_rebuilds,
+            hot: self.hot.clone(),
+            pending_arrivals: self.pending_arrivals,
+            open_active: self.open_active,
+            compliant_completed: self.compliant_completed,
+            naive_hotpath: self.naive_hotpath,
+            naive_probe_rebuilds: self.naive_probe_rebuilds,
+            probe_prev_bytes: self.probe_prev_bytes,
+            faults: self.faults.clone(),
+            fault_cursor: self.fault_cursor,
+            spec_peer: self.spec_peer.clone(),
+            seeder_online: self.seeder_online,
+            stalled: self.stalled,
+            prev_uploaded_total: self.prev_uploaded_total,
+            totals: self.totals,
+            fairness_avg: self.fairness_avg.clone(),
+            diversity: self.diversity.clone(),
+            fairness_stat: self.fairness_stat.clone(),
+            bootstrapped_frac: self.bootstrapped_frac.clone(),
+            completed_frac: self.completed_frac.clone(),
+            susceptibility: self.susceptibility.clone(),
+        };
+        self.checkpoints.record(SimCheckpoint {
+            state: Box::new(state),
+        });
     }
 
     fn handle(&mut self, now: SimTime, ev: Event, eng: &mut Engine<Event>) {
@@ -415,6 +578,13 @@ impl Simulation {
                     self.record_fault("stalled", u32::MAX, 0);
                 } else if !all_done && self.round_idx < self.config.max_rounds {
                     eng.schedule(self.rounds.start_of(self.round_idx + 1), Event::RoundTick);
+                    // Capture after the next tick is queued so the restored
+                    // engine resumes at round `round_idx + 1` exactly.
+                    if let Some(k) = self.checkpoint_every {
+                        if self.round_idx.is_multiple_of(k) {
+                            self.capture_checkpoint(eng);
+                        }
+                    }
                 }
             }
         }
@@ -2053,11 +2223,14 @@ mod tests {
         config.seed = 11;
         let mut population = flash_crowd(&config, 10, MechanismKind::TChain, 11);
         // Two free-riders that never upload.
-        #[derive(Debug)]
+        #[derive(Clone, Debug)]
         struct Null;
         impl coop_incentives::Mechanism for Null {
             fn kind(&self) -> MechanismKind {
                 MechanismKind::TChain
+            }
+            fn clone_box(&self) -> Box<dyn coop_incentives::Mechanism> {
+                Box::new(self.clone())
             }
             fn allocate(
                 &mut self,

@@ -28,7 +28,7 @@ const COLLUSION: u8 = 1 << 3;
 
 /// Hot per-peer round state in struct-of-arrays layout, indexed by peer
 /// slot (`PeerId::index()`).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct HotPeers {
     /// Packed status bits; see the flag constants above.
     flags: Vec<u8>,

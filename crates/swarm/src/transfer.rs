@@ -37,7 +37,7 @@ impl InFlight {
 /// All in-flight transfers, keyed by (uploader, downloader), with a
 /// per-uploader index so a peer can cheaply enumerate its outgoing
 /// partials.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct TransferTable {
     inner: HashMap<(PeerId, PeerId), InFlight>,
     by_uploader: HashMap<PeerId, std::collections::BTreeSet<PeerId>>,

@@ -184,6 +184,18 @@ pub enum TraceEvent {
         wall_ms: u64,
         /// Whether the job was flagged slow relative to the batch median.
         slow: bool,
+        /// How many times the job was retried after a panic or watchdog
+        /// timeout before this (successful) completion. Zero for a
+        /// first-attempt success or a journal-cache hit.
+        retries: u64,
+    },
+    /// A mid-run simulation checkpoint was captured (`--checkpoint-every`).
+    /// Shares the engine category: like `EngineStats` it describes run
+    /// machinery, not swarm behavior, and adding a category would resize
+    /// the sampling table.
+    Checkpoint {
+        /// Round index the checkpoint covers (the next tick to run).
+        round: u64,
     },
 }
 
@@ -195,7 +207,7 @@ impl TraceEvent {
             TraceEvent::Grant { .. } => Category::Grant,
             TraceEvent::TransferStalled { .. } => Category::Transfer,
             TraceEvent::InflightAtEnd { .. } | TraceEvent::PeerAtEnd { .. } => Category::Final,
-            TraceEvent::EngineStats { .. } => Category::Engine,
+            TraceEvent::EngineStats { .. } | TraceEvent::Checkpoint { .. } => Category::Engine,
             TraceEvent::Fault { .. } => Category::Fault,
             TraceEvent::JobSpan { .. } => Category::Exec,
         }
@@ -327,6 +339,7 @@ impl TraceEvent {
                 seed,
                 wall_ms,
                 slow,
+                retries,
             } => {
                 o.str("type", "job_span")
                     .str("cat", Category::Exec.name())
@@ -334,7 +347,13 @@ impl TraceEvent {
                     .str("label", label)
                     .uint("seed", *seed)
                     .uint("wall_ms", *wall_ms)
-                    .bool("slow", *slow);
+                    .bool("slow", *slow)
+                    .uint("retries", *retries);
+            }
+            TraceEvent::Checkpoint { round } => {
+                o.str("type", "checkpoint")
+                    .str("cat", Category::Engine.name())
+                    .uint("round", *round);
             }
         }
         o.finish()
@@ -408,7 +427,9 @@ mod tests {
                 seed: 42,
                 wall_ms: 120,
                 slow: false,
+                retries: 1,
             },
+            TraceEvent::Checkpoint { round: 64 },
         ]
     }
 

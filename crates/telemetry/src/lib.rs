@@ -17,6 +17,8 @@
 //!   wall-clock phase timings, and counter totals.
 //! - [`json`] — the in-house JSON writer/parser that keeps all of the
 //!   above dependency-free (the vendored `serde_json` shim cannot parse).
+//! - [`write_atomic`] — the crash-safe tmp-file + fsync + rename write
+//!   path every artifact, manifest and trace file goes through.
 //!
 //! # Determinism contract
 //!
@@ -31,13 +33,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomic;
 pub mod event;
 pub mod json;
 pub mod manifest;
 pub mod recorder;
 pub mod sink;
 
+pub use atomic::{write_atomic, write_atomic_str};
 pub use event::{Category, TraceEvent};
 pub use manifest::{fingerprint_debug, Fnv, PhaseTiming, RunManifest, MANIFEST_FILE};
 pub use recorder::{Histogram, Recorder, Sampling, SpanStats, TelemetryConfig, TelemetryReport};
-pub use sink::{CsvProbeSink, JsonlSink, MemorySink, Sink, StderrSink, PROBE_CSV_HEADER};
+pub use sink::{AtomicFile, CsvProbeSink, JsonlSink, MemorySink, Sink, StderrSink, PROBE_CSV_HEADER};

@@ -173,17 +173,19 @@ impl RunManifest {
         out
     }
 
-    /// Writes `manifest.json` into `dir`.
+    /// Writes `manifest.json` into `dir` via the crash-safe
+    /// [`write_atomic`](crate::write_atomic) path: a killed run leaves
+    /// either the previous manifest or the new one, never a truncated
+    /// file.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from directory creation or the write.
     pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
-        std::fs::create_dir_all(dir)?;
         let path = dir.join(MANIFEST_FILE);
         let mut text = self.to_json_pretty();
         text.push('\n');
-        std::fs::write(&path, text)?;
+        crate::atomic::write_atomic_str(&path, &text)?;
         Ok(path)
     }
 

@@ -10,9 +10,41 @@
 //! ordered post-run writing).
 
 use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use crate::event::TraceEvent;
+
+/// A writer that buffers everything in memory and publishes the whole
+/// file atomically (tmp + fsync + rename) on [`Write::flush`]. The
+/// path-backed sink constructors use it so a killed run leaves either no
+/// trace file or a complete one — never a truncated stream.
+#[derive(Debug)]
+pub struct AtomicFile {
+    path: PathBuf,
+    buf: Vec<u8>,
+}
+
+impl AtomicFile {
+    /// Buffers writes destined for `path`.
+    pub fn new(path: &Path) -> Self {
+        AtomicFile {
+            path: path.to_path_buf(),
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(bytes);
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        crate::atomic::write_atomic(&self.path, &self.buf)
+    }
+}
 
 /// A destination for kept trace events.
 pub trait Sink: Send {
@@ -36,21 +68,16 @@ impl<W: Write + Send> JsonlSink<W> {
     }
 }
 
-impl JsonlSink<std::io::BufWriter<std::fs::File>> {
-    /// Creates (truncating) a JSONL trace file at `path`.
+impl JsonlSink<AtomicFile> {
+    /// Creates a JSONL trace sink that publishes `path` atomically when
+    /// flushed at the end of the run.
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from file creation.
+    /// Infallible today (the buffer is in memory until flush); kept
+    /// fallible for signature stability.
     pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        Ok(JsonlSink::new(std::io::BufWriter::new(
-            std::fs::File::create(path)?,
-        )))
+        Ok(JsonlSink::new(AtomicFile::new(path)))
     }
 }
 
@@ -82,21 +109,16 @@ impl<W: Write + Send> CsvProbeSink<W> {
     }
 }
 
-impl CsvProbeSink<std::io::BufWriter<std::fs::File>> {
-    /// Creates (truncating) a probe CSV file at `path`.
+impl CsvProbeSink<AtomicFile> {
+    /// Creates a probe CSV sink that publishes `path` atomically when
+    /// flushed at the end of the run.
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from file creation.
+    /// Infallible today (the buffer is in memory until flush); kept
+    /// fallible for signature stability.
     pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        Ok(CsvProbeSink::new(std::io::BufWriter::new(
-            std::fs::File::create(path)?,
-        )))
+        Ok(CsvProbeSink::new(AtomicFile::new(path)))
     }
 }
 
@@ -219,6 +241,20 @@ mod tests {
         let text = String::from_utf8(sink.writer).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines, vec![PROBE_CSV_HEADER, "3,4,10,8,2,5"]);
+    }
+
+    #[test]
+    fn atomic_file_sink_publishes_only_on_flush() {
+        let dir = std::env::temp_dir().join("coop-telemetry-sink-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.record(0, &event(1));
+        assert!(!path.exists(), "nothing on disk before flush");
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
     }
 
     #[test]
