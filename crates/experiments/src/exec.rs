@@ -55,6 +55,7 @@ use serde::Serialize;
 
 use crate::journal::{JobOutcome, JobRecord, JournalReplay, RunJournal};
 use crate::runners::{run_sim, run_sim_traced};
+use crate::scenario::Workload;
 use crate::telemetry::{BatchTrace, JobTrace, TelemetryOpts};
 use crate::{OutputDir, Scale};
 
@@ -72,6 +73,12 @@ pub struct SimJob {
     pub plan: Option<AttackPlan>,
     /// Fault/churn scenario, or `None` for a fault-free run.
     pub faults: Option<FaultPlan>,
+    /// Scenario workload overrides (population size, bandwidth-class
+    /// mix) plus the owning spec's fingerprint, or `None` for the
+    /// scale's defaults. Part of the `Debug` rendering, so a changed
+    /// spec changes [`SimJob::fingerprint`] and invalidates journal
+    /// replay for exactly the jobs it describes.
+    pub workload: Option<Workload>,
 }
 
 impl SimJob {
@@ -97,8 +104,17 @@ impl SimJob {
                 seed,
                 plan: plan_for(kind),
                 faults: None,
+                workload: None,
             })
             .collect()
+    }
+
+    /// The effective population size: the workload override when the job
+    /// came from a scenario, the scale default otherwise.
+    pub fn peers(&self) -> usize {
+        self.workload
+            .and_then(|w| w.peers)
+            .unwrap_or_else(|| self.scale.peers())
     }
 
     /// Runs this job to completion.
@@ -108,6 +124,7 @@ impl SimJob {
             self.scale,
             self.plan.as_ref(),
             self.faults.as_ref(),
+            self.workload.as_ref(),
             self.seed,
         )
     }
@@ -138,6 +155,7 @@ impl SimJob {
             self.scale,
             self.plan.as_ref(),
             self.faults.as_ref(),
+            self.workload.as_ref(),
             self.seed,
             recorder,
             checkpoint_every,
@@ -747,7 +765,7 @@ impl Executor {
         Err(JobFailure {
             slot,
             mechanism: job.label().to_string(),
-            peers: job.scale.peers(),
+            peers: job.peers(),
             seed: job.seed,
             attempts,
             kind,

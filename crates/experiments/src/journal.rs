@@ -323,6 +323,14 @@ impl JournalReplay {
     }
 }
 
+/// The journal-header artifact id for a scenario-pack sweep. Folding the
+/// pack fingerprint into the id makes `--resume` refuse a directory whose
+/// journal belongs to a different (or since-edited) pack: the header
+/// comparison fails before any job is replayed.
+pub fn sweep_artifact_id(pack_fingerprint: u64) -> String {
+    format!("sweep:{pack_fingerprint:016x}")
+}
+
 /// FNV-1a over raw bytes (artifact content hashes).
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -724,6 +732,12 @@ mod tests {
         // The later (successful) record wins.
         assert_eq!(replay.completed(10), Some(&sample_result(9)));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_artifact_ids_embed_the_pack_fingerprint() {
+        assert_eq!(sweep_artifact_id(0xdead_beef), "sweep:00000000deadbeef");
+        assert_ne!(sweep_artifact_id(1), sweep_artifact_id(2));
     }
 
     #[test]

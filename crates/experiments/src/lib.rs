@@ -41,6 +41,7 @@ mod output;
 pub mod plot;
 pub mod runners;
 mod scale;
+pub mod scenario;
 mod spec;
 mod table;
 pub mod telemetry;
@@ -49,6 +50,10 @@ pub use exec::{BatchError, Executor, FailureKind, JobFailure, PanicInject, SimJo
 pub use journal::{JournalReplay, RunJournal};
 pub use output::{write_csv, write_json, OutputDir};
 pub use scale::Scale;
-pub use spec::{Artifact, RunSpec, SpecError, USAGE};
+pub use scenario::{
+    load_pack, Arrival, ArtifactStyle, AttackMode, MixSpec, Scenario, ScenarioError,
+    ScenarioPack, Workload, SCENARIO_SPEC_VERSION,
+};
+pub use spec::{usage, Artifact, RunSpec, SpecError};
 pub use table::Table;
 pub use telemetry::{BatchTrace, JobTrace, TelemetryOpts};

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! coop-experiments <table1|table2|table3|fig1|fig2|fig3|fig4|fig4-churn|fig4-scale|fig5|fig6|fluid|ablations|extensions|all>
+//! coop-experiments sweep <scenario|spec.json|pack-dir>
 //!                  [--scale quick|default|paper] [--seed N] [--replicates N]
 //!                  [--jobs N] [--out-dir DIR]
 //!                  [--telemetry] [--trace-out FILE] [--probe-every N]
@@ -10,6 +11,14 @@
 //!                  [--churn RATE] [--loss PROB] [--seeder-exit FRACTION]
 //!                  [--peers N[,N...]]
 //! ```
+//!
+//! `sweep` runs a declarative scenario pack: a built-in scenario name (see
+//! `--help`), one spec JSON file, or a directory of them. Each scenario
+//! compiles onto the same journaled executor as the figure runners, so
+//! `--resume`, `--retries`, `--telemetry` and byte-identical artifacts all
+//! apply unchanged. The `--churn`/`--loss`/`--seeder-exit` flags are
+//! deprecated in favor of a scenario spec's `faults` fragment (behavior is
+//! unchanged while they last).
 //!
 //! Reports print to stdout; CSV/JSON series land in `target/experiments/`
 //! (or `--out-dir`). `--replicates N` aggregates the simulation figures
@@ -43,24 +52,43 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use coop_experiments::exec::write_failures_json;
-use coop_experiments::journal::RunHeader;
+use coop_experiments::journal::{sweep_artifact_id, RunHeader};
 use coop_experiments::{
-    runners, Artifact, BatchError, Executor, JournalReplay, OutputDir, PanicInject, RunJournal,
-    RunSpec, SpecError, USAGE,
+    load_pack, runners, usage, Artifact, BatchError, Executor, JournalReplay, OutputDir,
+    PanicInject, RunJournal, RunSpec, ScenarioPack, SpecError,
 };
 
 fn main() -> ExitCode {
     let spec = match RunSpec::parse(std::env::args().skip(1)) {
         Ok(spec) => spec,
         Err(SpecError::Help) => {
-            println!("{USAGE}");
+            println!("{}", usage());
             return ExitCode::SUCCESS;
         }
         Err(err) => {
             eprintln!("error: {err}");
-            eprintln!("{USAGE}");
+            eprintln!("{}", usage());
             return ExitCode::from(2);
         }
+    };
+    if let Some(note) = spec.deprecation_notice() {
+        eprintln!("{note}");
+    }
+    // Scenario packs load before any journal wiring: the pack fingerprint
+    // is part of the run identity `--resume` validates, and a bad spec
+    // should fail fast with a field-level error, not after a journal
+    // exists.
+    let pack: Option<ScenarioPack> = if spec.artifact == Artifact::Sweep {
+        let arg = spec.scenario.as_deref().expect("parse requires a scenario for sweep");
+        match load_pack(arg) {
+            Ok(pack) => Some(pack),
+            Err(err) => {
+                eprintln!("error: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
     };
     let inject = match PanicInject::from_env() {
         Ok(inject) => inject,
@@ -88,7 +116,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let expected = run_header(&spec);
+        let expected = run_header(&spec, pack.as_ref());
         match &replay.header {
             Some(header) if *header == expected => {}
             Some(header) => {
@@ -146,7 +174,7 @@ fn main() -> ExitCode {
         }
         if journaled {
             let out = OutputDir::default_dir();
-            match RunJournal::create(out.path(), &run_header(&spec)) {
+            match RunJournal::create(out.path(), &run_header(&spec, pack.as_ref())) {
                 Ok(j) => {
                     let j = Arc::new(j);
                     journal = Some(Arc::clone(&j));
@@ -172,6 +200,20 @@ fn main() -> ExitCode {
                 OutputDir::default_dir().path().display()
             );
         }
+        Artifact::Sweep => {
+            let pack = pack.as_ref().expect("loaded above for sweep");
+            let (report, sweep_errors) = runners::sweep::try_run_pack(
+                pack,
+                spec.scale,
+                spec.seed,
+                spec.replicates,
+                &executor,
+                &spec.telemetry_opts(),
+                &OutputDir::default_dir(),
+            );
+            println!("{}", report.render());
+            errors.extend(sweep_errors);
+        }
         artifact => run_one(artifact, &spec, &executor, &mut errors),
     }
 
@@ -194,10 +236,17 @@ fn main() -> ExitCode {
     ExitCode::FAILURE
 }
 
-/// The run identity `--resume` validates against the journal header.
-fn run_header(spec: &RunSpec) -> RunHeader {
+/// The run identity `--resume` validates against the journal header. For
+/// scenario sweeps the artifact id embeds the pack fingerprint, so a
+/// resumed sweep refuses a journal written by a different (or edited)
+/// pack.
+fn run_header(spec: &RunSpec, pack: Option<&ScenarioPack>) -> RunHeader {
+    let artifact = match pack {
+        Some(pack) => sweep_artifact_id(pack.fingerprint()),
+        None => spec.artifact.name().to_string(),
+    };
     RunHeader {
-        artifact: spec.artifact.name().to_string(),
+        artifact,
         scale: spec.scale.name().to_string(),
         seed: spec.seed,
         replicates: spec.replicates,
@@ -282,5 +331,6 @@ fn run_one(artifact: Artifact, spec: &RunSpec, executor: &Executor, errors: &mut
         Artifact::Extensions => println!("{}", runners::extensions::run(scale, seed).render()),
         Artifact::Fluid => println!("{}", runners::fluid::run(scale, seed).render()),
         Artifact::All => unreachable!("expanded by the caller"),
+        Artifact::Sweep => unreachable!("dispatched by the caller"),
     }
 }

@@ -221,6 +221,7 @@ pub fn try_run_with(
                 scale,
                 Some(&AttackPlan::simple(f)),
                 None,
+                None,
                 seed,
             );
             point(f, &result)
@@ -233,6 +234,7 @@ pub fn try_run_with(
                 MechanismKind::TChain,
                 scale,
                 Some(&AttackPlan::most_effective(MechanismKind::TChain, f)),
+                None,
                 None,
                 seed,
             );
@@ -250,7 +252,7 @@ pub fn try_run_with(
         executor.try_map(&praise_plans, |_, &(x, ref plan)| {
             point(
                 x,
-                &run_sim(MechanismKind::Reputation, scale, Some(plan), None, seed),
+                &run_sim(MechanismKind::Reputation, scale, Some(plan), None, None, seed),
             )
         }),
     );
@@ -261,7 +263,7 @@ pub fn try_run_with(
         executor.try_map(&[5u64, 10, 20, 40], |_, &w| {
             let mut plan = AttackPlan::simple(0.2);
             plan.whitewash_interval = Some(w);
-            let result = run_sim(MechanismKind::FairTorrent, scale, Some(&plan), None, seed);
+            let result = run_sim(MechanismKind::FairTorrent, scale, Some(&plan), None, None, seed);
             point(w as f64, &result)
         }),
     );

@@ -219,6 +219,7 @@ pub fn try_run_sweep(
                     // An all-zero plan is omitted entirely so the baseline
                     // row takes the fault-free hot path byte-for-byte.
                     faults: (!plan.is_inert()).then_some(plan),
+                    workload: None,
                 }
             })
         })

@@ -11,6 +11,7 @@ pub mod fig4_scale;
 pub mod fig5;
 pub mod fig6;
 pub mod fluid;
+pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -21,39 +22,62 @@ use coop_incentives::MechanismKind;
 use coop_swarm::{flash_crowd_with, SimResult, Simulation};
 use coop_telemetry::{Recorder, TelemetryReport};
 
+use crate::scenario::Workload;
 use crate::Scale;
 
 /// Runs one swarm simulation of `kind` at `scale`, optionally under an
-/// attack plan and/or a fault plan. The seed controls population, arrivals
-/// and every random draw; identical inputs give identical results.
+/// attack plan, a fault plan, and/or scenario workload overrides. The seed
+/// controls population, arrivals and every random draw; identical inputs
+/// give identical results.
 pub(crate) fn run_sim(
     kind: MechanismKind,
     scale: Scale,
     plan: Option<&AttackPlan>,
     faults: Option<&FaultPlan>,
+    workload: Option<&Workload>,
     seed: u64,
 ) -> SimResult {
-    run_sim_traced(kind, scale, plan, faults, seed, Recorder::disabled(), None).0
+    run_sim_traced(
+        kind,
+        scale,
+        plan,
+        faults,
+        workload,
+        seed,
+        Recorder::disabled(),
+        None,
+    )
+    .0
 }
 
 /// [`run_sim`] with an attached telemetry recorder and an optional mid-run
 /// checkpoint cadence. Both are purely observational: the [`SimResult`] is
 /// identical whether the recorder is enabled, disabled, or sampling at any
 /// rate, and for any checkpoint cadence including none.
+///
+/// A `workload` with `None` overrides (or no workload at all) uses the
+/// scale's default population and the paper's capacity mix — byte-identical
+/// to the pre-scenario code path.
+#[allow(clippy::too_many_arguments)] // one parameter per orthogonal override
 pub(crate) fn run_sim_traced(
     kind: MechanismKind,
     scale: Scale,
     plan: Option<&AttackPlan>,
     faults: Option<&FaultPlan>,
+    workload: Option<&Workload>,
     seed: u64,
     recorder: Recorder,
     checkpoint_every: Option<u64>,
 ) -> (SimResult, TelemetryReport) {
     let config = scale.config(seed);
-    let mix = coop_incentives::analysis::capacity::CapacityClassMix::paper_default();
+    let mix = match workload.and_then(|w| w.mix) {
+        Some(mix) => mix.to_mix(),
+        None => coop_incentives::analysis::capacity::CapacityClassMix::paper_default(),
+    };
+    let peers = workload.and_then(|w| w.peers).unwrap_or_else(|| scale.peers());
     let population = flash_crowd_with(
         &config,
-        scale.peers(),
+        peers,
         kind,
         seed,
         &mix,

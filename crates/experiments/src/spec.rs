@@ -4,6 +4,12 @@
 //! so the dispatch code never sees raw strings: unknown artifacts, unknown
 //! flags, and malformed values are all rejected here with errors that name
 //! the offending flag.
+//!
+//! Flag handling is data-driven: [`FLAGS`] is the single table mapping
+//! each flag to its value parser, the artifacts it is restricted to, and
+//! its deprecation status. The usage text ([`usage`]), per-artifact
+//! gating, and gating error messages are all generated from that one
+//! table, so they cannot drift apart.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -11,6 +17,7 @@ use std::time::Duration;
 use coop_faults::FaultPlan;
 
 use crate::exec::Executor;
+use crate::scenario;
 use crate::telemetry::TelemetryOpts;
 use crate::Scale;
 
@@ -37,7 +44,20 @@ pub enum Artifact {
     Extensions,
     /// Every artifact above except `fig4-scale`, in paper order.
     All,
+    /// Declarative scenario packs: `sweep <scenario|spec.json|pack-dir>`
+    /// compiles spec files into the simulation grid.
+    Sweep,
 }
+
+/// The artifacts whose simulation jobs are journaled for `--resume`.
+const JOURNALED: &[Artifact] = &[
+    Artifact::Fig4,
+    Artifact::Fig4Churn,
+    Artifact::Fig5,
+    Artifact::Fig6,
+    Artifact::All,
+    Artifact::Sweep,
+];
 
 impl Artifact {
     /// The individual artifacts, in the order `all` runs them.
@@ -79,6 +99,7 @@ impl Artifact {
             "ablations" => Ok(Artifact::Ablations),
             "extensions" => Ok(Artifact::Extensions),
             "all" => Ok(Artifact::All),
+            "sweep" => Ok(Artifact::Sweep),
             other => Err(SpecError::UnknownArtifact(other.to_string())),
         }
     }
@@ -101,27 +122,24 @@ impl Artifact {
             Artifact::Ablations => "ablations",
             Artifact::Extensions => "extensions",
             Artifact::All => "all",
+            Artifact::Sweep => "sweep",
         }
     }
 
-    /// Whether `--replicates` changes what this artifact runs (only the
-    /// simulation figures aggregate over seeds).
+    /// Whether `--replicates` changes what this artifact runs (the
+    /// simulation figures and scenario sweeps aggregate over seeds).
     pub fn supports_replicates(self) -> bool {
-        matches!(self, Artifact::Fig4 | Artifact::Fig5 | Artifact::Fig6)
+        matches!(
+            self,
+            Artifact::Fig4 | Artifact::Fig5 | Artifact::Fig6 | Artifact::Sweep
+        )
     }
 
     /// Whether this artifact's simulation jobs are journaled for
     /// `--resume` (the batch-simulation artifacts; the analytic tables
     /// and figures re-run in milliseconds and need no ledger).
     pub fn supports_resume(self) -> bool {
-        matches!(
-            self,
-            Artifact::Fig4
-                | Artifact::Fig4Churn
-                | Artifact::Fig5
-                | Artifact::Fig6
-                | Artifact::All
-        )
+        JOURNALED.contains(&self)
     }
 }
 
@@ -162,16 +180,23 @@ pub struct RunSpec {
     pub trace_out: Option<PathBuf>,
     /// Round-probe cadence for telemetry (`--probe-every`, default 10).
     pub probe_every: u64,
-    /// Per-round churn departure hazard (`--churn`, fig4-churn only).
+    /// Per-round churn departure hazard (`--churn`, fig4-churn only;
+    /// deprecated — use a scenario spec's `faults.churn_rate`).
     pub churn: Option<f64>,
-    /// Per-transfer message-loss probability (`--loss`, fig4-churn only).
+    /// Per-transfer message-loss probability (`--loss`, fig4-churn only;
+    /// deprecated — use a scenario spec's `faults.loss_prob`).
     pub loss: Option<f64>,
     /// Seeder exits once this fraction of compliant peers completed
-    /// (`--seeder-exit`, fig4-churn only).
+    /// (`--seeder-exit`, fig4-churn only; deprecated — use a scenario
+    /// spec's `faults.seeder_exit_fraction`).
     pub seeder_exit: Option<f64>,
     /// Population sweep override (`--peers N[,N...]`, fig4-scale only);
     /// `None` means the runner's default sweep.
     pub peers: Option<Vec<usize>>,
+    /// The scenario pack to sweep (`sweep <ARG>` positionally or
+    /// `--scenario ARG`): a built-in scenario name, a spec file, or a
+    /// pack directory.
+    pub scenario: Option<String>,
     /// Resume an interrupted run from this artifact directory's journal
     /// (`--resume DIR`; journaled artifacts only, replaces `--out-dir`).
     pub resume: Option<PathBuf>,
@@ -184,6 +209,9 @@ pub struct RunSpec {
     /// Mid-run simulation checkpoint cadence in rounds
     /// (`--checkpoint-every`; `None` means no checkpoints).
     pub checkpoint_every: Option<u64>,
+    /// Deprecated flags that were actually used, for the CLI's one-line
+    /// deprecation notice.
+    pub deprecated_flags: Vec<&'static str>,
 }
 
 /// Why an argv slice failed to parse into a [`RunSpec`].
@@ -193,6 +221,8 @@ pub enum SpecError {
     Help,
     /// No artifact name was given.
     MissingArtifact,
+    /// `sweep` was requested without naming a scenario pack.
+    MissingScenario,
     /// The artifact name is not one the harness knows.
     UnknownArtifact(String),
     /// A flag the parser does not recognize.
@@ -218,6 +248,11 @@ impl std::fmt::Display for SpecError {
         match self {
             SpecError::Help => write!(f, "help requested"),
             SpecError::MissingArtifact => write!(f, "no artifact named"),
+            SpecError::MissingScenario => write!(
+                f,
+                "sweep requires a scenario: a built-in name ({}), a spec file, or a pack directory",
+                scenario::builtin_names().join(", ")
+            ),
             SpecError::UnknownArtifact(name) => {
                 write!(f, "unknown artifact '{name}'")
             }
@@ -234,16 +269,385 @@ impl std::fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
-/// The usage string printed alongside parse errors.
-pub const USAGE: &str = "usage: coop-experiments \
-<table1|table2|table3|fig1|fig2|fig3|fig4|fig4-churn|fig4-scale|fig5|fig6|fluid|ablations|extensions|all>
-       [--scale quick|default|paper] [--seed N] [--replicates N]
-       [--jobs N] [--out-dir DIR]
-       [--telemetry] [--trace-out FILE] [--probe-every N]
-       [--retries N] [--job-timeout SECS] [--checkpoint-every ROUNDS]
-       [--resume DIR]  (fig4|fig4-churn|fig5|fig6|all)
-       [--churn RATE] [--loss PROB] [--seeder-exit FRACTION]  (fig4-churn)
-       [--peers N[,N...]]  (fig4-scale)";
+/// Parse-time accumulator: [`RunSpec`] fields with the artifact still
+/// optional. The [`FLAGS`] setters mutate this.
+struct Draft {
+    artifact: Option<Artifact>,
+    scale: Scale,
+    seed: u64,
+    replicates: u64,
+    jobs: usize,
+    out_dir: Option<PathBuf>,
+    telemetry: bool,
+    trace_out: Option<PathBuf>,
+    probe_every: u64,
+    churn: Option<f64>,
+    loss: Option<f64>,
+    seeder_exit: Option<f64>,
+    peers: Option<Vec<usize>>,
+    scenario: Option<String>,
+    resume: Option<PathBuf>,
+    retries: u64,
+    job_timeout: Option<u64>,
+    checkpoint_every: Option<u64>,
+    deprecated_flags: Vec<&'static str>,
+}
+
+impl Draft {
+    fn new() -> Self {
+        Draft {
+            artifact: None,
+            scale: Scale::Default,
+            seed: 42,
+            replicates: 1,
+            jobs: Executor::default().jobs(),
+            out_dir: None,
+            telemetry: false,
+            trace_out: None,
+            probe_every: 10,
+            churn: None,
+            loss: None,
+            seeder_exit: None,
+            peers: None,
+            scenario: None,
+            resume: None,
+            retries: 0,
+            job_timeout: None,
+            checkpoint_every: None,
+            deprecated_flags: Vec::new(),
+        }
+    }
+}
+
+/// Argument iterator type the flag setters consume values from.
+type Args<'a> = &'a mut dyn Iterator<Item = String>;
+
+/// One CLI flag: its name, value syntax, artifact gating, deprecation
+/// status, and value parser. [`usage`], the parse loop, and the
+/// per-artifact gating pass are all driven by this table alone.
+struct FlagDef {
+    /// The flag as typed (`"--scale"`).
+    name: &'static str,
+    /// Metavariable shown in usage, `None` for boolean flags.
+    metavar: Option<&'static str>,
+    /// Artifacts the flag is restricted to; `None` = available
+    /// everywhere. Gating errors list these names.
+    only: Option<&'static [Artifact]>,
+    /// Deprecated flags still parse, but the CLI prints a pointer to the
+    /// replacement and `usage` annotates them.
+    deprecated: bool,
+    /// Parses the flag's value(s) into the draft.
+    set: fn(&mut Draft, Args<'_>) -> Result<(), SpecError>,
+    /// Whether the flag was used — consulted for gating.
+    is_set: fn(&Draft) -> bool,
+}
+
+fn set_scale(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    let v = next_value(it, "--scale")?;
+    d.scale = Scale::parse(&v).map_err(|_| SpecError::InvalidValue {
+        flag: "--scale",
+        value: v,
+        reason: "expected quick, default, or paper".to_string(),
+    })?;
+    Ok(())
+}
+
+fn set_seed(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    d.seed = parse_number(it, "--seed", 0)?;
+    Ok(())
+}
+
+fn set_replicates(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    d.replicates = parse_number(it, "--replicates", 1)?;
+    Ok(())
+}
+
+fn set_jobs(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    d.jobs = usize::try_from(parse_number(it, "--jobs", 1)?).expect("validated above");
+    Ok(())
+}
+
+fn set_out_dir(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    d.out_dir = Some(PathBuf::from(next_value(it, "--out-dir")?));
+    Ok(())
+}
+
+fn set_telemetry(d: &mut Draft, _it: Args<'_>) -> Result<(), SpecError> {
+    d.telemetry = true;
+    Ok(())
+}
+
+fn set_trace_out(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    d.trace_out = Some(PathBuf::from(next_value(it, "--trace-out")?));
+    Ok(())
+}
+
+fn set_probe_every(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    d.probe_every = parse_number(it, "--probe-every", 1)?;
+    Ok(())
+}
+
+fn set_retries(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    d.retries = parse_number(it, "--retries", 0)?;
+    Ok(())
+}
+
+fn set_job_timeout(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    d.job_timeout = Some(parse_number(it, "--job-timeout", 1)?);
+    Ok(())
+}
+
+fn set_checkpoint_every(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    d.checkpoint_every = Some(parse_number(it, "--checkpoint-every", 1)?);
+    Ok(())
+}
+
+fn set_resume(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    d.resume = Some(PathBuf::from(next_value(it, "--resume")?));
+    Ok(())
+}
+
+fn set_scenario(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    d.scenario = Some(next_value(it, "--scenario")?);
+    Ok(())
+}
+
+fn set_peers(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    d.peers = Some(parse_peer_list(it)?);
+    Ok(())
+}
+
+fn set_churn(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    d.churn = Some(parse_float(it, "--churn", 1.0)?);
+    Ok(())
+}
+
+fn set_loss(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    d.loss = Some(parse_float(it, "--loss", 1.0)?);
+    Ok(())
+}
+
+fn set_seeder_exit(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    let v = parse_float(it, "--seeder-exit", 1.0)?;
+    if v <= 0.0 {
+        return Err(SpecError::InvalidValue {
+            flag: "--seeder-exit",
+            value: format!("{v}"),
+            reason: "must be in (0, 1]".to_string(),
+        });
+    }
+    d.seeder_exit = Some(v);
+    Ok(())
+}
+
+/// The one flag table: declaration order is usage order.
+static FLAGS: &[FlagDef] = &[
+    FlagDef {
+        name: "--scale",
+        metavar: Some("quick|default|paper"),
+        only: None,
+        deprecated: false,
+        set: set_scale,
+        is_set: |_| false,
+    },
+    FlagDef {
+        name: "--seed",
+        metavar: Some("N"),
+        only: None,
+        deprecated: false,
+        set: set_seed,
+        is_set: |_| false,
+    },
+    FlagDef {
+        name: "--replicates",
+        metavar: Some("N"),
+        only: None,
+        deprecated: false,
+        set: set_replicates,
+        is_set: |_| false,
+    },
+    FlagDef {
+        name: "--jobs",
+        metavar: Some("N"),
+        only: None,
+        deprecated: false,
+        set: set_jobs,
+        is_set: |_| false,
+    },
+    FlagDef {
+        name: "--out-dir",
+        metavar: Some("DIR"),
+        only: None,
+        deprecated: false,
+        set: set_out_dir,
+        is_set: |_| false,
+    },
+    FlagDef {
+        name: "--telemetry",
+        metavar: None,
+        only: None,
+        deprecated: false,
+        set: set_telemetry,
+        is_set: |_| false,
+    },
+    FlagDef {
+        name: "--trace-out",
+        metavar: Some("FILE"),
+        only: None,
+        deprecated: false,
+        set: set_trace_out,
+        is_set: |_| false,
+    },
+    FlagDef {
+        name: "--probe-every",
+        metavar: Some("N"),
+        only: None,
+        deprecated: false,
+        set: set_probe_every,
+        is_set: |_| false,
+    },
+    FlagDef {
+        name: "--retries",
+        metavar: Some("N"),
+        only: None,
+        deprecated: false,
+        set: set_retries,
+        is_set: |_| false,
+    },
+    FlagDef {
+        name: "--job-timeout",
+        metavar: Some("SECS"),
+        only: None,
+        deprecated: false,
+        set: set_job_timeout,
+        is_set: |_| false,
+    },
+    FlagDef {
+        name: "--checkpoint-every",
+        metavar: Some("ROUNDS"),
+        only: None,
+        deprecated: false,
+        set: set_checkpoint_every,
+        is_set: |_| false,
+    },
+    FlagDef {
+        name: "--resume",
+        metavar: Some("DIR"),
+        only: Some(JOURNALED),
+        deprecated: false,
+        set: set_resume,
+        is_set: |d| d.resume.is_some(),
+    },
+    FlagDef {
+        name: "--scenario",
+        metavar: Some("NAME|FILE|DIR"),
+        only: Some(&[Artifact::Sweep]),
+        deprecated: false,
+        set: set_scenario,
+        is_set: |d| d.scenario.is_some(),
+    },
+    FlagDef {
+        name: "--peers",
+        metavar: Some("N[,N...]"),
+        only: Some(&[Artifact::Fig4Scale]),
+        deprecated: false,
+        set: set_peers,
+        is_set: |d| d.peers.is_some(),
+    },
+    FlagDef {
+        name: "--churn",
+        metavar: Some("RATE"),
+        only: Some(&[Artifact::Fig4Churn]),
+        deprecated: true,
+        set: set_churn,
+        is_set: |d| d.churn.is_some(),
+    },
+    FlagDef {
+        name: "--loss",
+        metavar: Some("PROB"),
+        only: Some(&[Artifact::Fig4Churn]),
+        deprecated: true,
+        set: set_loss,
+        is_set: |d| d.loss.is_some(),
+    },
+    FlagDef {
+        name: "--seeder-exit",
+        metavar: Some("FRACTION"),
+        only: Some(&[Artifact::Fig4Churn]),
+        deprecated: true,
+        set: set_seeder_exit,
+        is_set: |d| d.seeder_exit.is_some(),
+    },
+];
+
+/// The usage text, generated from [`FLAGS`] so it can never drift from
+/// the parser: ungated flags first, then one line per gated group with
+/// the allowed artifacts (and deprecation) annotated.
+pub fn usage() -> String {
+    let artifacts: Vec<&str> = Artifact::ALL
+        .iter()
+        .map(|a| a.name())
+        .chain(["fig4-scale", "all"])
+        .collect();
+    let mut out = format!(
+        "usage: coop-experiments <{}>\n       coop-experiments sweep <scenario|spec.json|pack-dir>",
+        artifacts.join("|")
+    );
+
+    // Ungated flags, wrapped.
+    let mut line = String::new();
+    for flag in FLAGS.iter().filter(|f| f.only.is_none()) {
+        let piece = match flag.metavar {
+            Some(mv) => format!("[{} {mv}]", flag.name),
+            None => format!("[{}]", flag.name),
+        };
+        if line.len() + piece.len() + 1 > 68 && !line.is_empty() {
+            out.push_str("\n       ");
+            out.push_str(&line);
+            line.clear();
+        }
+        if !line.is_empty() {
+            line.push(' ');
+        }
+        line.push_str(&piece);
+    }
+    if !line.is_empty() {
+        out.push_str("\n       ");
+        out.push_str(&line);
+    }
+
+    // Gated flags, one line per (artifact set, deprecation) group in
+    // first-seen order.
+    let mut groups: Vec<(&[Artifact], bool, Vec<String>)> = Vec::new();
+    for flag in FLAGS.iter() {
+        let Some(only) = flag.only else { continue };
+        let piece = match flag.metavar {
+            Some(mv) => format!("[{} {mv}]", flag.name),
+            None => format!("[{}]", flag.name),
+        };
+        match groups
+            .iter_mut()
+            .find(|(o, d, _)| std::ptr::eq(*o, only) && *d == flag.deprecated)
+        {
+            Some((_, _, pieces)) => pieces.push(piece),
+            None => groups.push((only, flag.deprecated, vec![piece])),
+        }
+    }
+    for (only, deprecated, pieces) in groups {
+        let names: Vec<&str> = only.iter().map(|a| a.name()).collect();
+        let note = if deprecated {
+            "; deprecated — use a scenario spec"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "\n       {}  ({}{note})",
+            pieces.join(" "),
+            names.join("|")
+        ));
+    }
+    out
+}
 
 impl RunSpec {
     /// Parses CLI arguments (without the program name).
@@ -253,94 +657,32 @@ impl RunSpec {
     /// Returns a [`SpecError`] naming the offending flag or artifact;
     /// [`SpecError::Help`] when `--help`/`-h` is present.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, SpecError> {
-        let mut artifact = None;
-        let mut scale = Scale::Default;
-        let mut seed = 42u64;
-        let mut replicates = 1u64;
-        let mut jobs = Executor::default().jobs();
-        let mut out_dir = None;
-        let mut telemetry = false;
-        let mut trace_out = None;
-        let mut probe_every = 10u64;
-        let mut churn = None;
-        let mut loss = None;
-        let mut seeder_exit = None;
-        let mut peers = None;
-        let mut resume = None;
-        let mut retries = 0u64;
-        let mut job_timeout = None;
-        let mut checkpoint_every = None;
+        let mut draft = Draft::new();
         let mut it = args.into_iter();
-        while let Some(arg) = it.next() {
+        'args: while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--help" | "-h" => return Err(SpecError::Help),
-                "--scale" => {
-                    let v = next_value(&mut it, "--scale")?;
-                    scale = Scale::parse(&v).map_err(|_| SpecError::InvalidValue {
-                        flag: "--scale",
-                        value: v,
-                        reason: "expected quick, default, or paper".to_string(),
-                    })?;
-                }
-                "--seed" => {
-                    seed = parse_number(&mut it, "--seed", 0)?;
-                }
-                "--replicates" => {
-                    replicates = parse_number(&mut it, "--replicates", 1)?;
-                }
-                "--jobs" => {
-                    jobs = usize::try_from(parse_number(&mut it, "--jobs", 1)?)
-                        .expect("validated above");
-                }
-                "--out-dir" => {
-                    out_dir = Some(PathBuf::from(next_value(&mut it, "--out-dir")?));
-                }
-                "--telemetry" => {
-                    telemetry = true;
-                }
-                "--trace-out" => {
-                    trace_out = Some(PathBuf::from(next_value(&mut it, "--trace-out")?));
-                }
-                "--probe-every" => {
-                    probe_every = parse_number(&mut it, "--probe-every", 1)?;
-                }
-                "--churn" => {
-                    churn = Some(parse_float(&mut it, "--churn", 1.0)?);
-                }
-                "--loss" => {
-                    loss = Some(parse_float(&mut it, "--loss", 1.0)?);
-                }
-                "--seeder-exit" => {
-                    let v = parse_float(&mut it, "--seeder-exit", 1.0)?;
-                    if v <= 0.0 {
-                        return Err(SpecError::InvalidValue {
-                            flag: "--seeder-exit",
-                            value: format!("{v}"),
-                            reason: "must be in (0, 1]".to_string(),
-                        });
-                    }
-                    seeder_exit = Some(v);
-                }
-                "--peers" => {
-                    peers = Some(parse_peer_list(&mut it)?);
-                }
-                "--resume" => {
-                    resume = Some(PathBuf::from(next_value(&mut it, "--resume")?));
-                }
-                "--retries" => {
-                    retries = parse_number(&mut it, "--retries", 0)?;
-                }
-                "--job-timeout" => {
-                    job_timeout = Some(parse_number(&mut it, "--job-timeout", 1)?);
-                }
-                "--checkpoint-every" => {
-                    checkpoint_every = Some(parse_number(&mut it, "--checkpoint-every", 1)?);
-                }
                 other if other.starts_with('-') => {
+                    for flag in FLAGS {
+                        if flag.name == other {
+                            (flag.set)(&mut draft, &mut it)?;
+                            if flag.deprecated {
+                                draft.deprecated_flags.push(flag.name);
+                            }
+                            continue 'args;
+                        }
+                    }
                     return Err(SpecError::UnknownFlag(other.to_string()));
                 }
-                other if artifact.is_none() => {
-                    artifact = Some(Artifact::parse(other)?);
+                other if draft.artifact.is_none() => {
+                    draft.artifact = Some(Artifact::parse(other)?);
+                }
+                other
+                    if draft.artifact == Some(Artifact::Sweep)
+                        && draft.scenario.is_none() =>
+                {
+                    // `sweep`'s second positional names the scenario pack.
+                    draft.scenario = Some(other.to_string());
                 }
                 other => {
                     // A second positional argument: almost always a typo'd
@@ -349,40 +691,31 @@ impl RunSpec {
                 }
             }
         }
-        let artifact = artifact.ok_or(SpecError::MissingArtifact)?;
-        if artifact != Artifact::Fig4Churn {
-            for (flag, set) in [
-                ("--churn", churn.is_some()),
-                ("--loss", loss.is_some()),
-                ("--seeder-exit", seeder_exit.is_some()),
-            ] {
-                if set {
+        let artifact = draft.artifact.ok_or(SpecError::MissingArtifact)?;
+
+        // Per-artifact gating, generated from the same table the parser
+        // and usage text use.
+        for flag in FLAGS {
+            if let Some(only) = flag.only {
+                if (flag.is_set)(&draft) && !only.contains(&artifact) {
+                    let allowed: Vec<&str> = only.iter().map(|a| a.name()).collect();
                     return Err(SpecError::InvalidValue {
-                        flag,
+                        flag: flag.name,
                         value: artifact.name().to_string(),
-                        reason: "fault flags are only supported by fig4-churn".to_string(),
+                        reason: format!(
+                            "{} is only supported by {}",
+                            flag.name,
+                            allowed.join(", ")
+                        ),
                     });
                 }
             }
         }
-        if artifact != Artifact::Fig4Scale && peers.is_some() {
-            return Err(SpecError::InvalidValue {
-                flag: "--peers",
-                value: artifact.name().to_string(),
-                reason: "--peers is only supported by fig4-scale".to_string(),
-            });
+        if artifact == Artifact::Sweep && draft.scenario.is_none() {
+            return Err(SpecError::MissingScenario);
         }
-        if resume.is_some() {
-            if !artifact.supports_resume() {
-                return Err(SpecError::InvalidValue {
-                    flag: "--resume",
-                    value: artifact.name().to_string(),
-                    reason: "--resume is only supported by the journaled artifacts \
-                             (fig4, fig4-churn, fig5, fig6, all)"
-                        .to_string(),
-                });
-            }
-            if let Some(dir) = &out_dir {
+        if draft.resume.is_some() {
+            if let Some(dir) = &draft.out_dir {
                 return Err(SpecError::InvalidValue {
                     flag: "--resume",
                     value: dir.display().to_string(),
@@ -394,22 +727,24 @@ impl RunSpec {
         }
         Ok(RunSpec {
             artifact,
-            scale,
-            seed,
-            replicates,
-            jobs,
-            out_dir,
-            telemetry,
-            trace_out,
-            probe_every,
-            churn,
-            loss,
-            seeder_exit,
-            peers,
-            resume,
-            retries,
-            job_timeout,
-            checkpoint_every,
+            scale: draft.scale,
+            seed: draft.seed,
+            replicates: draft.replicates,
+            jobs: draft.jobs,
+            out_dir: draft.out_dir,
+            telemetry: draft.telemetry,
+            trace_out: draft.trace_out,
+            probe_every: draft.probe_every,
+            churn: draft.churn,
+            loss: draft.loss,
+            seeder_exit: draft.seeder_exit,
+            peers: draft.peers,
+            scenario: draft.scenario,
+            resume: draft.resume,
+            retries: draft.retries,
+            job_timeout: draft.job_timeout,
+            checkpoint_every: draft.checkpoint_every,
+            deprecated_flags: draft.deprecated_flags,
         })
     }
 
@@ -433,24 +768,29 @@ impl RunSpec {
         executor
     }
 
-    /// The base fault plan implied by `--churn`, `--loss` and
-    /// `--seeder-exit`, or `None` when no fault flag was given (the
-    /// fig4-churn runner then uses its default sweep).
+    /// The base fault plan implied by the deprecated `--churn`, `--loss`
+    /// and `--seeder-exit` flags, or `None` when no fault flag was given
+    /// (the fig4-churn runner then uses its default sweep).
+    ///
+    /// The flags compile through the same scenario-spec `faults` fragment
+    /// a spec file would use, so their behavior is pinned to the
+    /// declarative path byte-for-byte.
     pub fn fault_plan(&self) -> Option<FaultPlan> {
-        if self.churn.is_none() && self.loss.is_none() && self.seeder_exit.is_none() {
+        scenario::legacy_fault_fragment(self.churn, self.loss, self.seeder_exit)
+    }
+
+    /// One-line deprecation notice for any deprecated flags used, or
+    /// `None` when the invocation is clean.
+    pub fn deprecation_notice(&self) -> Option<String> {
+        if self.deprecated_flags.is_empty() {
             return None;
         }
-        let mut plan = FaultPlan::none();
-        if let Some(rate) = self.churn {
-            plan.churn_rate = rate;
-        }
-        if let Some(prob) = self.loss {
-            plan.loss_prob = prob;
-        }
-        if let Some(fraction) = self.seeder_exit {
-            plan.seeder_exit_fraction = Some(fraction);
-        }
-        Some(plan)
+        let verb = if self.deprecated_flags.len() == 1 { "is" } else { "are" };
+        Some(format!(
+            "note: {} {verb} deprecated; declare faults in a scenario spec and run \
+             `coop-experiments sweep <spec.json>` (behavior and artifacts are unchanged)",
+            self.deprecated_flags.join("/")
+        ))
     }
 
     /// The telemetry options implied by `--telemetry`, `--trace-out`,
@@ -465,19 +805,12 @@ impl RunSpec {
 }
 
 /// Pulls the next argument as `flag`'s value.
-fn next_value(
-    it: &mut impl Iterator<Item = String>,
-    flag: &'static str,
-) -> Result<String, SpecError> {
+fn next_value(it: Args<'_>, flag: &'static str) -> Result<String, SpecError> {
     it.next().ok_or(SpecError::MissingValue { flag })
 }
 
 /// Parses `flag`'s value as an integer no smaller than `min`.
-fn parse_number(
-    it: &mut impl Iterator<Item = String>,
-    flag: &'static str,
-    min: u64,
-) -> Result<u64, SpecError> {
+fn parse_number(it: Args<'_>, flag: &'static str, min: u64) -> Result<u64, SpecError> {
     let v = next_value(it, flag)?;
     match v.parse::<u64>() {
         Ok(n) if n >= min => Ok(n),
@@ -496,7 +829,7 @@ fn parse_number(
 
 /// Parses `--peers`' value as a comma-separated population list (each at
 /// least 2 — a swarm needs a downloader besides the seeder).
-fn parse_peer_list(it: &mut impl Iterator<Item = String>) -> Result<Vec<usize>, SpecError> {
+fn parse_peer_list(it: Args<'_>) -> Result<Vec<usize>, SpecError> {
     let v = next_value(it, "--peers")?;
     let invalid = |v: &str| SpecError::InvalidValue {
         flag: "--peers",
@@ -517,11 +850,7 @@ fn parse_peer_list(it: &mut impl Iterator<Item = String>) -> Result<Vec<usize>, 
 }
 
 /// Parses `flag`'s value as a finite float in `[0, max]`.
-fn parse_float(
-    it: &mut impl Iterator<Item = String>,
-    flag: &'static str,
-    max: f64,
-) -> Result<f64, SpecError> {
+fn parse_float(it: Args<'_>, flag: &'static str, max: f64) -> Result<f64, SpecError> {
     let v = next_value(it, flag)?;
     match v.parse::<f64>() {
         Ok(x) if x.is_finite() && (0.0..=max).contains(&x) => Ok(x),
@@ -576,6 +905,8 @@ mod tests {
         assert_eq!(spec.trace_out, None);
         assert_eq!(spec.probe_every, 10);
         assert!(!spec.telemetry_opts().is_enabled());
+        assert!(spec.deprecated_flags.is_empty());
+        assert_eq!(spec.deprecation_notice(), None);
     }
 
     #[test]
@@ -650,6 +981,16 @@ mod tests {
         // No fault flags: the runner picks its default sweep.
         let spec = parse(&["fig4-churn"]).unwrap();
         assert_eq!(spec.fault_plan(), None);
+    }
+
+    #[test]
+    fn fault_flags_are_marked_deprecated() {
+        let spec = parse(&["fig4-churn", "--churn", "0.02", "--loss", "0.1"]).unwrap();
+        assert_eq!(spec.deprecated_flags, vec!["--churn", "--loss"]);
+        let notice = spec.deprecation_notice().unwrap();
+        assert!(notice.contains("--churn/--loss"), "{notice}");
+        assert!(notice.contains("sweep"), "{notice}");
+        assert!(notice.contains("unchanged"), "{notice}");
     }
 
     #[test]
@@ -740,17 +1081,59 @@ mod tests {
 
     #[test]
     fn artifact_names_round_trip() {
-        // fig4-scale is parseable but deliberately not part of `all`.
+        // fig4-scale and sweep are parseable but deliberately not part of
+        // `all`.
         for artifact in Artifact::ALL
             .into_iter()
-            .chain([Artifact::Fig4Scale, Artifact::All])
+            .chain([Artifact::Fig4Scale, Artifact::All, Artifact::Sweep])
         {
             assert_eq!(Artifact::parse(artifact.name()).unwrap(), artifact);
         }
         assert!(!Artifact::ALL.contains(&Artifact::Fig4Scale));
+        assert!(!Artifact::ALL.contains(&Artifact::Sweep));
         assert!(Artifact::Fig4.supports_replicates());
+        assert!(Artifact::Sweep.supports_replicates());
         assert!(!Artifact::Table1.supports_replicates());
         assert!(!Artifact::Fig4Scale.supports_replicates());
+    }
+
+    #[test]
+    fn sweep_takes_a_positional_or_flag_scenario() {
+        let spec = parse(&["sweep", "flash-crowd-baseline"]).unwrap();
+        assert_eq!(spec.artifact, Artifact::Sweep);
+        assert_eq!(spec.scenario.as_deref(), Some("flash-crowd-baseline"));
+
+        let spec = parse(&["sweep", "--scenario", "packs/night"]).unwrap();
+        assert_eq!(spec.scenario.as_deref(), Some("packs/night"));
+
+        // Flags mix freely with the positional form.
+        let spec = parse(&["sweep", "pack.json", "--scale", "quick"]).unwrap();
+        assert_eq!(spec.scenario.as_deref(), Some("pack.json"));
+        assert_eq!(spec.scale, Scale::Quick);
+    }
+
+    #[test]
+    fn sweep_without_a_scenario_is_an_error() {
+        assert_eq!(parse(&["sweep"]).unwrap_err(), SpecError::MissingScenario);
+        let msg = SpecError::MissingScenario.to_string();
+        assert!(msg.contains("flash-crowd-baseline"), "{msg}");
+    }
+
+    #[test]
+    fn scenario_flag_rejected_for_other_artifacts() {
+        let err = parse(&["fig4", "--scenario", "x.json"]).unwrap_err();
+        assert!(
+            matches!(err, SpecError::InvalidValue { flag: "--scenario", .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("sweep"));
+    }
+
+    #[test]
+    fn sweep_resumes_and_replicates() {
+        let spec = parse(&["sweep", "p.json", "--resume", "out/run1"]).unwrap();
+        assert!(spec.artifact.supports_resume());
+        assert_eq!(spec.resume.as_deref(), Some(std::path::Path::new("out/run1")));
     }
 
     #[test]
@@ -892,5 +1275,19 @@ mod tests {
         let err = parse(&["fig4", "--peers", "1000"]).unwrap_err();
         assert!(matches!(err, SpecError::InvalidValue { flag: "--peers", .. }), "{err:?}");
         assert!(err.to_string().contains("fig4-scale"));
+    }
+
+    #[test]
+    fn usage_is_generated_from_the_flag_table() {
+        let text = usage();
+        // Every flag in the table appears exactly as typed.
+        for flag in super::FLAGS {
+            assert!(text.contains(flag.name), "usage is missing {}", flag.name);
+        }
+        // Gated groups name their artifacts; deprecated groups say so.
+        assert!(text.contains("fig4-scale"), "{text}");
+        assert!(text.contains("fig4-churn"), "{text}");
+        assert!(text.contains("deprecated"), "{text}");
+        assert!(text.contains("sweep <scenario|spec.json|pack-dir>"), "{text}");
     }
 }

@@ -106,6 +106,9 @@ pub struct BatchTrace {
     pub jobs: Vec<JobTrace>,
     /// Wall-clock phases of the surrounding run, in execution order.
     pub phases: Vec<PhaseTiming>,
+    /// The owning scenario's `(name, spec fingerprint)` when the batch
+    /// came from a scenario-pack sweep; carried into the manifest.
+    pub scenario: Option<(String, u64)>,
 }
 
 impl BatchTrace {
@@ -123,6 +126,7 @@ impl BatchTrace {
         BatchTrace {
             jobs,
             phases: Vec::new(),
+            scenario: None,
         }
     }
 
@@ -283,6 +287,10 @@ impl BatchTrace {
                 mechanisms.push(job.label.clone());
             }
         }
+        let (scenario, spec_fingerprint) = match &self.scenario {
+            Some((name, fp)) => (name.clone(), *fp),
+            None => (String::new(), 0),
+        };
         RunManifest {
             artifact: artifact.to_string(),
             scale: scale.name().to_string(),
@@ -292,6 +300,8 @@ impl BatchTrace {
             jobs,
             mechanisms,
             attack: attack.to_string(),
+            scenario,
+            spec_fingerprint,
             phases: self.phases.clone(),
             counters: self.merged_counters(),
             events_kept: self.events_kept(),
@@ -387,10 +397,13 @@ mod tests {
     fn manifest_round_trips() {
         let mut batch = BatchTrace::new(vec![job(0, 3, vec![("swarm.rounds".into(), 9)])]);
         batch.push_phase("simulate", 120);
+        batch.scenario = Some(("mobile-churn-storm".into(), 0xfeed_beef));
         let m = batch.manifest("fig4", Scale::Quick, 42, 1, 2, "none");
         let parsed = RunManifest::parse(&m.to_json_pretty()).expect("valid manifest");
         assert_eq!(parsed, m);
         assert_eq!(parsed.artifact, "fig4");
+        assert_eq!(parsed.scenario, "mobile-churn-storm");
+        assert_eq!(parsed.spec_fingerprint, 0xfeed_beef);
         assert_eq!(parsed.counters, vec![("swarm.rounds".to_string(), 9)]);
         assert_eq!(parsed.phases.len(), 1);
         assert_ne!(parsed.config_fingerprint, 0);

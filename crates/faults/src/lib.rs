@@ -54,6 +54,14 @@ pub struct FaultPlan {
     /// Poisson process: successive inter-arrival gaps are exponential with
     /// this mean (seconds), starting from time zero.
     pub arrival_spread_s: f64,
+    /// When positive (with `arrival_spread_s > 0`), modulate the Poisson
+    /// arrival intensity sinusoidally with this period (seconds): the
+    /// instantaneous mean gap becomes `arrival_spread_s / (1 +
+    /// diurnal_amplitude * sin(2π t / diurnal_period_s))`.
+    pub diurnal_period_s: f64,
+    /// Relative swing of the diurnal intensity, in `[0, 1)`. Zero keeps
+    /// arrivals a plain (homogeneous) Poisson process.
+    pub diurnal_amplitude: f64,
     /// Per-round departure hazard. Each peer's lifetime (rounds from
     /// arrival to churn departure) is exponential with mean `1 /
     /// churn_rate`; departures past the run's `max_rounds` are dropped.
@@ -90,6 +98,8 @@ impl FaultPlan {
     pub fn none() -> Self {
         FaultPlan {
             arrival_spread_s: 0.0,
+            diurnal_period_s: 0.0,
+            diurnal_amplitude: 0.0,
             churn_rate: 0.0,
             fixed_lifetime_rounds: None,
             outage_prob: 0.0,
@@ -111,6 +121,15 @@ impl FaultPlan {
     /// Sets Poisson arrival staggering with the given mean gap (seconds).
     pub fn with_arrival_spread(mut self, mean_gap_s: f64) -> Self {
         self.arrival_spread_s = mean_gap_s;
+        self
+    }
+
+    /// Sets sinusoidal (diurnal) modulation of the Poisson arrival
+    /// intensity. Takes effect only when `arrival_spread_s > 0`;
+    /// `amplitude` must lie in `[0, 1)` so the intensity stays positive.
+    pub fn with_diurnal(mut self, period_s: f64, amplitude: f64) -> Self {
+        self.diurnal_period_s = period_s;
+        self.diurnal_amplitude = amplitude;
         self
     }
 
@@ -175,9 +194,21 @@ impl FaultPlan {
 
         if self.arrival_spread_s > 0.0 {
             let mut rng = tree.rng(LABEL_ARRIVALS);
+            let diurnal = self.diurnal_period_s > 0.0 && self.diurnal_amplitude > 0.0;
             let mut t_ms = 0u64;
             for spec in population.iter_mut() {
-                t_ms += (exponential(&mut rng, self.arrival_spread_s) * 1000.0).round() as u64;
+                let mut gap_s = exponential(&mut rng, self.arrival_spread_s);
+                if diurnal {
+                    // Thinning-free modulation: stretch each exponential
+                    // gap by the reciprocal of the instantaneous intensity
+                    // at the previous arrival. Same RNG stream and draw
+                    // count as the homogeneous process, so amplitude 0 is
+                    // byte-identical to plain Poisson arrivals.
+                    let t_s = t_ms as f64 / 1000.0;
+                    let phase = std::f64::consts::TAU * t_s / self.diurnal_period_s;
+                    gap_s /= 1.0 + self.diurnal_amplitude * phase.sin();
+                }
+                t_ms += (gap_s * 1000.0).round() as u64;
                 spec.arrival = SimTime::from_millis(t_ms);
             }
         }
@@ -371,6 +402,41 @@ mod tests {
         assert_eq!(schedule.seeder_failure_round, Some(40));
         assert!(schedule.events().is_empty());
         assert!(!schedule.is_inert());
+    }
+
+    #[test]
+    fn diurnal_restagger_is_monotone_and_deterministic() {
+        let cfg = config(31);
+        let plan = FaultPlan::none()
+            .with_arrival_spread(1.0)
+            .with_diurnal(60.0, 0.8);
+        let mut a = population(30);
+        let mut b = population(30);
+        plan.compile(&mut a, &cfg);
+        plan.compile(&mut b, &cfg);
+        for pair in a.windows(2) {
+            assert!(pair[0].arrival <= pair[1].arrival);
+        }
+        let ta: Vec<SimTime> = a.iter().map(|s| s.arrival).collect();
+        let tb: Vec<SimTime> = b.iter().map(|s| s.arrival).collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn zero_amplitude_diurnal_matches_plain_poisson_arrivals() {
+        let cfg = config(37);
+        let mut plain = population(20);
+        let mut modulated = population(20);
+        FaultPlan::none()
+            .with_arrival_spread(1.5)
+            .compile(&mut plain, &cfg);
+        FaultPlan::none()
+            .with_arrival_spread(1.5)
+            .with_diurnal(120.0, 0.0)
+            .compile(&mut modulated, &cfg);
+        let ta: Vec<SimTime> = plain.iter().map(|s| s.arrival).collect();
+        let tb: Vec<SimTime> = modulated.iter().map(|s| s.arrival).collect();
+        assert_eq!(ta, tb, "amplitude 0 must not perturb the draw stream");
     }
 
     #[test]

@@ -91,6 +91,12 @@ pub struct RunManifest {
     pub mechanisms: Vec<String>,
     /// Attack scenario label (`"none"` when the figure has no attack).
     pub attack: String,
+    /// Scenario name for scenario-pack sweeps; empty for the plain
+    /// figure/table artifacts.
+    pub scenario: String,
+    /// Fingerprint of the scenario's canonical spec (0 when the run did
+    /// not come from a scenario).
+    pub spec_fingerprint: u64,
     /// Wall-clock phase timings, in execution order.
     pub phases: Vec<PhaseTiming>,
     /// Telemetry counter totals (name, value), sorted by name. Empty when
@@ -142,6 +148,13 @@ impl RunManifest {
         };
         field(&mut out, "mechanisms", mechanisms, false);
         field(&mut out, "attack", quoted(&self.attack), false);
+        field(&mut out, "scenario", quoted(&self.scenario), false);
+        field(
+            &mut out,
+            "spec_fingerprint",
+            quoted(&format!("{:016x}", self.spec_fingerprint)),
+            false,
+        );
         let phases = {
             let mut a = String::from("{");
             for (i, p) in self.phases.iter().enumerate() {
@@ -217,6 +230,18 @@ impl RunManifest {
                 .collect::<Result<Vec<_>, _>>()?,
             _ => return Err("missing or non-array field 'mechanisms'".into()),
         };
+        // Scenario attribution arrived after the first manifests shipped;
+        // both fields stay optional on parse so older manifests validate.
+        let scenario = doc
+            .get("scenario")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let spec_fingerprint = match doc.get("spec_fingerprint").and_then(Json::as_str) {
+            Some(hex) => u64::from_str_radix(hex, 16)
+                .map_err(|_| format!("spec_fingerprint '{hex}' is not hex"))?,
+            None => 0,
+        };
         let phases = obj_u64_entries(&doc, "phase_wall_ms")?
             .into_iter()
             .map(|(name, wall_ms)| PhaseTiming { name, wall_ms })
@@ -231,6 +256,8 @@ impl RunManifest {
             jobs: require_u64(&doc, "jobs")?,
             mechanisms,
             attack: require_str(&doc, "attack")?,
+            scenario,
+            spec_fingerprint,
             phases,
             counters,
             events_kept: require_u64(&doc, "events_kept")?,
@@ -288,6 +315,8 @@ mod tests {
             jobs: 4,
             mechanisms: vec!["BitTorrent".into(), "T-Chain".into()],
             attack: "none".into(),
+            scenario: "flash-crowd-baseline".into(),
+            spec_fingerprint: 0x00ab_cdef_0123_4567,
             phases: vec![
                 PhaseTiming {
                     name: "simulate".into(),
@@ -324,6 +353,17 @@ mod tests {
             doc.get("config_fingerprint").and_then(Json::as_str),
             Some("1234abcd5678ef00")
         );
+    }
+
+    #[test]
+    fn manifests_without_scenario_fields_still_parse() {
+        let mut text = sample().to_json_pretty();
+        text = text
+            .replace("  \"scenario\": \"flash-crowd-baseline\",\n", "")
+            .replace("  \"spec_fingerprint\": \"00abcdef01234567\",\n", "");
+        let back = RunManifest::parse(&text).expect("pre-scenario manifests stay valid");
+        assert_eq!(back.scenario, "");
+        assert_eq!(back.spec_fingerprint, 0);
     }
 
     #[test]

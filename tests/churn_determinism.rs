@@ -29,6 +29,7 @@ fn churned_results_are_identical_across_worker_counts() {
             seed: 91,
             plan: None,
             faults: Some(stress_plan()),
+            workload: None,
         })
         .collect();
     let sequential = Executor::sequential().run_sims(&jobs);

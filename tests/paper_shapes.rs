@@ -25,6 +25,7 @@ fn churned(kind: MechanismKind, plan: Option<AttackPlan>, faults: FaultPlan) -> 
         seed: SEED,
         plan,
         faults: Some(faults),
+        workload: None,
     }
     .run()
 }
@@ -224,6 +225,7 @@ fn zero_rate_fault_plan_is_byte_identical_to_no_plan() {
             seed: SEED,
             plan: None,
             faults: None,
+            workload: None,
         }
         .run();
         assert_eq!(with, without, "{kind}: FaultPlan::none() must be the identity");
