@@ -13,7 +13,12 @@
 //!   picks (pinned by the swarm equivalence battery).
 //! * `sim_n5000` — a full 5000-peer swarm, naive vs indexed round loop,
 //!   same seed, byte-identical results. The ratio of the two medians is
-//!   the hot-path speedup recorded in `BENCH_2026-08-07_scale.json`.
+//!   the hot-path speedup recorded in `BENCH_2026-08-07_scale.json`. A
+//!   third `indexed_profiled` variant runs the same sim with the phase
+//!   [`Profiler`] live, so its delta against `indexed` is the profiler's
+//!   whole-run overhead; before the timing loop the per-phase breakdown
+//!   of one profiled run is printed to stderr (the same attribution that
+//!   `BENCH_2026-08-09_profile.json` snapshots via the CLI).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -26,6 +31,7 @@ use coop_piece::{
     AvailabilityIndex, Bitfield, FileSpec, PiecePicker, RarestFirstPicker,
 };
 use coop_swarm::{flash_crowd_with, SimResult, Simulation, SwarmConfig};
+use coop_telemetry::{profile::phase, ProfileReport, Profiler};
 
 const PIECES: u32 = 2048;
 
@@ -119,7 +125,52 @@ fn run_scale_sim(naive: bool) -> SimResult {
         .run()
 }
 
+/// The indexed scale cell with phase timers live, returning the gathered
+/// per-phase breakdown (the result bytes are identical to
+/// [`run_scale_sim`]`(false)` — profiling only observes).
+fn run_scale_sim_profiled() -> (SimResult, ProfileReport) {
+    let config = scale_config(42);
+    let population = flash_crowd_with(
+        &config,
+        5000,
+        MechanismKind::BitTorrent,
+        42,
+        &CapacityClassMix::paper_default(),
+        Duration::from_secs(10),
+    );
+    let (result, _, profile) = Simulation::builder(config)
+        .population(population)
+        .profiler(Profiler::enabled())
+        .build()
+        .expect("scale config validates")
+        .run_profiled();
+    (result, profile)
+}
+
+/// Prints one profiled run's per-phase attribution to stderr, sorted by
+/// total time descending.
+fn print_phase_breakdown(profile: &ProfileReport) {
+    let run_ns = profile.total_ns(phase::SIM_RUN).max(1);
+    let mut phases: Vec<_> = profile
+        .phases
+        .iter()
+        .filter(|(name, _)| name.as_str() != phase::SIM_RUN)
+        .collect();
+    phases.sort_by_key(|p| std::cmp::Reverse(p.1.total_ns));
+    eprintln!("sim_n5000 per-phase breakdown (one indexed run):");
+    for (name, stat) in phases {
+        eprintln!(
+            "  {name:<16} {:>9.3} ms  {:>5.1}%  ({} calls)",
+            stat.total_ns as f64 / 1e6,
+            stat.total_ns as f64 * 100.0 / run_ns as f64,
+            stat.count
+        );
+    }
+}
+
 fn bench_sim_n5000(c: &mut Criterion) {
+    let (_, profile) = run_scale_sim_profiled();
+    print_phase_breakdown(&profile);
     let mut group = c.benchmark_group("sim_n5000");
     group.sample_size(2);
     for (label, naive) in [("naive", true), ("indexed", false)] {
@@ -127,6 +178,9 @@ fn bench_sim_n5000(c: &mut Criterion) {
             b.iter(|| black_box(run_scale_sim(naive)))
         });
     }
+    group.bench_function("indexed_profiled", |b| {
+        b.iter(|| black_box(run_scale_sim_profiled()))
+    });
     group.finish();
 }
 

@@ -50,11 +50,13 @@ use coop_attacks::AttackPlan;
 use coop_faults::FaultPlan;
 use coop_incentives::MechanismKind;
 use coop_swarm::SimResult;
-use coop_telemetry::{fingerprint_debug, Recorder, TelemetryConfig, TelemetryReport};
+use coop_telemetry::{
+    fingerprint_debug, ProfileReport, Recorder, Stopwatch, TelemetryConfig, TelemetryReport,
+};
 use serde::Serialize;
 
 use crate::journal::{JobOutcome, JobRecord, JournalReplay, RunJournal};
-use crate::runners::{run_sim, run_sim_traced};
+use crate::runners::{run_sim, run_sim_profiled};
 use crate::scenario::Workload;
 use crate::telemetry::{BatchTrace, JobTrace, TelemetryOpts};
 use crate::{OutputDir, Scale};
@@ -146,11 +148,24 @@ impl SimJob {
         config: Option<&TelemetryConfig>,
         checkpoint_every: Option<u64>,
     ) -> (SimResult, TelemetryReport) {
+        let (result, report, _) = self.run_profiled(config, checkpoint_every, false);
+        (result, report)
+    }
+
+    /// [`SimJob::run_with`] with an optionally live wall-clock profiler
+    /// (`--profile`). Like the recorder, the profiler only observes: the
+    /// [`SimResult`] is byte-identical whether `profiled` is set or not.
+    pub fn run_profiled(
+        &self,
+        config: Option<&TelemetryConfig>,
+        checkpoint_every: Option<u64>,
+        profiled: bool,
+    ) -> (SimResult, TelemetryReport, ProfileReport) {
         let recorder = match config {
             Some(config) => Recorder::enabled(config.clone()),
             None => Recorder::disabled(),
         };
-        run_sim_traced(
+        run_sim_profiled(
             self.kind,
             self.scale,
             self.plan.as_ref(),
@@ -159,6 +174,7 @@ impl SimJob {
             self.seed,
             recorder,
             checkpoint_every,
+            profiled,
         )
     }
 
@@ -423,7 +439,7 @@ impl BatchRun {
 
 /// How one attempt of one job ended (internal).
 enum AttemptOutcome {
-    Done(Box<(SimResult, TelemetryReport)>),
+    Done(Box<(SimResult, TelemetryReport, ProfileReport)>),
     Failed(FailureKind, String),
 }
 
@@ -445,6 +461,10 @@ pub struct Executor {
     panic_inject: Option<PanicInject>,
     journal: Option<Arc<RunJournal>>,
     replay: Option<Arc<JournalReplay>>,
+    /// Journal append + fsync nanoseconds accumulated across the current
+    /// batch (wall clock — surfaced only in `profile.json`, reset per
+    /// batch). Shared so worker threads can add to it through `&self`.
+    journal_fsync_ns: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl Executor {
@@ -459,6 +479,7 @@ impl Executor {
             panic_inject: None,
             journal: None,
             replay: None,
+            journal_fsync_ns: Arc::new(std::sync::atomic::AtomicU64::new(0)),
         }
     }
 
@@ -658,8 +679,12 @@ impl Executor {
     /// failed jobs surface as `None` results plus [`JobFailure`] entries
     /// rather than aborting the run.
     pub fn run_sims_robust(&self, jobs: &[SimJob], opts: &TelemetryOpts) -> BatchRun {
+        use std::sync::atomic::Ordering;
         let config = opts.is_enabled().then(|| opts.recorder_config());
-        let runs = self.map(jobs, |slot, job| self.run_one(slot, job, config.as_ref()));
+        self.journal_fsync_ns.store(0, Ordering::Relaxed);
+        let runs = self.map(jobs, |slot, job| {
+            self.run_one(slot, job, config.as_ref(), opts.profile_due(slot))
+        });
         let mut results = Vec::with_capacity(jobs.len());
         let mut failures = Vec::new();
         let mut traces = Vec::new();
@@ -677,7 +702,11 @@ impl Executor {
                 }
             }
         }
-        let trace = config.is_some().then(|| BatchTrace::new(traces));
+        let trace = config.is_some().then(|| {
+            let mut trace = BatchTrace::new(traces);
+            trace.journal_fsync_ns = self.journal_fsync_ns.load(Ordering::Relaxed);
+            trace
+        });
         BatchRun {
             results,
             failures,
@@ -691,6 +720,7 @@ impl Executor {
         slot: usize,
         job: &SimJob,
         config: Option<&TelemetryConfig>,
+        profiled: bool,
     ) -> Result<(SimResult, Option<JobTrace>), JobFailure> {
         let fingerprint = job.fingerprint();
         // Resume: a job the ledger already holds is never re-simulated.
@@ -706,19 +736,20 @@ impl Executor {
                 wall_ms: 0,
                 slow: false,
                 retries: 0,
+                peers: job.peers() as u64,
                 report: TelemetryReport::default(),
+                profile: None,
             });
             return Ok((result.clone(), trace));
         }
         let mut backoffs = Vec::new();
         let mut last_failure = None;
         for attempt in 0..=self.retries {
-            let started = std::time::Instant::now();
-            match self.attempt(job, config, attempt) {
-                AttemptOutcome::Done(pair) => {
-                    let (result, report) = *pair;
-                    let wall_ms =
-                        u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+            let attempt_clock = Stopwatch::start();
+            match self.attempt(job, config, attempt, profiled) {
+                AttemptOutcome::Done(triple) => {
+                    let (result, report, profile) = *triple;
+                    let wall_ms = attempt_clock.elapsed_ms();
                     self.journal_record(&JobRecord {
                         fingerprint,
                         slot: slot as u64,
@@ -736,7 +767,9 @@ impl Executor {
                         wall_ms,
                         slow: false,
                         retries: attempt,
+                        peers: job.peers() as u64,
                         report,
+                        profile: profiled.then_some(profile),
                     });
                     return Ok((result, trace));
                 }
@@ -783,6 +816,7 @@ impl Executor {
         job: &SimJob,
         config: Option<&TelemetryConfig>,
         attempt: u64,
+        profiled: bool,
     ) -> AttemptOutcome {
         let inject = self
             .panic_inject
@@ -793,11 +827,11 @@ impl Executor {
         let config = config.cloned();
         let body = move || {
             assert!(!inject, "injected panic ({PANIC_INJECT_ENV})");
-            job.run_with(config.as_ref(), checkpoint_every)
+            job.run_profiled(config.as_ref(), checkpoint_every, profiled)
         };
         match self.job_timeout {
             None => match catch_unwind(AssertUnwindSafe(body)) {
-                Ok(pair) => AttemptOutcome::Done(Box::new(pair)),
+                Ok(triple) => AttemptOutcome::Done(Box::new(triple)),
                 Err(payload) => {
                     AttemptOutcome::Failed(FailureKind::Panic, panic_message(payload.as_ref()))
                 }
@@ -809,7 +843,7 @@ impl Executor {
                     let _ = tx.send(outcome);
                 });
                 match rx.recv_timeout(timeout) {
-                    Ok(Ok(pair)) => AttemptOutcome::Done(Box::new(pair)),
+                    Ok(Ok(triple)) => AttemptOutcome::Done(Box::new(triple)),
                     Ok(Err(payload)) => {
                         AttemptOutcome::Failed(FailureKind::Panic, panic_message(payload.as_ref()))
                     }
@@ -829,12 +863,15 @@ impl Executor {
     /// fails the job (the affected record simply re-runs on resume).
     fn journal_record(&self, record: &JobRecord) {
         if let Some(journal) = &self.journal {
+            let fsync_clock = Stopwatch::start();
             if let Err(e) = journal.record_job(record) {
                 eprintln!(
                     "warning: journal append for {} (seed {}) failed: {e}",
                     record.label, record.seed
                 );
             }
+            self.journal_fsync_ns
+                .fetch_add(fsync_clock.elapsed_ns(), std::sync::atomic::Ordering::Relaxed);
         }
     }
 }

@@ -3,9 +3,11 @@
 //! ```text
 //! coop-experiments <table1|table2|table3|fig1|fig2|fig3|fig4|fig4-churn|fig4-scale|fig5|fig6|fluid|ablations|extensions|all>
 //! coop-experiments sweep <scenario|spec.json|pack-dir>
+//! coop-experiments perf-diff --baseline FILE --current FILE [--tolerance SHARE]
 //!                  [--scale quick|default|paper] [--seed N] [--replicates N]
 //!                  [--jobs N] [--out-dir DIR]
 //!                  [--telemetry] [--trace-out FILE] [--probe-every N]
+//!                  [--profile] [--profile-every K]
 //!                  [--retries N] [--job-timeout SECS] [--checkpoint-every ROUNDS]
 //!                  [--resume DIR]
 //!                  [--churn RATE] [--loss PROB] [--seeder-exit FRACTION]
@@ -30,8 +32,13 @@
 //! counters/probes/spans and writes a `manifest.json` next to the
 //! artifacts, `--trace-out FILE` additionally streams the kept trace
 //! events to a JSONL file (implying `--telemetry`), and `--probe-every N`
-//! sets the round-probe cadence. Telemetry is purely observational:
-//! reports and figure artifacts are byte-identical with it on or off.
+//! sets the round-probe cadence. `--profile` (implying `--telemetry`)
+//! additionally times the round loop's phases and writes a
+//! `profile.json` next to the artifacts; `--profile-every K` samples the
+//! phase timers onto every K-th batch slot. Telemetry and profiling are
+//! purely observational: reports and figure artifacts are byte-identical
+//! with them on or off. `perf-diff` compares two `profile.json`
+//! snapshots (no simulations run) and exits 1 on structural regressions.
 //!
 //! # Crash safety
 //!
@@ -73,6 +80,11 @@ fn main() -> ExitCode {
     };
     if let Some(note) = spec.deprecation_notice() {
         eprintln!("{note}");
+    }
+    // perf-diff compares two existing profile.json files; it runs no
+    // simulations, so none of the pack/journal wiring below applies.
+    if spec.artifact == Artifact::PerfDiff {
+        return runners::perf_diff::run_cli(&spec);
     }
     // Scenario packs load before any journal wiring: the pack fingerprint
     // is part of the run identity `--resume` validates, and a bad spec
@@ -332,5 +344,6 @@ fn run_one(artifact: Artifact, spec: &RunSpec, executor: &Executor, errors: &mut
         Artifact::Fluid => println!("{}", runners::fluid::run(scale, seed).render()),
         Artifact::All => unreachable!("expanded by the caller"),
         Artifact::Sweep => unreachable!("dispatched by the caller"),
+        Artifact::PerfDiff => unreachable!("dispatched before journal wiring"),
     }
 }

@@ -5,6 +5,7 @@
 use coop_attacks::AttackPlan;
 use coop_incentives::MechanismKind;
 use coop_swarm::SimResult;
+use coop_telemetry::Stopwatch;
 use serde::Serialize;
 
 use crate::exec::{BatchError, Executor, SimJob};
@@ -161,15 +162,15 @@ pub(crate) fn try_run_figure_traced(
     attack: &str,
 ) -> Result<(SimFigureReport, Option<BatchTrace>), BatchError> {
     let jobs = SimJob::grid(scale, &[seed], plan_for);
-    let sim_start = std::time::Instant::now();
+    let sim_clock = Stopwatch::start();
     let run = executor.run_sims_robust(&jobs, opts);
-    let sim_ms = elapsed_ms(sim_start);
+    let sim_ms = sim_clock.elapsed_ms();
     let (results, trace) = run.into_complete(figure)?;
-    let write_start = std::time::Instant::now();
+    let write_clock = Stopwatch::start();
     let report = write_figure_artifacts(figure, scale, seed, &results, out);
     let trace = trace.map(|mut trace| {
         trace.push_phase("simulate", sim_ms);
-        trace.push_phase("write_artifacts", elapsed_ms(write_start));
+        trace.push_phase("write_artifacts", write_clock.elapsed_ms());
         emit_run_outputs(
             figure,
             &trace,
@@ -186,14 +187,10 @@ pub(crate) fn try_run_figure_traced(
     Ok((report, trace))
 }
 
-/// Milliseconds elapsed since `start` (saturating).
-pub(crate) fn elapsed_ms(start: std::time::Instant) -> u64 {
-    u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX)
-}
-
 /// The telemetry tail of a traced run: per-job progress lines on stderr,
-/// the slot-ordered JSONL trace (when `--trace-out` named a file), and the
-/// run's `manifest.json` next to the artifacts in `out`.
+/// the slot-ordered JSONL trace (when `--trace-out` named a file), the
+/// run's `manifest.json`, and — when `--profile` is on — `profile.json`,
+/// all next to the artifacts in `out`.
 ///
 /// Everything here carries wall-clock data, which is why none of it goes
 /// into figure artifacts — those must stay byte-deterministic.
@@ -226,6 +223,12 @@ pub(crate) fn emit_run_outputs(
     match manifest.write_to(out.path()) {
         Ok(path) => eprintln!("[{figure}] manifest -> {}", path.display()),
         Err(e) => eprintln!("[{figure}] manifest write failed: {e}"),
+    }
+    if opts.profile {
+        match trace.run_profile(figure, scale).write_to(out.path()) {
+            Ok(path) => eprintln!("[{figure}] profile -> {}", path.display()),
+            Err(e) => eprintln!("[{figure}] profile write failed: {e}"),
+        }
     }
 }
 
@@ -585,9 +588,9 @@ pub(crate) fn try_replicate_traced(
 ) -> Result<(ReplicatedReport, Option<BatchTrace>), BatchError> {
     assert!(!seeds.is_empty(), "need at least one seed");
     let jobs = SimJob::grid(scale, seeds, plan_for);
-    let sim_start = std::time::Instant::now();
+    let sim_clock = Stopwatch::start();
     let run = executor.run_sims_robust(&jobs, opts);
-    let sim_ms = elapsed_ms(sim_start);
+    let sim_ms = sim_clock.elapsed_ms();
     let per_seed = MechanismKind::ALL.len();
     if !run.failures.is_empty() {
         for (i, &s) in seeds.iter().enumerate() {
@@ -610,7 +613,7 @@ pub(crate) fn try_replicate_traced(
         .map(|r| r.expect("no failures, so every slot holds a result"))
         .collect();
     let trace = run.trace;
-    let write_start = std::time::Instant::now();
+    let write_clock = Stopwatch::start();
     let reports: Vec<SimFigureReport> = seeds
         .iter()
         .enumerate()
@@ -653,7 +656,7 @@ pub(crate) fn try_replicate_traced(
     let _ = out.json(&format!("{figure}_replicated_{}", scale.name()), &report);
     let trace = trace.map(|mut trace| {
         trace.push_phase("simulate", sim_ms);
-        trace.push_phase("write_artifacts", elapsed_ms(write_start));
+        trace.push_phase("write_artifacts", write_clock.elapsed_ms());
         emit_run_outputs(
             figure,
             &trace,

@@ -11,10 +11,11 @@
 
 use coop_faults::FaultPlan;
 use coop_incentives::MechanismKind;
+use coop_telemetry::Stopwatch;
 use serde::Serialize;
 
 use crate::exec::{BatchError, Executor, SimJob};
-use crate::runners::fig4::{elapsed_ms, emit_run_outputs};
+use crate::runners::fig4::emit_run_outputs;
 use crate::table::num;
 use crate::telemetry::{BatchTrace, TelemetryOpts};
 use crate::{OutputDir, Scale, Table};
@@ -224,11 +225,11 @@ pub fn try_run_sweep(
             })
         })
         .collect();
-    let sim_start = std::time::Instant::now();
+    let sim_clock = Stopwatch::start();
     let run = executor.run_sims_robust(&jobs, opts);
-    let sim_ms = elapsed_ms(sim_start);
+    let sim_ms = sim_clock.elapsed_ms();
     let (results, trace) = run.into_complete("fig4-churn")?;
-    let write_start = std::time::Instant::now();
+    let write_clock = Stopwatch::start();
 
     let per_rate = MechanismKind::ALL.len();
     let rows: Vec<ChurnRow> = multipliers
@@ -292,7 +293,7 @@ pub fn try_run_sweep(
 
     let trace = trace.map(|mut trace| {
         trace.push_phase("simulate", sim_ms);
-        trace.push_phase("write_artifacts", elapsed_ms(write_start));
+        trace.push_phase("write_artifacts", write_clock.elapsed_ms());
         emit_run_outputs(
             "fig4-churn",
             &trace,

@@ -12,18 +12,25 @@
 //! * `fig4scale_sweep_{scale}.csv` / `fig4scale_{scale}.json` hold only
 //!   deterministic columns (byte-identical for any `--jobs` count);
 //! * `fig4scale_perf_{scale}.csv` / `fig4scale_perf_{scale}.json` hold the
-//!   rounds/sec and peak-RSS columns and vary run to run.
+//!   rounds/sec and RSS columns and vary run to run.
+//!
+//! Memory caveat: `peak_rss_kb` is the process-wide `VmHWM` high-water
+//! mark, which only ever grows — across a sweep it is nondecreasing in
+//! completion order and says nothing about an individual cell. The
+//! `rss_delta_kb` column reports how much each cell raised that mark
+//! instead; see [`PerfRow::rss_delta_kb`] for its own caveat under
+//! parallel execution.
 
 use coop_des::Duration;
 use coop_incentives::analysis::capacity::CapacityClassMix;
 use coop_incentives::MechanismKind;
 use coop_piece::FileSpec;
 use coop_swarm::{flash_crowd_with, Simulation, SwarmConfig};
-use coop_telemetry::Recorder;
+use coop_telemetry::{profile::phase, Profiler, Recorder, Stopwatch};
 use serde::Serialize;
 
 use crate::exec::{backoff_ms, BatchError, Executor, FailureKind, JobFailure};
-use crate::runners::fig4::{elapsed_ms, emit_run_outputs};
+use crate::runners::fig4::emit_run_outputs;
 use crate::table::num;
 use crate::telemetry::{BatchTrace, JobTrace, TelemetryOpts};
 use crate::{OutputDir, Scale, Table};
@@ -84,8 +91,15 @@ pub struct PerfRow {
     pub rounds_per_sec: f64,
     /// Process peak RSS (`VmHWM`, kB) sampled after the cell finished.
     /// This is the process-wide high-water mark, so it is nondecreasing
-    /// in completion order; 0 when `/proc` is unavailable.
+    /// in completion order and does **not** measure the cell itself; 0
+    /// when `/proc` is unavailable.
     pub peak_rss_kb: u64,
+    /// How much this cell raised the process high-water mark (kB): the
+    /// `VmHWM` delta across the cell. Only the cells that push the peak
+    /// show a non-zero delta, and concurrent cells (`--jobs > 1`) can
+    /// attribute a shared push to whichever cell sampled last — read it
+    /// as "which cells grew the footprint", not as per-cell usage.
+    pub rss_delta_kb: u64,
 }
 
 /// The deterministic half of the sweep report.
@@ -166,6 +180,7 @@ impl ScalePerfReport {
             "wall (ms)",
             "rounds/sec",
             "peak RSS (kB)",
+            "ΔRSS (kB)",
         ]);
         for r in &self.rows {
             t.row(vec![
@@ -175,6 +190,7 @@ impl ScalePerfReport {
                 r.wall_ms.to_string(),
                 format!("{:.1}", r.rounds_per_sec),
                 r.peak_rss_kb.to_string(),
+                r.rss_delta_kb.to_string(),
             ]);
         }
         format!(
@@ -250,24 +266,32 @@ pub fn try_run_with_telemetry(
         .flat_map(|&n| MechanismKind::ALL.iter().map(move |&kind| (n, kind)))
         .collect();
     let recorder_config = opts.is_enabled().then(|| opts.recorder_config());
-    let sim_start = std::time::Instant::now();
+    let sim_clock = Stopwatch::start();
     let runs = executor.try_map(&cells, |slot, &(n, kind)| {
-        let started = std::time::Instant::now();
+        let cell_clock = Stopwatch::start();
+        let rss_before_kb = peak_rss_kb();
         let recorder = match &recorder_config {
             Some(config) => Recorder::enabled(config.clone()),
             None => Recorder::disabled(),
         };
+        let mut profiler = if opts.profile_due(slot) {
+            Profiler::enabled()
+        } else {
+            Profiler::disabled()
+        };
+        let build_t = profiler.start();
         let config = cell_config(scale, seed);
         let mix = CapacityClassMix::paper_default();
         let population =
             flash_crowd_with(&config, n, kind, seed, &mix, Duration::from_secs(10));
-        let (result, report) = Simulation::builder(config)
+        let sim = Simulation::builder(config)
             .population(population)
             .recorder(recorder)
             .build()
-            .expect("cell configs validate")
-            .run_traced();
-        let wall_ms = elapsed_ms(started);
+            .expect("cell configs validate");
+        profiler.stop(phase::EXEC_BUILD, build_t);
+        let (result, report, profile) = sim.with_profiler(profiler).run_profiled();
+        let wall_ms = cell_clock.elapsed_ms();
         let trace = JobTrace {
             slot,
             label: format!("{}@{n}", kind.name()),
@@ -277,12 +301,21 @@ pub fn try_run_with_telemetry(
             // `try_map` retries opaquely; per-attempt counts are only
             // tracked for `SimJob` batches.
             retries: 0,
+            peers: n as u64,
             report,
+            profile: opts.profile_due(slot).then_some(profile),
         };
-        (result, wall_ms, peak_rss_kb(), trace)
+        let rss_after_kb = peak_rss_kb();
+        (
+            result,
+            wall_ms,
+            rss_after_kb,
+            rss_after_kb.saturating_sub(rss_before_kb),
+            trace,
+        )
     });
-    let sim_ms = elapsed_ms(sim_start);
-    let write_start = std::time::Instant::now();
+    let sim_ms = sim_clock.elapsed_ms();
+    let write_clock = Stopwatch::start();
 
     let failures: Vec<JobFailure> = cells
         .iter()
@@ -315,7 +348,7 @@ pub fn try_run_with_telemetry(
     let mut perf_rows = Vec::with_capacity(runs.len());
     let mut traces = Vec::with_capacity(runs.len());
     for (&(n, kind), run) in cells.iter().zip(runs) {
-        let (result, wall_ms, rss_kb, trace) =
+        let (result, wall_ms, rss_kb, rss_delta_kb, trace) =
             run.expect("failures were returned above");
         rows.push(ScaleRow {
             peers: n,
@@ -333,6 +366,7 @@ pub fn try_run_with_telemetry(
             wall_ms,
             rounds_per_sec: result.rounds_run as f64 * 1000.0 / wall_ms.max(1) as f64,
             peak_rss_kb: rss_kb,
+            rss_delta_kb,
         });
         traces.push(trace);
     }
@@ -391,6 +425,7 @@ pub fn try_run_with_telemetry(
                 r.wall_ms.to_string(),
                 format!("{}", r.rounds_per_sec),
                 r.peak_rss_kb.to_string(),
+                r.rss_delta_kb.to_string(),
             ]
         })
         .collect();
@@ -403,6 +438,7 @@ pub fn try_run_with_telemetry(
             "wall_ms",
             "rounds_per_sec",
             "peak_rss_kb",
+            "rss_delta_kb",
         ],
         &perf_csv,
     );
@@ -411,7 +447,7 @@ pub fn try_run_with_telemetry(
     let trace = recorder_config.is_some().then(|| {
         let mut trace = BatchTrace::new(traces);
         trace.push_phase("simulate", sim_ms);
-        trace.push_phase("write_artifacts", elapsed_ms(write_start));
+        trace.push_phase("write_artifacts", write_clock.elapsed_ms());
         emit_run_outputs(
             "fig4-scale",
             &trace,

@@ -11,6 +11,7 @@ pub mod fig4_scale;
 pub mod fig5;
 pub mod fig6;
 pub mod fluid;
+pub mod perf_diff;
 pub mod sweep;
 pub mod table1;
 pub mod table2;
@@ -20,7 +21,7 @@ use coop_attacks::AttackPlan;
 use coop_faults::FaultPlan;
 use coop_incentives::MechanismKind;
 use coop_swarm::{flash_crowd_with, SimResult, Simulation};
-use coop_telemetry::{Recorder, TelemetryReport};
+use coop_telemetry::{profile::phase, ProfileReport, Profiler, Recorder, TelemetryReport};
 
 use crate::scenario::Workload;
 use crate::Scale;
@@ -69,6 +70,43 @@ pub(crate) fn run_sim_traced(
     recorder: Recorder,
     checkpoint_every: Option<u64>,
 ) -> (SimResult, TelemetryReport) {
+    let (result, report, _) = run_sim_profiled(
+        kind,
+        scale,
+        plan,
+        faults,
+        workload,
+        seed,
+        recorder,
+        checkpoint_every,
+        false,
+    );
+    (result, report)
+}
+
+/// [`run_sim_traced`] with an optionally live [`Profiler`]: when
+/// `profiled`, construction is timed under [`phase::EXEC_BUILD`] and the
+/// simulation runs with phase timers on, returning the gathered
+/// [`ProfileReport`]. Profiling is observational like the recorder — the
+/// [`SimResult`] is byte-identical either way.
+#[allow(clippy::too_many_arguments)] // one parameter per orthogonal override
+pub(crate) fn run_sim_profiled(
+    kind: MechanismKind,
+    scale: Scale,
+    plan: Option<&AttackPlan>,
+    faults: Option<&FaultPlan>,
+    workload: Option<&Workload>,
+    seed: u64,
+    recorder: Recorder,
+    checkpoint_every: Option<u64>,
+    profiled: bool,
+) -> (SimResult, TelemetryReport, ProfileReport) {
+    let mut profiler = if profiled {
+        Profiler::enabled()
+    } else {
+        Profiler::disabled()
+    };
+    let build_t = profiler.start();
     let config = scale.config(seed);
     let mix = match workload.and_then(|w| w.mix) {
         Some(mix) => mix.to_mix(),
@@ -96,10 +134,9 @@ pub(crate) fn run_sim_traced(
     if let Some(every) = checkpoint_every {
         builder = builder.checkpoint_every(every);
     }
-    builder
-        .build()
-        .expect("scale configs validate")
-        .run_traced()
+    let sim = builder.build().expect("scale configs validate");
+    profiler.stop(phase::EXEC_BUILD, build_t);
+    sim.with_profiler(profiler).run_profiled()
 }
 
 /// The capacity vector used by the analytic runners: one sampled

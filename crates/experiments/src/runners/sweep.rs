@@ -10,10 +10,11 @@
 //! summary CSV row per job plus one report JSON, in the style of the
 //! fig4-churn sweep.
 
+use coop_telemetry::Stopwatch;
 use serde::Serialize;
 
 use crate::exec::{BatchError, Executor};
-use crate::runners::fig4::{elapsed_ms, emit_run_outputs, write_figure_artifacts};
+use crate::runners::fig4::{emit_run_outputs, write_figure_artifacts};
 use crate::scenario::{ArtifactStyle, Scenario, ScenarioPack};
 use crate::table::num;
 use crate::telemetry::TelemetryOpts;
@@ -192,11 +193,11 @@ fn try_run_scenario(
 ) -> Result<ScenarioOutcome, BatchError> {
     let jobs = scenario.jobs(scale, base_seed, cli_replicates);
     let replicates = scenario.effective_replicates(cli_replicates);
-    let sim_start = std::time::Instant::now();
+    let sim_clock = Stopwatch::start();
     let run = executor.run_sims_robust(&jobs, opts);
-    let sim_ms = elapsed_ms(sim_start);
+    let sim_ms = sim_clock.elapsed_ms();
     let (results, trace) = run.into_complete(&scenario.name)?;
-    let write_start = std::time::Instant::now();
+    let write_clock = Stopwatch::start();
 
     let rows: Vec<SweepRow> = jobs
         .iter()
@@ -289,7 +290,7 @@ fn try_run_scenario(
     if let Some(mut trace) = trace {
         trace.scenario = Some((scenario.name.clone(), scenario.fingerprint()));
         trace.push_phase("simulate", sim_ms);
-        trace.push_phase("write_artifacts", elapsed_ms(write_start));
+        trace.push_phase("write_artifacts", write_clock.elapsed_ms());
         emit_run_outputs(
             &scenario.figure,
             &trace,

@@ -47,6 +47,10 @@ pub enum Artifact {
     /// Declarative scenario packs: `sweep <scenario|spec.json|pack-dir>`
     /// compiles spec files into the simulation grid.
     Sweep,
+    /// Compare two `profile.json` snapshots (`perf-diff --baseline A
+    /// --current B`): per-phase deltas, tolerance bands, and structural
+    /// regression gates. Runs no simulations.
+    PerfDiff,
 }
 
 /// The artifacts whose simulation jobs are journaled for `--resume`.
@@ -100,6 +104,7 @@ impl Artifact {
             "extensions" => Ok(Artifact::Extensions),
             "all" => Ok(Artifact::All),
             "sweep" => Ok(Artifact::Sweep),
+            "perf-diff" | "perfdiff" => Ok(Artifact::PerfDiff),
             other => Err(SpecError::UnknownArtifact(other.to_string())),
         }
     }
@@ -123,6 +128,7 @@ impl Artifact {
             Artifact::Extensions => "extensions",
             Artifact::All => "all",
             Artifact::Sweep => "sweep",
+            Artifact::PerfDiff => "perf-diff",
         }
     }
 
@@ -180,6 +186,18 @@ pub struct RunSpec {
     pub trace_out: Option<PathBuf>,
     /// Round-probe cadence for telemetry (`--probe-every`, default 10).
     pub probe_every: u64,
+    /// Profile the round loop's phases and write `profile.json` next to
+    /// the artifacts (`--profile`, implies `--telemetry`).
+    pub profile: bool,
+    /// Profile every K-th batch slot (`--profile-every`, default 1).
+    pub profile_every: u64,
+    /// Baseline `profile.json` for `perf-diff` (`--baseline FILE`).
+    pub baseline: Option<PathBuf>,
+    /// Current `profile.json` for `perf-diff` (`--current FILE`).
+    pub current: Option<PathBuf>,
+    /// Maximum tolerated absolute phase-share drift for `perf-diff`
+    /// (`--tolerance`, default 0.25).
+    pub tolerance: f64,
     /// Per-round churn departure hazard (`--churn`, fig4-churn only;
     /// deprecated — use a scenario spec's `faults.churn_rate`).
     pub churn: Option<f64>,
@@ -232,6 +250,12 @@ pub enum SpecError {
         /// The flag missing its value.
         flag: &'static str,
     },
+    /// A flag the artifact requires was not given (`perf-diff` needs
+    /// `--baseline` and `--current`).
+    MissingFlag {
+        /// The required flag that was absent.
+        flag: &'static str,
+    },
     /// A flag value that failed validation.
     InvalidValue {
         /// The flag whose value was rejected.
@@ -260,6 +284,9 @@ impl std::fmt::Display for SpecError {
             SpecError::MissingValue { flag } => {
                 write!(f, "flag '{flag}' requires a value")
             }
+            SpecError::MissingFlag { flag } => {
+                write!(f, "required flag '{flag}' was not provided")
+            }
             SpecError::InvalidValue { flag, value, reason } => {
                 write!(f, "invalid value '{value}' for '{flag}': {reason}")
             }
@@ -281,6 +308,11 @@ struct Draft {
     telemetry: bool,
     trace_out: Option<PathBuf>,
     probe_every: u64,
+    profile: bool,
+    profile_every: u64,
+    baseline: Option<PathBuf>,
+    current: Option<PathBuf>,
+    tolerance: f64,
     churn: Option<f64>,
     loss: Option<f64>,
     seeder_exit: Option<f64>,
@@ -305,6 +337,11 @@ impl Draft {
             telemetry: false,
             trace_out: None,
             probe_every: 10,
+            profile: false,
+            profile_every: 1,
+            baseline: None,
+            current: None,
+            tolerance: 0.25,
             churn: None,
             loss: None,
             seeder_exit: None,
@@ -384,6 +421,31 @@ fn set_trace_out(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
 
 fn set_probe_every(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
     d.probe_every = parse_number(it, "--probe-every", 1)?;
+    Ok(())
+}
+
+fn set_profile(d: &mut Draft, _it: Args<'_>) -> Result<(), SpecError> {
+    d.profile = true;
+    Ok(())
+}
+
+fn set_profile_every(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    d.profile_every = parse_number(it, "--profile-every", 1)?;
+    Ok(())
+}
+
+fn set_baseline(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    d.baseline = Some(PathBuf::from(next_value(it, "--baseline")?));
+    Ok(())
+}
+
+fn set_current(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    d.current = Some(PathBuf::from(next_value(it, "--current")?));
+    Ok(())
+}
+
+fn set_tolerance(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    d.tolerance = parse_float(it, "--tolerance", 1.0)?;
     Ok(())
 }
 
@@ -507,6 +569,22 @@ static FLAGS: &[FlagDef] = &[
         is_set: |_| false,
     },
     FlagDef {
+        name: "--profile",
+        metavar: None,
+        only: None,
+        deprecated: false,
+        set: set_profile,
+        is_set: |_| false,
+    },
+    FlagDef {
+        name: "--profile-every",
+        metavar: Some("K"),
+        only: None,
+        deprecated: false,
+        set: set_profile_every,
+        is_set: |_| false,
+    },
+    FlagDef {
         name: "--retries",
         metavar: Some("N"),
         only: None,
@@ -555,6 +633,30 @@ static FLAGS: &[FlagDef] = &[
         is_set: |d| d.peers.is_some(),
     },
     FlagDef {
+        name: "--baseline",
+        metavar: Some("FILE"),
+        only: Some(&[Artifact::PerfDiff]),
+        deprecated: false,
+        set: set_baseline,
+        is_set: |d| d.baseline.is_some(),
+    },
+    FlagDef {
+        name: "--current",
+        metavar: Some("FILE"),
+        only: Some(&[Artifact::PerfDiff]),
+        deprecated: false,
+        set: set_current,
+        is_set: |d| d.current.is_some(),
+    },
+    FlagDef {
+        name: "--tolerance",
+        metavar: Some("SHARE"),
+        only: Some(&[Artifact::PerfDiff]),
+        deprecated: false,
+        set: set_tolerance,
+        is_set: |d| d.tolerance != 0.25,
+    },
+    FlagDef {
         name: "--churn",
         metavar: Some("RATE"),
         only: Some(&[Artifact::Fig4Churn]),
@@ -590,7 +692,7 @@ pub fn usage() -> String {
         .chain(["fig4-scale", "all"])
         .collect();
     let mut out = format!(
-        "usage: coop-experiments <{}>\n       coop-experiments sweep <scenario|spec.json|pack-dir>",
+        "usage: coop-experiments <{}>\n       coop-experiments sweep <scenario|spec.json|pack-dir>\n       coop-experiments perf-diff --baseline FILE --current FILE [--tolerance SHARE]",
         artifacts.join("|")
     );
 
@@ -714,6 +816,14 @@ impl RunSpec {
         if artifact == Artifact::Sweep && draft.scenario.is_none() {
             return Err(SpecError::MissingScenario);
         }
+        if artifact == Artifact::PerfDiff {
+            if draft.baseline.is_none() {
+                return Err(SpecError::MissingFlag { flag: "--baseline" });
+            }
+            if draft.current.is_none() {
+                return Err(SpecError::MissingFlag { flag: "--current" });
+            }
+        }
         if draft.resume.is_some() {
             if let Some(dir) = &draft.out_dir {
                 return Err(SpecError::InvalidValue {
@@ -735,6 +845,11 @@ impl RunSpec {
             telemetry: draft.telemetry,
             trace_out: draft.trace_out,
             probe_every: draft.probe_every,
+            profile: draft.profile,
+            profile_every: draft.profile_every,
+            baseline: draft.baseline,
+            current: draft.current,
+            tolerance: draft.tolerance,
             churn: draft.churn,
             loss: draft.loss,
             seeder_exit: draft.seeder_exit,
@@ -794,12 +909,14 @@ impl RunSpec {
     }
 
     /// The telemetry options implied by `--telemetry`, `--trace-out`,
-    /// and `--probe-every`.
+    /// `--probe-every`, `--profile`, and `--profile-every`.
     pub fn telemetry_opts(&self) -> TelemetryOpts {
         TelemetryOpts {
             enabled: self.telemetry,
             trace_out: self.trace_out.clone(),
             probe_every: self.probe_every,
+            profile: self.profile,
+            profile_every: self.profile_every,
         }
     }
 }
@@ -1083,18 +1200,70 @@ mod tests {
     fn artifact_names_round_trip() {
         // fig4-scale and sweep are parseable but deliberately not part of
         // `all`.
-        for artifact in Artifact::ALL
-            .into_iter()
-            .chain([Artifact::Fig4Scale, Artifact::All, Artifact::Sweep])
-        {
+        for artifact in Artifact::ALL.into_iter().chain([
+            Artifact::Fig4Scale,
+            Artifact::All,
+            Artifact::Sweep,
+            Artifact::PerfDiff,
+        ]) {
             assert_eq!(Artifact::parse(artifact.name()).unwrap(), artifact);
         }
         assert!(!Artifact::ALL.contains(&Artifact::Fig4Scale));
         assert!(!Artifact::ALL.contains(&Artifact::Sweep));
+        assert!(!Artifact::ALL.contains(&Artifact::PerfDiff));
         assert!(Artifact::Fig4.supports_replicates());
         assert!(Artifact::Sweep.supports_replicates());
         assert!(!Artifact::Table1.supports_replicates());
         assert!(!Artifact::Fig4Scale.supports_replicates());
+        assert!(!Artifact::PerfDiff.supports_replicates());
+    }
+
+    #[test]
+    fn profile_flags_parse_and_flow_into_telemetry_opts() {
+        let spec = parse(&["fig4", "--profile", "--profile-every", "3"]).unwrap();
+        assert!(spec.profile);
+        assert_eq!(spec.profile_every, 3);
+        let opts = spec.telemetry_opts();
+        assert!(opts.is_enabled(), "--profile implies telemetry");
+        assert!(opts.profile_due(0) && !opts.profile_due(1) && opts.profile_due(3));
+        let plain = parse(&["fig4"]).unwrap();
+        assert!(!plain.profile);
+        assert_eq!(plain.profile_every, 1);
+        assert!(!plain.telemetry_opts().is_enabled());
+    }
+
+    #[test]
+    fn perf_diff_requires_both_snapshots() {
+        let spec = parse(&[
+            "perf-diff",
+            "--baseline",
+            "a/profile.json",
+            "--current",
+            "b/profile.json",
+            "--tolerance",
+            "0.1",
+        ])
+        .unwrap();
+        assert_eq!(spec.artifact, Artifact::PerfDiff);
+        assert_eq!(
+            spec.baseline.as_deref(),
+            Some(std::path::Path::new("a/profile.json"))
+        );
+        assert_eq!(
+            spec.current.as_deref(),
+            Some(std::path::Path::new("b/profile.json"))
+        );
+        assert!((spec.tolerance - 0.1).abs() < 1e-12);
+        assert!(matches!(
+            parse(&["perf-diff", "--current", "b/profile.json"]),
+            Err(SpecError::MissingFlag { flag: "--baseline" })
+        ));
+        assert!(matches!(
+            parse(&["perf-diff", "--baseline", "a/profile.json"]),
+            Err(SpecError::MissingFlag { flag: "--current" })
+        ));
+        // The comparison flags are gated to perf-diff.
+        assert!(parse(&["fig4", "--baseline", "a/profile.json"]).is_err());
     }
 
     #[test]

@@ -14,9 +14,10 @@
 
 use std::path::{Path, PathBuf};
 
+use coop_telemetry::profile::{phase, work};
 use coop_telemetry::{
-    fingerprint_debug, PhaseTiming, Recorder, RunManifest, TelemetryConfig, TelemetryReport,
-    TraceEvent,
+    fingerprint_debug, PhaseStat, PhaseTiming, ProfileReport, Recorder, RunManifest, RunProfile,
+    TelemetryConfig, TelemetryReport, TraceEvent,
 };
 
 use crate::{OutputDir, Scale};
@@ -35,6 +36,13 @@ pub struct TelemetryOpts {
     pub trace_out: Option<PathBuf>,
     /// `--probe-every N`: round-probe cadence (default 10).
     pub probe_every: u64,
+    /// `--profile`: time the round loop's phases and write `profile.json`
+    /// (implies `enabled` — work accounting rides the recorder).
+    pub profile: bool,
+    /// `--profile-every K`: profile every K-th batch slot (default 1 =
+    /// every job). Sampling bounds timer overhead on huge grids while the
+    /// deterministic work counters still cover every job.
+    pub profile_every: u64,
 }
 
 impl Default for TelemetryOpts {
@@ -51,13 +59,21 @@ impl TelemetryOpts {
             enabled: false,
             trace_out: None,
             probe_every: 10,
+            profile: false,
+            profile_every: 1,
         }
     }
 
-    /// Whether any telemetry output was requested (`--trace-out` implies
-    /// `--telemetry`).
+    /// Whether any telemetry output was requested (`--trace-out` and
+    /// `--profile` imply `--telemetry`).
     pub fn is_enabled(&self) -> bool {
-        self.enabled || self.trace_out.is_some()
+        self.enabled || self.trace_out.is_some() || self.profile
+    }
+
+    /// Whether the job in batch `slot` carries a live profiler: profiling
+    /// is on and the slot lands on the `--profile-every` cadence.
+    pub fn profile_due(&self, slot: usize) -> bool {
+        self.profile && (slot as u64).is_multiple_of(self.profile_every.max(1))
     }
 
     /// The per-simulation recorder configuration this run uses.
@@ -94,8 +110,14 @@ pub struct JobTrace {
     /// Retries (after a panic or watchdog timeout) before this job
     /// completed; zero for first-attempt successes and journal-cache hits.
     pub retries: u64,
+    /// Population size of the job's swarm (for `profile.json` work rows).
+    pub peers: u64,
     /// Everything the job's recorder gathered.
     pub report: TelemetryReport,
+    /// Phase timings when this slot carried a live profiler
+    /// (`--profile`, subject to `--profile-every` sampling); `None` for
+    /// unprofiled, journal-replayed, and unsampled jobs.
+    pub profile: Option<ProfileReport>,
 }
 
 /// Slot-ordered telemetry for one executed batch plus the run's
@@ -109,6 +131,10 @@ pub struct BatchTrace {
     /// The owning scenario's `(name, spec fingerprint)` when the batch
     /// came from a scenario-pack sweep; carried into the manifest.
     pub scenario: Option<(String, u64)>,
+    /// Total journal append + fsync nanoseconds across the batch (set by
+    /// the executor when a journal is wired; surfaced in `profile.json`
+    /// as the `batch.journal_fsync` phase).
+    pub journal_fsync_ns: u64,
 }
 
 impl BatchTrace {
@@ -127,6 +153,7 @@ impl BatchTrace {
             jobs,
             phases: Vec::new(),
             scenario: None,
+            journal_fsync_ns: 0,
         }
     }
 
@@ -307,6 +334,71 @@ impl BatchTrace {
             events_kept: self.events_kept(),
         }
     }
+
+    /// Assembles the run's [`RunProfile`] (`profile.json`): per-job phase
+    /// reports merged in slot order, the batch's own wall phases mapped
+    /// onto the `batch.*` taxonomy, the deterministic `swarm.work.*` and
+    /// `*.rebuilds` structural counters (the latter feed `perf-diff`'s
+    /// availability-rebuild gate), and one work row per job.
+    /// Journal-replayed jobs carry empty reports, so their rows show zero
+    /// visits (ratio `null`).
+    pub fn run_profile(&self, artifact: &str, scale: Scale) -> RunProfile {
+        let mut merged = ProfileReport::default();
+        let mut profiled_jobs = 0u64;
+        for job in &self.jobs {
+            if let Some(profile) = &job.profile {
+                profiled_jobs += 1;
+                merged.merge(profile);
+            }
+        }
+        let mut phases = merged.phases;
+        for timing in &self.phases {
+            let name = match timing.name.as_str() {
+                "simulate" => phase::BATCH_SIMULATE,
+                "write_artifacts" => phase::BATCH_WRITE_ARTIFACTS,
+                _ => continue,
+            };
+            push_phase_ns(&mut phases, name, timing.wall_ms.saturating_mul(1_000_000));
+        }
+        if self.journal_fsync_ns > 0 {
+            push_phase_ns(&mut phases, phase::BATCH_JOURNAL_FSYNC, self.journal_fsync_ns);
+        }
+        RunProfile {
+            artifact: artifact.to_string(),
+            scale: scale.name().to_string(),
+            jobs: self.jobs.len() as u64,
+            profiled_jobs,
+            phases,
+            work: self
+                .merged_counters()
+                .into_iter()
+                .filter(|(name, _)| {
+                    name.starts_with("swarm.work.") || name.ends_with(".rebuilds")
+                })
+                .collect(),
+            per_job: self
+                .jobs
+                .iter()
+                .map(|j| coop_telemetry::JobWork {
+                    label: j.label.clone(),
+                    seed: j.seed,
+                    peers: j.peers,
+                    visited: j.report.counter(work::PEERS_VISITED),
+                    productive: j.report.counter(work::PEERS_PRODUCTIVE),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Adds `ns` as one observation of `name`, keeping `phases` sorted.
+fn push_phase_ns(phases: &mut Vec<(String, PhaseStat)>, name: &str, ns: u64) {
+    let mut stat = PhaseStat::default();
+    stat.observe_ns(ns);
+    match phases.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+        Ok(i) => phases[i].1.merge(&stat),
+        Err(i) => phases.insert(i, (name.to_string(), stat)),
+    }
 }
 
 #[cfg(test)]
@@ -321,10 +413,12 @@ mod tests {
             wall_ms,
             slow: false,
             retries: 0,
+            peers: 80,
             report: TelemetryReport {
                 counters,
                 ..TelemetryReport::default()
             },
+            profile: None,
         }
     }
 
@@ -387,10 +481,75 @@ mod tests {
             enabled: false,
             trace_out: Some(PathBuf::from("t.jsonl")),
             probe_every: 4,
+            ..TelemetryOpts::disabled()
         };
         assert!(opts.is_enabled(), "--trace-out implies telemetry");
         assert_eq!(opts.recorder_config().probe_every, 4);
         assert!(opts.recorder().is_enabled());
+    }
+
+    #[test]
+    fn profile_implies_telemetry_and_samples_slots() {
+        let opts = TelemetryOpts {
+            profile: true,
+            ..TelemetryOpts::disabled()
+        };
+        assert!(opts.is_enabled(), "--profile implies telemetry");
+        assert!(opts.profile_due(0) && opts.profile_due(1), "default cadence is 1");
+        let sampled = TelemetryOpts {
+            profile: true,
+            profile_every: 3,
+            ..TelemetryOpts::disabled()
+        };
+        let due: Vec<usize> = (0..7).filter(|&s| sampled.profile_due(s)).collect();
+        assert_eq!(due, vec![0, 3, 6]);
+        assert!(!TelemetryOpts::disabled().profile_due(0), "off means never due");
+    }
+
+    #[test]
+    fn run_profile_merges_jobs_and_maps_batch_phases() {
+        let mut profiled = coop_telemetry::Profiler::enabled();
+        profiled.record_ns(phase::SIM_RUN, 1000);
+        profiled.record_ns(phase::SIM_ALLOCATE, 600);
+        let mut j0 = job(
+            0,
+            1,
+            vec![
+                (work::PEERS_VISITED.into(), 100),
+                (work::PEERS_PRODUCTIVE.into(), 60),
+                ("swarm.rounds".into(), 10),
+            ],
+        );
+        j0.profile = Some(profiled.into_report());
+        let j1 = job(1, 1, vec![(work::PEERS_VISITED.into(), 50)]);
+        let mut batch = BatchTrace::new(vec![j0, j1]);
+        batch.push_phase("simulate", 2);
+        batch.push_phase("write_artifacts", 1);
+        batch.journal_fsync_ns = 7;
+        let profile = batch.run_profile("fig4", Scale::Quick);
+        profile.validate().expect("assembled profile validates");
+        assert_eq!((profile.jobs, profile.profiled_jobs), (2, 1));
+        assert_eq!(profile.phase(phase::SIM_RUN).unwrap().total_ns, 1000);
+        assert_eq!(
+            profile.phase(phase::BATCH_SIMULATE).unwrap().total_ns,
+            2_000_000
+        );
+        assert_eq!(
+            profile.phase(phase::BATCH_JOURNAL_FSYNC).unwrap().total_ns,
+            7
+        );
+        assert_eq!(profile.work_counter(work::PEERS_VISITED), 150);
+        assert!(
+            !profile.work.iter().any(|(n, _)| n == "swarm.rounds"),
+            "only swarm.work.* counters belong in the work section"
+        );
+        assert_eq!(profile.per_job.len(), 2);
+        assert_eq!(profile.per_job[0].visited, 100);
+        assert_eq!(profile.per_job[1].productive, 0);
+        let names: Vec<&str> = profile.phases.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "phases stay sorted after batch inserts");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! [`PopulationPatch`], which `coop-attacks` implements for its
 //! `AttackPlan` — so this crate never depends on the attack catalogue.
 
-use coop_telemetry::Recorder;
+use coop_telemetry::{Profiler, Recorder};
 
 use crate::config::{ConfigError, PeerSpec, SwarmConfig};
 use crate::faults::{FaultPatch, FaultSchedule};
@@ -111,6 +111,7 @@ pub struct SimulationBuilder {
     fault_patch: Option<Box<dyn FaultPatch>>,
     fault_schedule: Option<FaultSchedule>,
     recorder: Recorder,
+    profiler: Profiler,
     naive_hotpath: bool,
     checkpoint_every: Option<u64>,
 }
@@ -135,6 +136,7 @@ impl SimulationBuilder {
             fault_patch: None,
             fault_schedule: None,
             recorder: Recorder::disabled(),
+            profiler: Profiler::disabled(),
             naive_hotpath: false,
             checkpoint_every: None,
         }
@@ -169,6 +171,15 @@ impl SimulationBuilder {
     /// gathered with [`Simulation::run_traced`].
     pub fn recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Attaches a wall-clock [`Profiler`] (disabled by default). Like the
+    /// recorder, the profiler is purely observational: attaching one never
+    /// changes the simulation's results — it only times the round-loop
+    /// phases. Collect what it gathered with [`Simulation::run_profiled`].
+    pub fn profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
         self
     }
 
@@ -269,6 +280,7 @@ impl SimulationBuilder {
         let mut sim = Simulation::assemble(self.config, self.population, self.recorder, faults);
         sim.naive_hotpath = self.naive_hotpath;
         sim.set_checkpoint_every(self.checkpoint_every);
+        sim.set_profiler(self.profiler);
         Ok(sim)
     }
 }

@@ -101,6 +101,9 @@ pub(crate) struct CheckpointState {
     pub(crate) compliant_completed: usize,
     pub(crate) naive_hotpath: bool,
     pub(crate) naive_probe_rebuilds: u64,
+    pub(crate) work_visited: u64,
+    pub(crate) work_productive: u64,
+    pub(crate) work_candidate_scans: u64,
     pub(crate) probe_prev_bytes: [u64; GrantReason::ALL.len()],
     pub(crate) faults: crate::faults::FaultSchedule,
     pub(crate) fault_cursor: usize,

@@ -12,8 +12,10 @@ use std::collections::BTreeSet;
 
 use coop_des::rng::SeedTree;
 use coop_des::{Engine, RoundDriver, SimTime};
+use coop_telemetry::profile::phase;
 use coop_telemetry::{
-    Category, Histogram, Recorder, Sampling, TelemetryConfig, TelemetryReport, TraceEvent,
+    Category, Histogram, PhaseToken, ProfileReport, Profiler, Recorder, Sampling, TelemetryConfig,
+    TelemetryReport, TraceEvent,
 };
 use coop_incentives::ledger::{ReportedReputation, ReputationTable};
 use coop_incentives::metrics::TimeSeries;
@@ -105,6 +107,20 @@ pub struct Simulation {
     /// never draws from [`Self::seeds`]: enabling it cannot change a
     /// run's results (pinned by the `telemetry_determinism` test).
     recorder: Recorder,
+    /// Observational wall-clock phase timers (disabled by default). Like
+    /// the recorder, never consulted by simulation logic and deliberately
+    /// not checkpointed — enabling profiling cannot change a run's
+    /// results (pinned by the `profile_byte_identity` tests).
+    profiler: Profiler,
+    /// Peers visited by the per-round allocation loop (deterministic
+    /// work accounting, flushed as `swarm.work.peers_visited`).
+    work_visited: u64,
+    /// Visited peers that moved at least one byte
+    /// (`swarm.work.peers_productive`).
+    work_productive: u64,
+    /// Total candidate-list length scanned across allocation visits
+    /// (`swarm.work.candidate_scans`).
+    work_candidate_scans: u64,
     /// [`Totals::bytes_by_reason`] as of the previous round probe, for
     /// per-probe deltas.
     probe_prev_bytes: [u64; GrantReason::ALL.len()],
@@ -244,6 +260,10 @@ impl Simulation {
             naive_hotpath: false,
             naive_probe_rebuilds: 0,
             recorder,
+            profiler: Profiler::disabled(),
+            work_visited: 0,
+            work_productive: 0,
+            work_candidate_scans: 0,
             probe_prev_bytes: [0; GrantReason::ALL.len()],
             spec_peer: vec![None; spec_count],
             faults,
@@ -268,6 +288,22 @@ impl Simulation {
     /// [`SimCheckpoint`] after every `k`-th completed round.
     pub(crate) fn set_checkpoint_every(&mut self, k: Option<u64>) {
         self.checkpoint_every = k.filter(|&k| k > 0);
+    }
+
+    /// Attaches the wall-clock profiler (builder plumbing).
+    pub(crate) fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
+    }
+
+    /// Attaches a wall-clock profiler to a built simulation. Unlike
+    /// [`SimulationBuilder::profiler`](crate::SimulationBuilder::profiler)
+    /// this lets the caller time construction itself (the `exec.build`
+    /// phase) on the same profiler before handing it over. Purely
+    /// observational: results are identical with any profiler attached.
+    #[must_use]
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
+        self
     }
 
     /// The configuration.
@@ -370,8 +406,19 @@ impl Simulation {
     /// [`Recorder`] gathered (an empty report when none was attached —
     /// see [`SimulationBuilder::recorder`](crate::SimulationBuilder::recorder)).
     pub fn run_traced(self) -> (SimResult, TelemetryReport) {
-        let (result, report, _) = self.run_checkpointed();
+        let (result, report, _, _) = self.run_core();
         (result, report)
+    }
+
+    /// Runs the simulation and also returns what the attached wall-clock
+    /// [`Profiler`] gathered (an empty report when none was attached —
+    /// see [`SimulationBuilder::profiler`](crate::SimulationBuilder::profiler)).
+    ///
+    /// Profiling is observational: results are byte-identical with the
+    /// profiler enabled, disabled, or sampling at any cadence.
+    pub fn run_profiled(self) -> (SimResult, TelemetryReport, ProfileReport) {
+        let (result, report, profile, _) = self.run_core();
+        (result, report, profile)
     }
 
     /// Runs the simulation and also returns the [`CheckpointLog`] of
@@ -382,14 +429,20 @@ impl Simulation {
     /// Checkpointing is observational: results are identical with any
     /// cadence, including none (pinned by the `checkpoint_equivalence`
     /// test battery).
-    pub fn run_checkpointed(mut self) -> (SimResult, TelemetryReport, CheckpointLog) {
+    pub fn run_checkpointed(self) -> (SimResult, TelemetryReport, CheckpointLog) {
+        let (result, report, _, checkpoints) = self.run_core();
+        (result, report, checkpoints)
+    }
+
+    fn run_core(mut self) -> (SimResult, TelemetryReport, ProfileReport, CheckpointLog) {
+        let run_t = self.profiler.start();
         let deadline = self.rounds.start_of(self.config.max_rounds + 1);
         let mut engine = std::mem::take(&mut self.engine);
         engine.run_until(deadline, |now, ev, eng| self.handle(now, ev, eng));
         self.engine = engine;
         let checkpoints = std::mem::take(&mut self.checkpoints);
-        let (result, report) = self.finalize();
-        (result, report, checkpoints)
+        let (result, report, profile) = self.finalize(run_t);
+        (result, report, profile, checkpoints)
     }
 
     /// Restores a mid-run checkpoint onto this freshly built simulation,
@@ -454,6 +507,9 @@ impl Simulation {
         self.compliant_completed = s.compliant_completed;
         self.naive_hotpath = s.naive_hotpath;
         self.naive_probe_rebuilds = s.naive_probe_rebuilds;
+        self.work_visited = s.work_visited;
+        self.work_productive = s.work_productive;
+        self.work_candidate_scans = s.work_candidate_scans;
         self.probe_prev_bytes = s.probe_prev_bytes;
         self.faults = s.faults.clone();
         self.fault_cursor = s.fault_cursor;
@@ -468,10 +524,11 @@ impl Simulation {
         self.bootstrapped_frac = s.bootstrapped_frac.clone();
         self.completed_frac = s.completed_frac.clone();
         self.susceptibility = s.susceptibility.clone();
-        // Scratch buffers, the round driver, the recorder, and the
-        // checkpoint settings stay as built: the first two are
-        // config-derived or lazily sized, the last two are deliberately
-        // not simulation state.
+        // Scratch buffers, the round driver, the recorder, the profiler,
+        // and the checkpoint settings stay as built: the first two are
+        // config-derived or lazily sized, the rest are deliberately not
+        // simulation state (observation travels with the run, not the
+        // checkpoint).
         Ok(self)
     }
 
@@ -507,6 +564,9 @@ impl Simulation {
             compliant_completed: self.compliant_completed,
             naive_hotpath: self.naive_hotpath,
             naive_probe_rebuilds: self.naive_probe_rebuilds,
+            work_visited: self.work_visited,
+            work_productive: self.work_productive,
+            work_candidate_scans: self.work_candidate_scans,
             probe_prev_bytes: self.probe_prev_bytes,
             faults: self.faults.clone(),
             fault_cursor: self.fault_cursor,
@@ -530,11 +590,16 @@ impl Simulation {
     fn handle(&mut self, now: SimTime, ev: Event, eng: &mut Engine<Event>) {
         self.now = now;
         match ev {
-            Event::Arrival(idx) => self.spawn_peer(idx, now),
+            Event::Arrival(idx) => {
+                let t = self.profiler.start();
+                self.spawn_peer(idx, now);
+                self.profiler.stop(phase::SIM_ARRIVALS, t);
+            }
             Event::RoundTick => {
                 self.round_idx = self.rounds.round_of(now).saturating_sub(1);
                 self.step_round(now);
                 self.round_idx += 1;
+                let close_t = self.profiler.start();
                 // Non-compliant peers may never finish (a strict mechanism
                 // can starve them forever), so they don't hold the run open
                 // — except whitewashers: their identity churn is the very
@@ -586,6 +651,7 @@ impl Simulation {
                         }
                     }
                 }
+                self.profiler.stop(phase::SIM_ROUND_CLOSE, close_t);
             }
         }
     }
@@ -712,14 +778,24 @@ impl Simulation {
     }
 
     fn step_round(&mut self, now: SimTime) {
+        let t = self.profiler.start();
         self.apply_faults_pass(now);
+        self.profiler.stop(phase::SIM_FAULTS, t);
+
+        let t = self.profiler.start();
         self.whitewash_pass(now);
         self.collusion_praise_pass();
         if self.config.trusted_reputation {
             self.trusted_cache = self.reports.trusted_scores(&self.pretrusted);
         }
+        self.profiler.stop(phase::SIM_IDENTITY, t);
+
+        let t = self.profiler.start();
         self.replenish_neighbors();
         self.refresh_candidates();
+        self.profiler.stop(phase::SIM_ADJACENCY, t);
+
+        let t = self.profiler.start();
         self.seeder_allocate(now);
 
         // Peers allocate in a per-round shuffled order.
@@ -749,14 +825,30 @@ impl Simulation {
             let mut rng = self.round_rng(0);
             order.shuffle(&mut rng);
         }
+        // Work accounting (deterministic): every online peer is visited
+        // whether or not it has anything to do — exactly the O(N·degree)
+        // waste a dirty-set round loop would avoid (ROADMAP item 1).
+        self.work_visited += order.len() as u64;
+        self.recorder
+            .observe("swarm.round.active_set", order.len() as u64);
         for pid in order {
-            self.allocate_and_execute(PeerId::new(pid), now);
+            if self.allocate_and_execute(PeerId::new(pid), now) > 0 {
+                self.work_productive += 1;
+            }
         }
+        self.profiler.stop(phase::SIM_ALLOCATE, t);
 
+        let t = self.profiler.start();
         self.stalled_transfers_pass();
         self.obligations_pass(now);
         self.completions_pass(now);
+        self.profiler.stop(phase::SIM_SETTLE, t);
+
+        let t = self.profiler.start();
         self.end_round_pass();
+        self.profiler.stop(phase::SIM_END_ROUND, t);
+
+        let t = self.profiler.start();
         if self.round_idx.is_multiple_of(self.config.sample_every) {
             self.sample_metrics(now);
         }
@@ -764,6 +856,7 @@ impl Simulation {
         if self.recorder.probe_due(self.round_idx) {
             self.round_probe(now);
         }
+        self.profiler.stop(phase::SIM_SAMPLE, t);
     }
 
     /// Emits one [`TraceEvent::RoundProbe`] snapshot (only called on the
@@ -837,23 +930,28 @@ impl Simulation {
         });
     }
 
-    fn allocate_and_execute(&mut self, id: PeerId, now: SimTime) {
+    /// Returns the bytes this visit actually moved (drained plus newly
+    /// granted) — the signal behind the `swarm.work.peers_productive`
+    /// counter.
+    fn allocate_and_execute(&mut self, id: PeerId, now: SimTime) -> u64 {
         let idx = id.index() as usize;
         if !self.peers[idx].is_active() || self.peers[idx].offline {
-            return;
+            return 0;
         }
         let budget = self.config.bytes_per_round(self.peers[idx].capacity_bps);
         if budget == 0 {
-            return;
+            return 0;
         }
         // Drain committed partial transfers before allocating new ones: a
         // real client finishes the requests it has already accepted, which
         // is what keeps partially transferred pieces from being abandoned
         // when the policy's targets rotate.
-        let budget = budget - self.drain_partials(id, now).min(budget);
+        let drained = self.drain_partials(id, now).min(budget);
+        let budget = budget - drained;
         if budget == 0 {
-            return;
+            return drained;
         }
+        self.work_candidate_scans += self.round_candidates(id).len() as u64;
         let mut mech = self.peers[idx]
             .mechanism
             .take()
@@ -881,6 +979,7 @@ impl Simulation {
             let used = self.execute_grant(id, g.to, bytes, g.reason, g.condition, now, &mut exec_rng);
             remaining -= used;
         }
+        drained + (budget - remaining)
     }
 
     /// Progresses this uploader's existing partial transfers (oldest-pair
@@ -1003,7 +1102,10 @@ impl Simulation {
                     break;
                 }
             }
-            let Some((piece, len)) = self.pick_piece(from, to, rng) else {
+            let pick_t = self.profiler.start();
+            let picked = self.pick_piece(from, to, rng);
+            self.profiler.stop(phase::SIM_PIECE_PICK, pick_t);
+            let Some((piece, len)) = picked else {
                 break;
             };
             self.peers[to.index() as usize].inflight.insert(piece);
@@ -2003,7 +2105,9 @@ impl Simulation {
         }
     }
 
-    fn finalize(mut self) -> (SimResult, TelemetryReport) {
+    fn finalize(mut self, run_t: PhaseToken) -> (SimResult, TelemetryReport, ProfileReport) {
+        let mut profiler = std::mem::take(&mut self.profiler);
+        let fin_t = profiler.start();
         let mut recorder = std::mem::take(&mut self.recorder);
         // Hot-path health counters: on the indexed path the availability
         // histogram is never rebuilt from scratch (the CI scale-smoke job
@@ -2014,6 +2118,17 @@ impl Simulation {
             self.availability.rebuilds() + self.naive_probe_rebuilds,
         );
         recorder.incr("swarm.adjacency.rebuilds", self.adjacency_rebuilds);
+        // Deterministic work accounting — how much of the O(N·degree)
+        // round-loop scan did useful work (see `coop_telemetry::profile::work`).
+        recorder.incr(coop_telemetry::profile::work::PEERS_VISITED, self.work_visited);
+        recorder.incr(
+            coop_telemetry::profile::work::PEERS_PRODUCTIVE,
+            self.work_productive,
+        );
+        recorder.incr(
+            coop_telemetry::profile::work::CANDIDATE_SCANS,
+            self.work_candidate_scans,
+        );
         if recorder.is_enabled() {
             recorder.incr("engine.events_processed", self.engine.events_processed());
             recorder.record_max(
@@ -2102,7 +2217,9 @@ impl Simulation {
             totals: self.totals,
             stalled: self.stalled,
         };
-        (result, recorder.into_report())
+        profiler.stop(phase::SIM_FINALIZE, fin_t);
+        profiler.stop(phase::SIM_RUN, run_t);
+        (result, recorder.into_report(), profiler.into_report())
     }
 }
 

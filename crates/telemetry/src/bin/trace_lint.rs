@@ -3,20 +3,23 @@
 //! Usage:
 //!
 //! ```text
-//! coop-trace-lint <trace.jsonl> [manifest.json ...]
+//! coop-trace-lint <trace.jsonl> [manifest.json ...] [profile.json ...]
 //! ```
 //!
 //! Each `.jsonl` argument is checked line by line: every line must parse
 //! as a JSON object carrying string `type` and `cat` fields, with `cat`
-//! one of the known categories. Each `manifest.json` argument must
-//! decode as a full [`coop_telemetry::RunManifest`]. Exit status is 0
-//! when every file is clean; any problem prints a diagnostic to stderr
-//! and exits 1. CI runs this against the smoke run's outputs.
+//! one of the known categories. An argument whose file name ends in
+//! `profile.json` must decode as a [`coop_telemetry::RunProfile`] and
+//! pass its structural validation (schema version, taxonomy phase names,
+//! histogram/duration consistency, `productive <= visited`). Any other
+//! argument must decode as a full [`coop_telemetry::RunManifest`]. Exit
+//! status is 0 when every file is clean; any problem prints a diagnostic
+//! to stderr and exits 1. CI runs this against the smoke runs' outputs.
 
 use std::process::ExitCode;
 
 use coop_telemetry::json::{self, Json};
-use coop_telemetry::{Category, RunManifest};
+use coop_telemetry::{Category, RunManifest, RunProfile};
 
 fn lint_jsonl(path: &str, text: &str) -> Result<usize, String> {
     let known: Vec<&str> = Category::ALL.iter().map(|c| c.name()).collect();
@@ -50,6 +53,15 @@ fn lint_file(path: &str) -> Result<String, String> {
     if path.ends_with(".jsonl") {
         let events = lint_jsonl(path, &text)?;
         Ok(format!("{path}: ok ({events} events)"))
+    } else if path.ends_with("profile.json") {
+        let profile = lint_profile(&text).map_err(|e| format!("{path}: {e}"))?;
+        Ok(format!(
+            "{path}: ok (artifact {}, {} phases, {}/{} jobs profiled)",
+            profile.artifact,
+            profile.phases.len(),
+            profile.profiled_jobs,
+            profile.jobs
+        ))
     } else {
         let manifest = RunManifest::parse(&text).map_err(|e| format!("{path}: {e}"))?;
         Ok(format!(
@@ -61,10 +73,17 @@ fn lint_file(path: &str) -> Result<String, String> {
     }
 }
 
+/// Parses and structurally validates one `profile.json`.
+fn lint_profile(text: &str) -> Result<RunProfile, String> {
+    let profile = RunProfile::parse(text)?;
+    profile.validate()?;
+    Ok(profile)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: coop-trace-lint <trace.jsonl | manifest.json> ...");
+        eprintln!("usage: coop-trace-lint <trace.jsonl | manifest.json | profile.json> ...");
         return ExitCode::FAILURE;
     }
     let mut failed = false;
@@ -113,5 +132,27 @@ mod tests {
         assert!(lint_jsonl("t.jsonl", "not json\n").is_err());
         assert!(lint_jsonl("t.jsonl", "{\"type\":\"x\"}\n").is_err());
         assert!(lint_jsonl("t.jsonl", "{\"type\":\"x\",\"cat\":\"nope\"}\n").is_err());
+    }
+
+    #[test]
+    fn profile_lint_round_trips_and_rejects_bad_taxonomy() {
+        use coop_telemetry::profile::phase;
+        use coop_telemetry::{PhaseStat, RunProfile};
+        let mut stat = PhaseStat::default();
+        stat.observe_ns(1000);
+        let profile = RunProfile {
+            artifact: "fig4".into(),
+            scale: "quick".into(),
+            jobs: 1,
+            profiled_jobs: 1,
+            phases: vec![(phase::SIM_RUN.to_string(), stat)],
+            work: vec![],
+            per_job: vec![],
+        };
+        let text = profile.to_json_pretty();
+        assert!(lint_profile(&text).is_ok());
+        let bad = text.replace(phase::SIM_RUN, "sim.not_a_phase");
+        assert!(lint_profile(&bad).unwrap_err().contains("taxonomy"));
+        assert!(lint_profile("{}").is_err());
     }
 }

@@ -15,6 +15,10 @@
 //! - [`RunManifest`] — the per-run `manifest.json` written next to
 //!   artifacts: config fingerprint, seed, mechanisms, attack scenario,
 //!   wall-clock phase timings, and counter totals.
+//! - [`Profiler`] / [`RunProfile`] — scoped monotonic phase timers over
+//!   the [`profile::phase`] taxonomy and the per-run `profile.json` they
+//!   feed: per-phase log2 duration histograms plus deterministic
+//!   work-accounting counters.
 //! - [`json`] — the in-house JSON writer/parser that keeps all of the
 //!   above dependency-free (the vendored `serde_json` shim cannot parse).
 //! - [`write_atomic`] — the crash-safe tmp-file + fsync + rename write
@@ -37,11 +41,16 @@ pub mod atomic;
 pub mod event;
 pub mod json;
 pub mod manifest;
+pub mod profile;
 pub mod recorder;
 pub mod sink;
 
 pub use atomic::{write_atomic, write_atomic_str};
 pub use event::{Category, TraceEvent};
 pub use manifest::{fingerprint_debug, Fnv, PhaseTiming, RunManifest, MANIFEST_FILE};
+pub use profile::{
+    JobWork, PhaseStat, PhaseToken, ProfileReport, Profiler, RunProfile, Stopwatch, PROFILE_FILE,
+    PROFILE_SCHEMA_VERSION,
+};
 pub use recorder::{Histogram, Recorder, Sampling, SpanStats, TelemetryConfig, TelemetryReport};
 pub use sink::{AtomicFile, CsvProbeSink, JsonlSink, MemorySink, Sink, StderrSink, PROBE_CSV_HEADER};

@@ -108,6 +108,7 @@ fn retries_recover_flakes_without_changing_results() {
         enabled: true,
         trace_out: None,
         probe_every: 4,
+        ..TelemetryOpts::disabled()
     };
     let run = flaky.run_sims_robust(&jobs, &opts);
     assert!(run.failures.is_empty(), "{:?}", run.failures);

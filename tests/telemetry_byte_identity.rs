@@ -67,6 +67,7 @@ fn fig4_artifacts_are_byte_identical_across_telemetry_modes() {
         enabled: true,
         trace_out: Some(trace_path.clone()),
         probe_every: 1,
+        ..TelemetryOpts::disabled()
     };
     let (report_on, trace_on) = runners::fig4::run_with_telemetry(
         Scale::Quick,
@@ -83,6 +84,7 @@ fn fig4_artifacts_are_byte_identical_across_telemetry_modes() {
         enabled: true,
         trace_out: None,
         probe_every: 7,
+        ..TelemetryOpts::disabled()
     };
     let (report_sampled, _) = runners::fig4::run_with_telemetry(
         Scale::Quick,
@@ -193,6 +195,7 @@ fn replicated_fig4_is_unchanged_by_telemetry() {
         enabled: true,
         trace_out: None,
         probe_every: 3,
+        ..TelemetryOpts::disabled()
     };
     let (report_on, trace) = runners::fig4::run_replicated_with_telemetry(
         Scale::Quick,
