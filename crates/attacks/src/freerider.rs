@@ -44,6 +44,13 @@ impl Mechanism for FreeRider {
     fn allocate(&mut self, _view: &dyn SwarmView, _budget: u64, _rng: &mut dyn RngCore) -> Vec<Grant> {
         Vec::new()
     }
+
+    // Always returns nothing and touches nothing: the dirty-set round
+    // loop can stop visiting a free-rider after its first grantless
+    // round (it still receives — other peers' mechanisms decide that).
+    fn allocate_is_memoryless(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -11,14 +11,15 @@
 //!   availability lookup, versus [`AvailabilityIndex::pick_rarest_into`]'s
 //!   word-masked scan over the shared counts slice. Both draw identical
 //!   picks (pinned by the swarm equivalence battery).
-//! * `sim_n5000` — a full 5000-peer swarm, naive vs indexed round loop,
-//!   same seed, byte-identical results. The ratio of the two medians is
-//!   the hot-path speedup recorded in `BENCH_2026-08-07_scale.json`. A
-//!   third `indexed_profiled` variant runs the same sim with the phase
-//!   [`Profiler`] live, so its delta against `indexed` is the profiler's
-//!   whole-run overhead; before the timing loop the per-phase breakdown
-//!   of one profiled run is printed to stderr (the same attribution that
-//!   `BENCH_2026-08-09_profile.json` snapshots via the CLI).
+//! * `sim_n5000` — a full 5000-peer swarm, naive vs indexed vs dirty-set
+//!   round loop, same seed, byte-identical results. The median ratios are
+//!   the hot-path speedups recorded in `BENCH_2026-08-07_scale.json` and
+//!   `BENCH_2026-08-09_scale.json`. A fourth `dirty_profiled` variant
+//!   runs the default loop with the phase [`Profiler`] live, so its delta
+//!   against `dirty` is the profiler's whole-run overhead; before the
+//!   timing loop the per-phase breakdown of one profiled run is printed
+//!   to stderr (the same attribution that `BENCH_2026-08-09_profile.json`
+//!   snapshots via the CLI).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -30,7 +31,7 @@ use coop_incentives::MechanismKind;
 use coop_piece::{
     AvailabilityIndex, Bitfield, FileSpec, PiecePicker, RarestFirstPicker,
 };
-use coop_swarm::{flash_crowd_with, SimResult, Simulation, SwarmConfig};
+use coop_swarm::{flash_crowd_with, RoundLoop, SimResult, Simulation, SwarmConfig};
 use coop_telemetry::{profile::phase, ProfileReport, Profiler};
 
 const PIECES: u32 = 2048;
@@ -107,7 +108,9 @@ fn scale_config(seed: u64) -> SwarmConfig {
     c
 }
 
-fn run_scale_sim(naive: bool) -> SimResult {
+fn run_scale_sim(mode: Option<RoundLoop>) -> SimResult {
+    // `None` runs the naive oracle; `Some` picks the indexed or
+    // dirty-set loop. All three produce identical results.
     let config = scale_config(42);
     let population = flash_crowd_with(
         &config,
@@ -117,17 +120,19 @@ fn run_scale_sim(naive: bool) -> SimResult {
         &CapacityClassMix::paper_default(),
         Duration::from_secs(10),
     );
-    Simulation::builder(config)
-        .population(population)
-        .naive_hotpath(naive)
-        .build()
-        .expect("scale config validates")
-        .run()
+    let builder = Simulation::builder(config).population(population);
+    match mode {
+        None => builder.naive_hotpath(true),
+        Some(round_loop) => builder.round_loop(round_loop),
+    }
+    .build()
+    .expect("scale config validates")
+    .run()
 }
 
-/// The indexed scale cell with phase timers live, returning the gathered
-/// per-phase breakdown (the result bytes are identical to
-/// [`run_scale_sim`]`(false)` — profiling only observes).
+/// The default (dirty-set) scale cell with phase timers live, returning
+/// the gathered per-phase breakdown (the result bytes are identical to
+/// every [`run_scale_sim`] mode — profiling only observes).
 fn run_scale_sim_profiled() -> (SimResult, ProfileReport) {
     let config = scale_config(42);
     let population = flash_crowd_with(
@@ -173,12 +178,16 @@ fn bench_sim_n5000(c: &mut Criterion) {
     print_phase_breakdown(&profile);
     let mut group = c.benchmark_group("sim_n5000");
     group.sample_size(2);
-    for (label, naive) in [("naive", true), ("indexed", false)] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &naive, |b, &naive| {
-            b.iter(|| black_box(run_scale_sim(naive)))
+    for (label, mode) in [
+        ("naive", None),
+        ("indexed", Some(RoundLoop::Indexed)),
+        ("dirty", Some(RoundLoop::Dirty)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            b.iter(|| black_box(run_scale_sim(mode)))
         });
     }
-    group.bench_function("indexed_profiled", |b| {
+    group.bench_function("dirty_profiled", |b| {
         b.iter(|| black_box(run_scale_sim_profiled()))
     });
     group.finish();

@@ -185,12 +185,29 @@ impl MechanismParams {
 /// Each round the simulator calls [`Mechanism::allocate`] with the peer's
 /// remaining upload budget in bytes; the mechanism returns grants whose
 /// total must not exceed the budget (the simulator clamps regardless).
-pub trait Mechanism: std::fmt::Debug + Send {
+pub trait Mechanism: std::fmt::Debug + Send + Sync {
     /// Which of the six algorithms this is.
     fn kind(&self) -> MechanismKind;
 
     /// Decides this round's upload grants.
     fn allocate(&mut self, view: &dyn SwarmView, budget: u64, rng: &mut dyn RngCore) -> Vec<Grant>;
+
+    /// True when [`allocate`](Self::allocate) is a pure function of the
+    /// view and budget: no internal counters or sticky targets mutated
+    /// across calls, no RNG draws, no dependence on the round number. For
+    /// such mechanisms an unproductive call repeats verbatim until one of
+    /// its inputs (ledgers, deficits, reputations, interest, neighbor
+    /// set, budget) changes, so the dirty-set round loop may drop the
+    /// peer from the visit set after a grantless round and rely on the
+    /// simulator's mark sites to resurrect it on any input change.
+    ///
+    /// The default is `false` — the conservative answer that keeps a peer
+    /// visited every round while it has an interested neighbor. Only
+    /// override to `true` when every call site of mutable state in
+    /// `allocate` has been audited away.
+    fn allocate_is_memoryless(&self) -> bool {
+        false
+    }
 
     /// Hook called at the end of every round (after transfers execute).
     fn on_round_end(&mut self, _view: &dyn SwarmView) {}

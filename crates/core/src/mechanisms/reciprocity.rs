@@ -44,6 +44,15 @@ impl Mechanism for Reciprocity {
         MechanismKind::Reciprocity
     }
 
+    // `allocate` reads only the ledger and interest bits and never draws
+    // RNG or mutates `self` (the struct has no fields) — in the paper's
+    // regime it returns nothing forever, so skipping grantless peers
+    // until their credit or interest changes is what lets the dirty-set
+    // round loop collapse pure-reciprocity cells.
+    fn allocate_is_memoryless(&self) -> bool {
+        true
+    }
+
     fn allocate(
         &mut self,
         view: &dyn SwarmView,

@@ -148,18 +148,21 @@ impl SimJob {
         config: Option<&TelemetryConfig>,
         checkpoint_every: Option<u64>,
     ) -> (SimResult, TelemetryReport) {
-        let (result, report, _) = self.run_profiled(config, checkpoint_every, false);
+        let (result, report, _) = self.run_profiled(config, checkpoint_every, false, 1);
         (result, report)
     }
 
     /// [`SimJob::run_with`] with an optionally live wall-clock profiler
-    /// (`--profile`). Like the recorder, the profiler only observes: the
-    /// [`SimResult`] is byte-identical whether `profiled` is set or not.
+    /// (`--profile`) and an intra-sim shard count (`--shards`). Like the
+    /// recorder, both only observe the result: the [`SimResult`] is
+    /// byte-identical whether `profiled` is set or not and for any
+    /// `shards` value.
     pub fn run_profiled(
         &self,
         config: Option<&TelemetryConfig>,
         checkpoint_every: Option<u64>,
         profiled: bool,
+        shards: usize,
     ) -> (SimResult, TelemetryReport, ProfileReport) {
         let recorder = match config {
             Some(config) => Recorder::enabled(config.clone()),
@@ -175,6 +178,7 @@ impl SimJob {
             recorder,
             checkpoint_every,
             profiled,
+            shards,
         )
     }
 
@@ -455,6 +459,7 @@ enum AttemptOutcome {
 #[derive(Clone, Debug)]
 pub struct Executor {
     jobs: usize,
+    shards: usize,
     retries: u64,
     job_timeout: Option<Duration>,
     checkpoint_every: Option<u64>,
@@ -473,6 +478,7 @@ impl Executor {
     pub fn new(jobs: usize) -> Self {
         Executor {
             jobs: jobs.max(1),
+            shards: 1,
             retries: 0,
             job_timeout: None,
             checkpoint_every: None,
@@ -486,6 +492,17 @@ impl Executor {
     /// A single-threaded executor (the sequential baseline).
     pub fn sequential() -> Self {
         Executor::new(1)
+    }
+
+    /// Shards each simulation's round across `k` scoped worker threads
+    /// *inside* the sim (`--shards`; clamped to at least 1). Orthogonal to
+    /// `jobs`, which fans out across independent sims. Observational for
+    /// results: artifacts are byte-identical for any shard count (pinned
+    /// by the shard byte-identity battery).
+    #[must_use]
+    pub fn with_shards(mut self, k: usize) -> Self {
+        self.shards = k.max(1);
+        self
     }
 
     /// Retries each failed job up to `retries` extra times (`--retries`).
@@ -539,6 +556,11 @@ impl Executor {
     /// The configured worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// The configured intra-sim shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// The configured retry budget.
@@ -823,11 +845,12 @@ impl Executor {
             .as_ref()
             .is_some_and(|p| p.should_fail(job.label(), job.seed, attempt));
         let checkpoint_every = self.checkpoint_every;
+        let shards = self.shards;
         let job = *job;
         let config = config.cloned();
         let body = move || {
             assert!(!inject, "injected panic ({PANIC_INJECT_ENV})");
-            job.run_profiled(config.as_ref(), checkpoint_every, profiled)
+            job.run_profiled(config.as_ref(), checkpoint_every, profiled, shards)
         };
         match self.job_timeout {
             None => match catch_unwind(AssertUnwindSafe(body)) {

@@ -1,5 +1,5 @@
 //! **fig4-scale** — the hot-path scaling sweep: every mechanism re-run
-//! over a population ladder (1k → 10k by default), reporting both the
+//! over a population ladder (1k → 100k by default), reporting both the
 //! deterministic simulation outcomes and the harness's own throughput
 //! (rounds/sec, peak RSS) at each size.
 //!
@@ -35,8 +35,10 @@ use crate::table::num;
 use crate::telemetry::{BatchTrace, JobTrace, TelemetryOpts};
 use crate::{OutputDir, Scale, Table};
 
-/// The default population ladder.
-pub const POPULATIONS: [usize; 4] = [1000, 2000, 5000, 10000];
+/// The default population ladder. The 50k/100k rungs are what the
+/// dirty-set round loop and `--shards` exist for; budget accordingly —
+/// one 100k cell runs minutes, not seconds.
+pub const POPULATIONS: [usize; 6] = [1000, 2000, 5000, 10000, 50_000, 100_000];
 
 /// The swarm configuration for one sweep cell: per-peer work is pinned by
 /// `scale` (file size and round cap) so population is the only axis.
@@ -126,6 +128,8 @@ pub struct ScalePerfReport {
     pub seed: u64,
     /// Worker threads the sweep fanned out across.
     pub jobs: u64,
+    /// Intra-sim shard count each cell ran with (`--shards`).
+    pub shards: u64,
     /// Rows in (population, [`MechanismKind::ALL`]) order.
     pub rows: Vec<PerfRow>,
 }
@@ -194,8 +198,9 @@ impl ScalePerfReport {
             ]);
         }
         format!(
-            "fig4-scale — throughput ({} jobs; wall-clock data, not byte-stable)\n{}",
+            "fig4-scale — throughput ({} jobs × {} shards; wall-clock data, not byte-stable)\n{}",
             self.jobs,
+            self.shards,
             t.render()
         )
     }
@@ -266,6 +271,7 @@ pub fn try_run_with_telemetry(
         .flat_map(|&n| MechanismKind::ALL.iter().map(move |&kind| (n, kind)))
         .collect();
     let recorder_config = opts.is_enabled().then(|| opts.recorder_config());
+    let shards = executor.shards();
     let sim_clock = Stopwatch::start();
     let runs = executor.try_map(&cells, |slot, &(n, kind)| {
         let cell_clock = Stopwatch::start();
@@ -287,6 +293,7 @@ pub fn try_run_with_telemetry(
         let sim = Simulation::builder(config)
             .population(population)
             .recorder(recorder)
+            .shards(shards)
             .build()
             .expect("cell configs validate");
         profiler.stop(phase::EXEC_BUILD, build_t);
@@ -381,6 +388,7 @@ pub fn try_run_with_telemetry(
         scale: scale.name().to_string(),
         seed,
         jobs: executor.jobs() as u64,
+        shards: shards as u64,
         rows: perf_rows,
     };
 
@@ -507,6 +515,43 @@ mod tests {
         assert_eq!(seq.rows, par.rows);
         assert!(seq.render().contains("fig4-scale"));
         assert!(ScalePerfReport::render(&perf).contains("rounds/sec"));
+    }
+
+    #[test]
+    fn rss_delta_column_is_not_the_high_water_mark() {
+        // `peak_rss_kb` is the process-wide VmHWM, nondecreasing in
+        // completion order by construction. The `rss_delta_kb` column
+        // must not inherit that shape: a cell that fails to push the
+        // mark reports 0, however high the mark already sits. Running a
+        // larger population first makes the later small cells provably
+        // non-pushing, so the delta column cannot be a copy of the
+        // cumulative peak column.
+        let out = tmp();
+        let (_, perf, _) = run_with_telemetry(
+            Scale::Quick,
+            13,
+            Some(&[120, 10]),
+            &Executor::sequential(),
+            &TelemetryOpts::disabled(),
+            &out,
+        );
+        if !cfg!(target_os = "linux") {
+            return; // no /proc — both columns degrade to 0
+        }
+        assert!(
+            perf.rows.windows(2).all(|w| w[0].peak_rss_kb <= w[1].peak_rss_kb),
+            "VmHWM stays nondecreasing in completion order"
+        );
+        assert!(
+            perf.rows
+                .iter()
+                .any(|r| r.rss_delta_kb == 0 && r.peak_rss_kb > 0),
+            "some cell left the high-water mark untouched yet the mark is positive: \
+             the delta column decouples from the cumulative peak"
+        );
+        let deltas: Vec<u64> = perf.rows.iter().map(|r| r.rss_delta_kb).collect();
+        let peaks: Vec<u64> = perf.rows.iter().map(|r| r.peak_rss_kb).collect();
+        assert_ne!(deltas, peaks, "delta column must not mirror the peak column");
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub(crate) fn run_sim_traced(
         recorder,
         checkpoint_every,
         false,
+        1,
     );
     (result, report)
 }
@@ -88,7 +89,9 @@ pub(crate) fn run_sim_traced(
 /// `profiled`, construction is timed under [`phase::EXEC_BUILD`] and the
 /// simulation runs with phase timers on, returning the gathered
 /// [`ProfileReport`]. Profiling is observational like the recorder — the
-/// [`SimResult`] is byte-identical either way.
+/// [`SimResult`] is byte-identical either way. `shards` threads execute
+/// each round's phases inside the sim (`--shards`; 1 = unsharded) — also
+/// observational: results are byte-identical for any shard count.
 #[allow(clippy::too_many_arguments)] // one parameter per orthogonal override
 pub(crate) fn run_sim_profiled(
     kind: MechanismKind,
@@ -100,6 +103,7 @@ pub(crate) fn run_sim_profiled(
     recorder: Recorder,
     checkpoint_every: Option<u64>,
     profiled: bool,
+    shards: usize,
 ) -> (SimResult, TelemetryReport, ProfileReport) {
     let mut profiler = if profiled {
         Profiler::enabled()
@@ -133,6 +137,9 @@ pub(crate) fn run_sim_profiled(
     }
     if let Some(every) = checkpoint_every {
         builder = builder.checkpoint_every(every);
+    }
+    if shards > 1 {
+        builder = builder.shards(shards);
     }
     let sim = builder.build().expect("scale configs validate");
     profiler.stop(phase::EXEC_BUILD, build_t);

@@ -10,9 +10,11 @@
 //!
 //! - the incremental availability index must never rebuild
 //!   (`swarm.availability.rebuilds == 0` in the current snapshot), and
-//! - the wasted-visit ratio must be present and below 1.0 (absent means
-//!   the work counters stopped flowing; 1.0 means every allocation visit
-//!   moved no bytes).
+//! - the wasted-visit ratio must be present, below 1.0, and no higher
+//!   than the baseline's (absent means the work counters stopped
+//!   flowing; 1.0 means every allocation visit moved no bytes; climbing
+//!   past the baseline means the dirty-set loop's visit skipping has
+//!   regressed toward the indexed full-scan behaviour).
 //!
 //! This runner executes no simulations: it parses the two files, prints
 //! a markdown summary, writes it atomically as [`PERF_DIFF_FILE`], and
@@ -220,10 +222,23 @@ pub fn diff(base: &RunProfile, cur: &RunProfile, tolerance: f64) -> DiffReport {
         rebuilds == 0,
         format!("availability rebuilds: {rebuilds} (must be 0)"),
     ));
-    gates.push(match cur.wasted_visit_ratio() {
-        Some(r) if r < 1.0 => (true, format!("wasted-visit ratio: {r:.3} (< 1.0)")),
-        Some(r) => (false, format!("wasted-visit ratio: {r:.3} (must be < 1.0)")),
-        None => (
+    // The ratio gate compares against the baseline when it carries one:
+    // the dirty-set round loop earns its keep by skipping visits that
+    // cannot move bytes, so a current snapshot whose ratio climbs past
+    // the committed baseline has regressed toward full scanning even if
+    // it still clears the absolute 1.0 sanity bound.
+    gates.push(match (cur.wasted_visit_ratio(), base.wasted_visit_ratio()) {
+        (Some(r), Some(b)) if r < 1.0 && r <= b => (
+            true,
+            format!("wasted-visit ratio: {r:.3} (<= baseline {b:.3})"),
+        ),
+        (Some(r), Some(b)) if r < 1.0 => (
+            false,
+            format!("wasted-visit ratio: {r:.3} (must be <= baseline {b:.3})"),
+        ),
+        (Some(r), None) if r < 1.0 => (true, format!("wasted-visit ratio: {r:.3} (< 1.0)")),
+        (Some(r), _) => (false, format!("wasted-visit ratio: {r:.3} (must be < 1.0)")),
+        (None, _) => (
             false,
             "wasted-visit ratio: absent (work counters missing)".to_string(),
         ),
@@ -363,6 +378,40 @@ mod tests {
         assert!(text.contains("[FAIL] phase share drift"), "{text}");
         // The same shift passes a wider band.
         assert!(diff(&base, &snapshot(900, 100, 0), 0.35).is_ok());
+    }
+
+    /// Rewrites the productive-visit count everywhere it appears, which
+    /// moves the snapshot's wasted-visit ratio (visited stays at 100).
+    fn set_productive(profile: &mut RunProfile, productive: u64) {
+        for (name, value) in &mut profile.work {
+            if name == work::PEERS_PRODUCTIVE {
+                *value = productive;
+            }
+        }
+        for row in &mut profile.per_job {
+            row.productive = productive;
+        }
+    }
+
+    #[test]
+    fn wasted_ratio_climbing_past_baseline_fails() {
+        let base = snapshot(600, 400, 0);
+        // 60 -> 55 productive of 100 visits: ratio climbs 0.40 -> 0.45.
+        let mut cur = snapshot(600, 400, 0);
+        set_productive(&mut cur, 55);
+        let report = diff(&base, &cur, 0.25);
+        assert!(!report.is_ok());
+        assert!(report
+            .render()
+            .contains("[FAIL] wasted-visit ratio: 0.450 (must be <= baseline 0.400)"));
+        // A drop below the baseline passes.
+        let mut better = snapshot(600, 400, 0);
+        set_productive(&mut better, 90);
+        let report = diff(&base, &better, 0.25);
+        assert!(report.is_ok(), "{:?}", report.gates);
+        assert!(report
+            .render()
+            .contains("[ok] wasted-visit ratio: 0.100 (<= baseline 0.400)"));
     }
 
     #[test]

@@ -175,6 +175,10 @@ pub struct RunSpec {
     /// Worker-thread budget for independent simulations (`--jobs`,
     /// default = available parallelism).
     pub jobs: usize,
+    /// Worker threads *inside* each simulation's round (`--shards`,
+    /// default 1 = unsharded). Orthogonal to `--jobs`; artifacts are
+    /// byte-identical for any shard count.
+    pub shards: usize,
     /// Artifact directory override (`--out-dir`, default
     /// `target/experiments`).
     pub out_dir: Option<PathBuf>,
@@ -304,6 +308,7 @@ struct Draft {
     seed: u64,
     replicates: u64,
     jobs: usize,
+    shards: usize,
     out_dir: Option<PathBuf>,
     telemetry: bool,
     trace_out: Option<PathBuf>,
@@ -333,6 +338,7 @@ impl Draft {
             seed: 42,
             replicates: 1,
             jobs: Executor::default().jobs(),
+            shards: 1,
             out_dir: None,
             telemetry: false,
             trace_out: None,
@@ -401,6 +407,11 @@ fn set_replicates(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
 
 fn set_jobs(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
     d.jobs = usize::try_from(parse_number(it, "--jobs", 1)?).expect("validated above");
+    Ok(())
+}
+
+fn set_shards(d: &mut Draft, it: Args<'_>) -> Result<(), SpecError> {
+    d.shards = usize::try_from(parse_number(it, "--shards", 1)?).expect("validated above");
     Ok(())
 }
 
@@ -534,6 +545,14 @@ static FLAGS: &[FlagDef] = &[
         only: None,
         deprecated: false,
         set: set_jobs,
+        is_set: |_| false,
+    },
+    FlagDef {
+        name: "--shards",
+        metavar: Some("K"),
+        only: None,
+        deprecated: false,
+        set: set_shards,
         is_set: |_| false,
     },
     FlagDef {
@@ -841,6 +860,7 @@ impl RunSpec {
             seed: draft.seed,
             replicates: draft.replicates,
             jobs: draft.jobs,
+            shards: draft.shards,
             out_dir: draft.out_dir,
             telemetry: draft.telemetry,
             trace_out: draft.trace_out,
@@ -868,12 +888,14 @@ impl RunSpec {
         (0..self.replicates).map(|i| self.seed + i).collect()
     }
 
-    /// An [`Executor`] sized to this spec's `--jobs` and carrying its
-    /// robustness policy (`--retries`, `--job-timeout`,
+    /// An [`Executor`] sized to this spec's `--jobs` and `--shards` and
+    /// carrying its robustness policy (`--retries`, `--job-timeout`,
     /// `--checkpoint-every`). Journal/replay wiring is the caller's job —
     /// it needs the artifact directory.
     pub fn executor(&self) -> Executor {
-        let mut executor = Executor::new(self.jobs).with_retries(self.retries);
+        let mut executor = Executor::new(self.jobs)
+            .with_shards(self.shards)
+            .with_retries(self.retries);
         if let Some(secs) = self.job_timeout {
             executor = executor.with_job_timeout(Duration::from_secs(secs));
         }
@@ -1010,6 +1032,20 @@ mod tests {
     }
 
     #[test]
+    fn shards_parses_and_sizes_the_executor() {
+        let spec = parse(&["fig4", "--shards", "4"]).unwrap();
+        assert_eq!(spec.shards, 4);
+        assert_eq!(spec.executor().shards(), 4);
+        let err = parse(&["fig4", "--shards", "0"]).unwrap_err();
+        assert!(
+            matches!(err, SpecError::InvalidValue { flag: "--shards", .. }),
+            "{err:?}"
+        );
+        let err = parse(&["fig4", "--shards"]).unwrap_err();
+        assert_eq!(err, SpecError::MissingValue { flag: "--shards" });
+    }
+
+    #[test]
     fn defaults_are_sensible() {
         let spec = parse(&["table2"]).unwrap();
         assert_eq!(spec.artifact, Artifact::Table2);
@@ -1017,6 +1053,7 @@ mod tests {
         assert_eq!(spec.seed, 42);
         assert_eq!(spec.replicates, 1);
         assert!(spec.jobs >= 1, "jobs defaults to available parallelism");
+        assert_eq!(spec.shards, 1, "rounds are unsharded by default");
         assert_eq!(spec.out_dir, None);
         assert!(!spec.telemetry);
         assert_eq!(spec.trace_out, None);

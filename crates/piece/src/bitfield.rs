@@ -1,6 +1,24 @@
 //! A compact fixed-size bitset for tracking piece possession.
+//!
+//! Two storage representations hide behind one API:
+//!
+//! * **Dense** — one `u64` word per 64 pieces, the default, optimal for
+//!   bitfields in the middle of a download; and
+//! * **Runs** — sorted, disjoint, non-adjacent half-open intervals
+//!   `[start, end)`, the memory diet for near-complete (or freshly
+//!   seeded) bitfields, where the whole field collapses to a handful of
+//!   runs regardless of the piece count.
+//!
+//! All set-algebra queries go through [`Bitfield::word_iter`], which
+//! yields the logical 64-bit words of either representation, so the two
+//! storages are observationally identical: equality, hashing, iteration
+//! and the interest tests cannot tell them apart. [`Bitfield::compress`]
+//! switches to runs when they are strictly smaller; mutations keep runs
+//! exact ([`Bitfield::set`]/[`Bitfield::unset`] splice) and operations
+//! that want word-level writes densify first.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use crate::PieceId;
 
@@ -28,27 +46,40 @@ const WORD_BITS: usize = 64;
 /// // b needs nothing a has:
 /// assert!(!b.wants_from(&a));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct Bitfield {
-    words: Vec<u64>,
+    repr: Repr,
     len: u32,
+}
+
+/// The backing storage. Run lists hold sorted, disjoint, *non-adjacent*
+/// half-open `[start, end)` intervals with `start < end <= len`, plus the
+/// cached popcount so `count_ones` stays O(1).
+#[derive(Clone)]
+enum Repr {
+    Dense(Vec<u64>),
+    Runs { runs: Vec<(u32, u32)>, ones: u32 },
 }
 
 impl Bitfield {
     /// Creates an all-zero bitfield over `len` pieces.
     pub fn new(len: u32) -> Self {
         let words = vec![0u64; (len as usize).div_ceil(WORD_BITS)];
-        Bitfield { words, len }
+        Bitfield {
+            repr: Repr::Dense(words),
+            len,
+        }
     }
 
-    /// Creates an all-one bitfield over `len` pieces (a seeder's bitfield).
+    /// Creates an all-one bitfield over `len` pieces (a seeder's
+    /// bitfield). Stored as a single run — a seeder's bitfield costs the
+    /// same 8 bytes whether it covers 100 pieces or 100 million.
     pub fn full(len: u32) -> Self {
-        let mut bf = Bitfield::new(len);
-        for w in &mut bf.words {
-            *w = u64::MAX;
+        let runs = if len == 0 { Vec::new() } else { vec![(0, len)] };
+        Bitfield {
+            repr: Repr::Runs { runs, ones: len },
+            len,
         }
-        bf.clear_tail();
-        bf
     }
 
     /// The number of pieces this bitfield covers.
@@ -68,8 +99,16 @@ impl Bitfield {
     /// Panics if `i >= len`.
     pub fn get(&self, i: PieceId) -> bool {
         self.check(i);
-        let (w, b) = Self::locate(i);
-        self.words[w] >> b & 1 == 1
+        match &self.repr {
+            Repr::Dense(words) => {
+                let (w, b) = Self::locate(i);
+                words[w] >> b & 1 == 1
+            }
+            Repr::Runs { runs, .. } => {
+                let idx = runs.partition_point(|&(s, _)| s <= i);
+                idx > 0 && runs[idx - 1].1 > i
+            }
+        }
     }
 
     /// Sets piece `i`. Returns whether the bit was previously unset.
@@ -79,10 +118,33 @@ impl Bitfield {
     /// Panics if `i >= len`.
     pub fn set(&mut self, i: PieceId) -> bool {
         self.check(i);
-        let (w, b) = Self::locate(i);
-        let was_unset = self.words[w] >> b & 1 == 0;
-        self.words[w] |= 1 << b;
-        was_unset
+        match &mut self.repr {
+            Repr::Dense(words) => {
+                let (w, b) = Self::locate(i);
+                let was_unset = words[w] >> b & 1 == 0;
+                words[w] |= 1 << b;
+                was_unset
+            }
+            Repr::Runs { runs, ones } => {
+                let idx = runs.partition_point(|&(s, _)| s <= i);
+                if idx > 0 && runs[idx - 1].1 > i {
+                    return false;
+                }
+                *ones += 1;
+                let merge_left = idx > 0 && runs[idx - 1].1 == i;
+                let merge_right = idx < runs.len() && runs[idx].0 == i + 1;
+                match (merge_left, merge_right) {
+                    (true, true) => {
+                        runs[idx - 1].1 = runs[idx].1;
+                        runs.remove(idx);
+                    }
+                    (true, false) => runs[idx - 1].1 = i + 1,
+                    (false, true) => runs[idx].0 = i,
+                    (false, false) => runs.insert(idx, (i, i + 1)),
+                }
+                true
+            }
+        }
     }
 
     /// Clears piece `i`.
@@ -92,13 +154,38 @@ impl Bitfield {
     /// Panics if `i >= len`.
     pub fn unset(&mut self, i: PieceId) {
         self.check(i);
-        let (w, b) = Self::locate(i);
-        self.words[w] &= !(1 << b);
+        match &mut self.repr {
+            Repr::Dense(words) => {
+                let (w, b) = Self::locate(i);
+                words[w] &= !(1 << b);
+            }
+            Repr::Runs { runs, ones } => {
+                let idx = runs.partition_point(|&(s, _)| s <= i);
+                if idx == 0 || runs[idx - 1].1 <= i {
+                    return;
+                }
+                *ones -= 1;
+                let (s, e) = runs[idx - 1];
+                if s == i && e == i + 1 {
+                    runs.remove(idx - 1);
+                } else if s == i {
+                    runs[idx - 1].0 = i + 1;
+                } else if e == i + 1 {
+                    runs[idx - 1].1 = i;
+                } else {
+                    runs[idx - 1].1 = i;
+                    runs.insert(idx, (i + 1, e));
+                }
+            }
+        }
     }
 
     /// The number of set pieces.
     pub fn count_ones(&self) -> u32 {
-        self.words.iter().map(|w| w.count_ones()).sum()
+        match &self.repr {
+            Repr::Dense(words) => words.iter().map(|w| w.count_ones()).sum(),
+            Repr::Runs { ones, .. } => *ones,
+        }
     }
 
     /// The number of unset pieces.
@@ -113,12 +200,13 @@ impl Bitfield {
 
     /// Iterates over the indices of set pieces in increasing order.
     pub fn iter_ones(&self) -> impl Iterator<Item = PieceId> + '_ {
-        (0..self.len).filter(move |&i| self.get(i))
+        Self::bits_of(self.word_iter(), |w| w)
     }
 
     /// Iterates over the indices of unset pieces in increasing order.
     pub fn iter_zeros(&self) -> impl Iterator<Item = PieceId> + '_ {
-        (0..self.len).filter(move |&i| !self.get(i))
+        let len = self.len;
+        Self::bits_of(self.word_iter(), |w| !w).take_while(move |&i| i < len)
     }
 
     /// Returns true if `other` has at least one piece this bitfield lacks —
@@ -131,9 +219,8 @@ impl Bitfield {
     /// Panics if the bitfields have different lengths.
     pub fn wants_from(&self, other: &Bitfield) -> bool {
         self.check_same_len(other);
-        self.words
-            .iter()
-            .zip(&other.words)
+        self.word_iter()
+            .zip(other.word_iter())
             .any(|(mine, theirs)| !mine & theirs != 0)
     }
 
@@ -144,9 +231,8 @@ impl Bitfield {
     /// Panics if the bitfields have different lengths.
     pub fn missing_from(&self, other: &Bitfield) -> u32 {
         self.check_same_len(other);
-        self.words
-            .iter()
-            .zip(&other.words)
+        self.word_iter()
+            .zip(other.word_iter())
             .map(|(mine, theirs)| (!mine & theirs).count_ones())
             .sum()
     }
@@ -158,7 +244,10 @@ impl Bitfield {
     /// Panics if the bitfields have different lengths.
     pub fn iter_missing_from<'a>(&'a self, other: &'a Bitfield) -> impl Iterator<Item = PieceId> + 'a {
         self.check_same_len(other);
-        (0..self.len).filter(move |&i| !self.get(i) && other.get(i))
+        Self::bits_of(
+            self.word_iter().zip(other.word_iter()),
+            |(mine, theirs)| !mine & theirs,
+        )
     }
 
     /// Returns true if the two bitfields share at least one set piece —
@@ -170,9 +259,8 @@ impl Bitfield {
     /// Panics if the bitfields have different lengths.
     pub fn intersects(&self, other: &Bitfield) -> bool {
         self.check_same_len(other);
-        self.words
-            .iter()
-            .zip(&other.words)
+        self.word_iter()
+            .zip(other.word_iter())
             .any(|(a, b)| a & b != 0)
     }
 
@@ -183,53 +271,158 @@ impl Bitfield {
     /// Panics if the bitfields have different lengths.
     pub fn iter_common<'a>(&'a self, other: &'a Bitfield) -> impl Iterator<Item = PieceId> + 'a {
         self.check_same_len(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .enumerate()
-            .flat_map(|(w, (a, b))| {
-                let mut bits = a & b;
-                std::iter::from_fn(move || {
-                    if bits == 0 {
-                        None
-                    } else {
-                        let tz = bits.trailing_zeros();
-                        bits &= bits - 1;
-                        Some((w * WORD_BITS) as PieceId + tz)
-                    }
-                })
-            })
+        Self::bits_of(self.word_iter().zip(other.word_iter()), |(a, b)| a & b)
     }
 
     /// In-place union: afterwards every piece set in `other` is set here.
+    /// Densifies a run-compressed receiver (word-level writes want words).
     ///
     /// # Panics
     ///
     /// Panics if the bitfields have different lengths.
     pub fn union_with(&mut self, other: &Bitfield) {
         self.check_same_len(other);
-        for (mine, theirs) in self.words.iter_mut().zip(&other.words) {
+        self.densify();
+        let Repr::Dense(words) = &mut self.repr else {
+            unreachable!("just densified");
+        };
+        for (mine, theirs) in words.iter_mut().zip(other.word_iter()) {
             *mine |= theirs;
         }
     }
 
-    /// Read-only view of the backing words, least-significant bit first.
-    /// Bits at positions `>= len` are always zero, so word-level scans
-    /// never see phantom pieces. This is the entry point hot loops (the
-    /// availability index, pickers) use to skip all-zero regions a bit at
-    /// a time instead of testing every piece index.
-    pub fn words(&self) -> &[u64] {
-        &self.words
+    /// Iterates the logical 64-bit words of the bitfield, least-significant
+    /// bit first. Bits at positions `>= len` are always zero, so word-level
+    /// scans never see phantom pieces. This is the entry point hot loops
+    /// (the availability index, pickers) use to skip all-zero regions a
+    /// word at a time instead of testing every piece index — and it is the
+    /// seam that makes the dense and run-compressed representations
+    /// observationally identical.
+    pub fn word_iter(&self) -> Words<'_> {
+        let num_words = (self.len as usize).div_ceil(WORD_BITS);
+        match &self.repr {
+            Repr::Dense(words) => Words(WordsState::Dense(words.iter())),
+            Repr::Runs { runs, .. } => Words(WordsState::Runs {
+                runs,
+                cursor: 0,
+                word: 0,
+                num_words,
+            }),
+        }
     }
 
     /// Overwrites this bitfield with the contents of `other`, reusing the
-    /// existing word buffer when capacities allow. This is the allocation-
-    /// free alternative to `*self = other.clone()` for scratch bitfields
-    /// that are refilled on a hot path.
+    /// existing word buffer when both sides are dense. This is the
+    /// allocation-free alternative to `*self = other.clone()` for scratch
+    /// bitfields that are refilled on a hot path.
     pub fn copy_from(&mut self, other: &Bitfield) {
         self.len = other.len;
-        self.words.clear();
-        self.words.extend_from_slice(&other.words);
+        match (&mut self.repr, &other.repr) {
+            (Repr::Dense(mine), Repr::Dense(theirs)) => {
+                mine.clear();
+                mine.extend_from_slice(theirs);
+            }
+            _ => self.repr = other.repr.clone(),
+        }
+    }
+
+    /// Switches to the run-compressed representation when it is strictly
+    /// smaller than the dense one; otherwise stays (or re-densifies to)
+    /// dense. Returns whether the bitfield is run-compressed afterwards.
+    ///
+    /// Compression is purely a storage decision — every observation is
+    /// identical before and after — but callers on deterministic paths
+    /// should invoke it at deterministic points (completion, departure)
+    /// so memory profiles are reproducible.
+    pub fn compress(&mut self) -> bool {
+        let num_words = (self.len as usize).div_ceil(WORD_BITS);
+        // A run list of r intervals costs r * 8 bytes, same unit as words:
+        // compress only when strictly smaller.
+        let max_runs = num_words.saturating_sub(1).max(1);
+        match &self.repr {
+            Repr::Runs { runs, .. } => {
+                if runs.len() <= max_runs || self.len == 0 {
+                    return true;
+                }
+                self.densify();
+                false
+            }
+            Repr::Dense(_) => {
+                let mut runs: Vec<(u32, u32)> = Vec::new();
+                let mut ones = 0u32;
+                for i in self.iter_ones() {
+                    ones += 1;
+                    match runs.last_mut() {
+                        Some(last) if last.1 == i => last.1 = i + 1,
+                        _ => {
+                            if runs.len() == max_runs {
+                                return false; // denser than dense: keep words
+                            }
+                            runs.push((i, i + 1));
+                        }
+                    }
+                }
+                self.repr = Repr::Runs { runs, ones };
+                true
+            }
+        }
+    }
+
+    /// Whether the bitfield currently uses the run-compressed storage.
+    pub fn is_compressed(&self) -> bool {
+        matches!(self.repr, Repr::Runs { .. })
+    }
+
+    /// Bytes of heap the backing storage occupies (capacity, not length) —
+    /// the quantity the memory diet actually shrinks.
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Dense(words) => words.capacity() * std::mem::size_of::<u64>(),
+            Repr::Runs { runs, .. } => runs.capacity() * std::mem::size_of::<(u32, u32)>(),
+        }
+    }
+
+    /// Converts run storage back to words (no-op when already dense).
+    fn densify(&mut self) {
+        if let Repr::Runs { runs, .. } = &self.repr {
+            let mut words = vec![0u64; (self.len as usize).div_ceil(WORD_BITS)];
+            for &(start, end) in runs {
+                let (mut s, e) = (start as usize, end as usize);
+                while s < e {
+                    let (w, b) = (s / WORD_BITS, s % WORD_BITS);
+                    let n = (e - s).min(WORD_BITS - b);
+                    let mask = if n == WORD_BITS {
+                        u64::MAX
+                    } else {
+                        ((1u64 << n) - 1) << b
+                    };
+                    words[w] |= mask;
+                    s += n;
+                }
+            }
+            self.repr = Repr::Dense(words);
+        }
+    }
+
+    /// Expands a word stream into ascending bit indices, applying `f` to
+    /// each word first (identity, complement, intersection, ...).
+    fn bits_of<T, I, F>(words: I, f: F) -> impl Iterator<Item = PieceId>
+    where
+        I: Iterator<Item = T>,
+        F: Fn(T) -> u64,
+    {
+        words.enumerate().flat_map(move |(w, item)| {
+            let mut bits = f(item);
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some((w * WORD_BITS) as PieceId + tz)
+                }
+            })
+        })
     }
 
     fn locate(i: PieceId) -> (usize, usize) {
@@ -247,13 +440,97 @@ impl Bitfield {
             self.len, other.len
         );
     }
+}
 
-    fn clear_tail(&mut self) {
-        let tail_bits = self.len as usize % WORD_BITS;
-        if tail_bits != 0 {
-            if let Some(last) = self.words.last_mut() {
-                *last &= (1u64 << tail_bits) - 1;
+/// Iterator over the logical words of a [`Bitfield`], independent of its
+/// storage representation. See [`Bitfield::word_iter`].
+pub struct Words<'a>(WordsState<'a>);
+
+enum WordsState<'a> {
+    Dense(std::slice::Iter<'a, u64>),
+    Runs {
+        runs: &'a [(u32, u32)],
+        cursor: usize,
+        word: usize,
+        num_words: usize,
+    },
+}
+
+impl Iterator for Words<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        match &mut self.0 {
+            WordsState::Dense(iter) => iter.next().copied(),
+            WordsState::Runs {
+                runs,
+                cursor,
+                word,
+                num_words,
+            } => {
+                if *word == *num_words {
+                    return None;
+                }
+                let lo = (*word * WORD_BITS) as u64;
+                let hi = lo + WORD_BITS as u64;
+                while *cursor < runs.len() && u64::from(runs[*cursor].1) <= lo {
+                    *cursor += 1;
+                }
+                let mut bits = 0u64;
+                let mut c = *cursor;
+                while c < runs.len() && u64::from(runs[c].0) < hi {
+                    let s = u64::from(runs[c].0).max(lo);
+                    let e = u64::from(runs[c].1).min(hi);
+                    let n = e - s;
+                    let mask = if n == WORD_BITS as u64 {
+                        u64::MAX
+                    } else {
+                        ((1u64 << n) - 1) << (s - lo)
+                    };
+                    bits |= mask;
+                    if u64::from(runs[c].1) > hi {
+                        break; // run continues into the next word
+                    }
+                    c += 1;
+                }
+                *word += 1;
+                Some(bits)
             }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = match &self.0 {
+            WordsState::Dense(iter) => iter.len(),
+            WordsState::Runs { word, num_words, .. } => num_words - word,
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Words<'_> {}
+
+impl PartialEq for Bitfield {
+    /// Semantic equality: two bitfields are equal when they cover the same
+    /// pieces, regardless of storage representation.
+    fn eq(&self, other: &Bitfield) -> bool {
+        self.len == other.len
+            && self
+                .word_iter()
+                .zip(other.word_iter())
+                .all(|(a, b)| a == b)
+    }
+}
+
+impl Eq for Bitfield {}
+
+impl Hash for Bitfield {
+    /// Hashes the logical words, so a dense and a run-compressed view of
+    /// the same set hash identically (required by `PartialEq`).
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.len.hash(state);
+        for w in self.word_iter() {
+            w.hash(state);
         }
     }
 }
@@ -296,6 +573,7 @@ impl Extend<PieceId> for Bitfield {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::hash_map::DefaultHasher;
 
     #[test]
     fn new_is_empty_full_is_complete() {
@@ -312,6 +590,8 @@ mod tests {
         // 70 pieces spans two words; the top 58 bits of word 1 must be zero.
         let full = Bitfield::full(70);
         assert_eq!(full.count_ones(), 70);
+        let words: Vec<u64> = full.word_iter().collect();
+        assert_eq!(words, vec![u64::MAX, (1u64 << 6) - 1]);
     }
 
     #[test]
@@ -405,5 +685,179 @@ mod tests {
     fn debug_is_nonempty() {
         let bf = Bitfield::new(3);
         assert!(!format!("{bf:?}").is_empty());
+    }
+
+    // --- run-compressed representation ---
+
+    /// A dense and a compressed copy of the same set, for paired checks.
+    fn dense_and_runs(len: u32, ones: &[u32]) -> (Bitfield, Bitfield) {
+        let mut dense = Bitfield::new(len);
+        for &i in ones {
+            dense.set(i);
+        }
+        let mut runs = dense.clone();
+        runs.compress();
+        (dense, runs)
+    }
+
+    fn hash_of(bf: &Bitfield) -> u64 {
+        let mut h = DefaultHasher::new();
+        bf.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn full_is_run_compressed_and_equal_to_dense_full() {
+        let full = Bitfield::full(1000);
+        assert!(full.is_compressed());
+        let mut dense = Bitfield::new(1000);
+        for i in 0..1000 {
+            dense.set(i);
+        }
+        assert!(!dense.is_compressed());
+        assert_eq!(full, dense);
+        assert_eq!(hash_of(&full), hash_of(&dense));
+        assert!(full.heap_bytes() < dense.heap_bytes());
+    }
+
+    #[test]
+    fn compress_declines_when_runs_beat_nothing() {
+        // Alternating bits: runs would cost far more than words.
+        let mut bf = Bitfield::new(256);
+        for i in (0..256).step_by(2) {
+            bf.set(i);
+        }
+        assert!(!bf.compress());
+        assert!(!bf.is_compressed());
+    }
+
+    #[test]
+    fn set_splices_runs() {
+        let mut bf = Bitfield::full(100);
+        bf.unset(50); // split into two runs
+        assert!(bf.is_compressed());
+        assert_eq!(bf.count_ones(), 99);
+        assert!(!bf.get(50));
+        assert!(bf.set(50)); // merge the two runs back
+        assert!(!bf.set(50));
+        assert_eq!(bf.count_ones(), 100);
+        assert!(bf.is_complete());
+    }
+
+    #[test]
+    fn unset_edges_and_interior() {
+        let mut bf = Bitfield::full(10);
+        bf.unset(0); // shrink left edge
+        bf.unset(9); // shrink right edge
+        bf.unset(5); // split interior
+        bf.unset(5); // idempotent
+        assert_eq!(bf.count_ones(), 7);
+        assert_eq!(
+            bf.iter_ones().collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 6, 7, 8]
+        );
+        // Remove a singleton run entirely.
+        let mut one = Bitfield::new(5);
+        one.set(2);
+        one.compress();
+        one.unset(2);
+        assert_eq!(one.count_ones(), 0);
+        assert!(one.iter_ones().next().is_none());
+    }
+
+    #[test]
+    fn word_iter_is_representation_independent() {
+        // 3 runs over 4 words: [0,3) [63,66) [130,135). A 4th run would
+        // not be strictly smaller than dense and compress() would decline.
+        let ones = [0, 1, 2, 63, 64, 65, 130, 131, 132, 133, 134];
+        let (dense, runs) = dense_and_runs(199, &ones);
+        assert!(runs.is_compressed());
+        let dw: Vec<u64> = dense.word_iter().collect();
+        let rw: Vec<u64> = runs.word_iter().collect();
+        assert_eq!(dw, rw);
+        assert_eq!(dense.word_iter().len(), 4);
+    }
+
+    #[test]
+    fn run_spanning_multiple_words_renders_correctly() {
+        let (dense, runs) = dense_and_runs(300, &(10..200).collect::<Vec<_>>());
+        assert!(runs.is_compressed());
+        assert_eq!(
+            dense.word_iter().collect::<Vec<_>>(),
+            runs.word_iter().collect::<Vec<_>>()
+        );
+        assert_eq!(runs.count_ones(), 190);
+    }
+
+    #[test]
+    fn mixed_representation_set_algebra() {
+        let (a_dense, a_runs) = dense_and_runs(200, &(0..190).collect::<Vec<_>>());
+        let mut b = Bitfield::new(200);
+        b.set(195);
+        // wants_from across representations
+        assert!(a_dense.wants_from(&b));
+        assert!(a_runs.wants_from(&b));
+        assert!(!b.wants_from(&b));
+        assert_eq!(a_runs.missing_from(&b), 1);
+        assert_eq!(
+            a_runs.iter_missing_from(&b).collect::<Vec<_>>(),
+            vec![195]
+        );
+        assert!(!a_runs.intersects(&b));
+        b.set(100);
+        assert!(a_runs.intersects(&b));
+        assert_eq!(a_runs.iter_common(&b).collect::<Vec<_>>(), vec![100]);
+        // union densifies but stays equal
+        let mut u = a_runs.clone();
+        u.union_with(&b);
+        assert!(!u.is_compressed());
+        assert_eq!(u.count_ones(), 191);
+    }
+
+    #[test]
+    fn copy_from_preserves_representation() {
+        let (_, runs) = dense_and_runs(128, &(0..120).collect::<Vec<_>>());
+        let mut scratch = Bitfield::new(5);
+        scratch.copy_from(&runs);
+        assert_eq!(scratch, runs);
+        assert!(scratch.is_compressed());
+        let dense = Bitfield::new(128);
+        scratch.copy_from(&dense);
+        assert!(!scratch.is_compressed());
+        assert_eq!(scratch.count_ones(), 0);
+    }
+
+    #[test]
+    fn compress_roundtrip_preserves_observations() {
+        let ones = [3, 4, 5, 6, 7, 100, 101, 102, 511];
+        let (dense, mut bf) = dense_and_runs(512, &ones);
+        assert!(bf.is_compressed());
+        assert_eq!(bf, dense);
+        assert_eq!(bf.iter_ones().collect::<Vec<_>>(), ones.to_vec());
+        assert_eq!(bf.iter_zeros().count(), 512 - ones.len());
+        // Mutate while compressed, then compare against the dense oracle.
+        let mut oracle = dense.clone();
+        for i in [0u32, 5, 200, 201, 202, 511] {
+            assert_eq!(bf.set(i), oracle.set(i));
+        }
+        for i in [4u32, 100, 200, 999 % 512] {
+            bf.unset(i);
+            oracle.unset(i);
+        }
+        assert_eq!(bf, oracle);
+        assert_eq!(hash_of(&bf), hash_of(&oracle));
+        assert_eq!(
+            bf.iter_ones().collect::<Vec<_>>(),
+            oracle.iter_ones().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_length_bitfield_compresses() {
+        let mut bf = Bitfield::new(0);
+        assert!(bf.compress());
+        assert!(bf.is_compressed());
+        assert!(bf.word_iter().next().is_none());
+        assert_eq!(bf, Bitfield::full(0));
     }
 }

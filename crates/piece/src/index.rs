@@ -110,7 +110,7 @@ impl AvailabilityIndex {
     /// Panics if the bitfield length does not match the index.
     pub fn add_peer(&mut self, bf: &Bitfield) {
         self.check_len(bf);
-        for (w, &bits0) in bf.words().iter().enumerate() {
+        for (w, bits0) in bf.word_iter().enumerate() {
             let mut bits = bits0;
             while bits != 0 {
                 let tz = bits.trailing_zeros();
@@ -128,7 +128,7 @@ impl AvailabilityIndex {
     /// negative (the peer was never added or pieces were double-removed).
     pub fn remove_peer(&mut self, bf: &Bitfield) {
         self.check_len(bf);
-        for (w, &bits0) in bf.words().iter().enumerate() {
+        for (w, bits0) in bf.word_iter().enumerate() {
             let mut bits = bits0;
             while bits != 0 {
                 let tz = bits.trailing_zeros();
@@ -201,7 +201,7 @@ impl AvailabilityIndex {
         ties.clear();
         let counts = self.map.counts();
         let mut best = u32::MAX;
-        for (w, (&mine, &theirs)) in downloader.words().iter().zip(uploader.words()).enumerate() {
+        for (w, (mine, theirs)) in downloader.word_iter().zip(uploader.word_iter()).enumerate() {
             let mut bits = !mine & theirs;
             while bits != 0 {
                 let tz = bits.trailing_zeros();
@@ -235,7 +235,7 @@ impl AvailabilityIndex {
         self.check_len(needed);
         let counts = self.map.counts();
         let mut min: Option<u32> = None;
-        for (w, &bits0) in needed.words().iter().enumerate() {
+        for (w, bits0) in needed.word_iter().enumerate() {
             let mut bits = bits0;
             while bits != 0 {
                 let tz = bits.trailing_zeros();

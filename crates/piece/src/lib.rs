@@ -33,7 +33,7 @@ mod picker;
 
 pub use availability::AvailabilityMap;
 pub use index::AvailabilityIndex;
-pub use bitfield::Bitfield;
+pub use bitfield::{Bitfield, Words};
 pub use file::FileSpec;
 pub use picker::{PiecePicker, PieceSelection, RandomFirstPicker, RarestFirstPicker, SequentialPicker};
 

@@ -89,6 +89,55 @@ proptest! {
         }
     }
 
+    /// The run-compressed representation is observationally identical to
+    /// the dense one under an arbitrary interleaving of mutations and
+    /// queries: compress at a random point, keep mutating, and every
+    /// observable (equality, hash-relevant words, counts, iterators, set
+    /// algebra) still matches the dense oracle.
+    #[test]
+    fn compressed_bitfield_matches_dense_oracle(
+        init in bitfield_strategy(150),
+        ops in proptest::collection::vec((any::<bool>(), 0u32..150), 0..40),
+        compress_at in 0usize..40,
+        probe in bitfield_strategy(150),
+    ) {
+        let mut subject = init.clone();
+        let mut oracle = init;
+        for (k, &(set, i)) in ops.iter().enumerate() {
+            if k == compress_at {
+                subject.compress();
+            }
+            if set {
+                prop_assert_eq!(subject.set(i), oracle.set(i));
+            } else {
+                subject.unset(i);
+                oracle.unset(i);
+            }
+        }
+        prop_assert_eq!(&subject, &oracle);
+        prop_assert_eq!(subject.count_ones(), oracle.count_ones());
+        prop_assert_eq!(
+            subject.word_iter().collect::<Vec<_>>(),
+            oracle.word_iter().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            subject.iter_ones().collect::<Vec<_>>(),
+            oracle.iter_ones().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            subject.iter_zeros().collect::<Vec<_>>(),
+            oracle.iter_zeros().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(subject.wants_from(&probe), oracle.wants_from(&probe));
+        prop_assert_eq!(probe.wants_from(&subject), probe.wants_from(&oracle));
+        prop_assert_eq!(subject.intersects(&probe), oracle.intersects(&probe));
+        prop_assert_eq!(subject.missing_from(&probe), oracle.missing_from(&probe));
+        prop_assert_eq!(
+            subject.iter_common(&probe).collect::<Vec<_>>(),
+            oracle.iter_common(&probe).collect::<Vec<_>>()
+        );
+    }
+
     /// Piece lengths always sum to the file size.
     #[test]
     fn file_piece_lengths_sum(size in 1u64..10_000_000, piece in 1u64..100_000) {

@@ -1,0 +1,73 @@
+//! Scratch probe: visit counts and wall time, indexed vs dirty round loop.
+
+use coop_des::Duration;
+use coop_incentives::analysis::capacity::CapacityClassMix;
+use coop_incentives::MechanismKind;
+use coop_piece::FileSpec;
+use coop_swarm::{flash_crowd_with, RoundLoop, Simulation, SwarmConfig};
+use coop_telemetry::{profile::work, Profiler, Recorder, TelemetryConfig};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5000);
+    let kind = match std::env::args().nth(2).as_deref() {
+        Some("reciprocity") => MechanismKind::Reciprocity,
+        Some("tchain") => MechanismKind::TChain,
+        Some("fairtorrent") => MechanismKind::FairTorrent,
+        Some("reputation") => MechanismKind::Reputation,
+        Some("altruism") => MechanismKind::Altruism,
+        _ => MechanismKind::BitTorrent,
+    };
+    // Mirrors fig4-scale's quick cell config (the acceptance workload).
+    let mut config = SwarmConfig::scaled_default();
+    config.file = FileSpec::new(2 * 1024 * 1024, 64 * 1024);
+    config.neighbor_degree = 20;
+    config.seeder_bps = 512_000.0;
+    config.max_rounds = 300;
+    config.sample_every = 8;
+    config.seed = 42;
+
+    let mut results = Vec::new();
+    for loop_kind in [RoundLoop::Indexed, RoundLoop::Dirty] {
+        let population = flash_crowd_with(
+            &config,
+            n,
+            kind,
+            42,
+            &CapacityClassMix::paper_default(),
+            Duration::from_secs(10),
+        );
+        let t0 = std::time::Instant::now();
+        let (result, report, profile) = Simulation::builder(config.clone())
+            .population(population)
+            .round_loop(loop_kind)
+            .recorder(Recorder::enabled(TelemetryConfig::default()))
+            .profiler(Profiler::enabled())
+            .build()
+            .expect("config validates")
+            .run_profiled();
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "{loop_kind:?}: {:.2}s  {:.1} r/s  visited={} productive={} scans={}",
+            dt,
+            result.rounds_run as f64 / dt,
+            report.counter(work::PEERS_VISITED),
+            report.counter(work::PEERS_PRODUCTIVE),
+            report.counter(work::CANDIDATE_SCANS),
+        );
+        let mut phases: Vec<_> = profile.phases.iter().collect();
+        phases.sort_by_key(|p| std::cmp::Reverse(p.1.total_ns));
+        for (name, stat) in phases.iter().take(12) {
+            println!(
+                "  {name:<22} {:>9.1} ms  ({} calls)",
+                stat.total_ns as f64 / 1e6,
+                stat.count
+            );
+        }
+        results.push(result);
+    }
+    assert_eq!(results[0], results[1], "loops diverged");
+    println!("results identical");
+}

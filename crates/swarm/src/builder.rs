@@ -14,7 +14,7 @@ use coop_telemetry::{Profiler, Recorder};
 
 use crate::config::{ConfigError, PeerSpec, SwarmConfig};
 use crate::faults::{FaultPatch, FaultSchedule};
-use crate::sim::Simulation;
+use crate::sim::{RoundLoop, Simulation};
 
 /// A transformation applied to the population before the simulation is
 /// assembled. `coop_attacks::AttackPlan` implements this so attack
@@ -113,6 +113,8 @@ pub struct SimulationBuilder {
     recorder: Recorder,
     profiler: Profiler,
     naive_hotpath: bool,
+    round_loop: RoundLoop,
+    shards: usize,
     checkpoint_every: Option<u64>,
 }
 
@@ -138,8 +140,29 @@ impl SimulationBuilder {
             recorder: Recorder::disabled(),
             profiler: Profiler::disabled(),
             naive_hotpath: false,
+            round_loop: RoundLoop::Dirty,
+            shards: 1,
             checkpoint_every: None,
         }
+    }
+
+    /// Selects the round-loop strategy (the dirty-set loop by default).
+    /// Every [`RoundLoop`] yields identical results — the three-way
+    /// `hotpath_equivalence` battery pins this — so the switch exists for
+    /// the equivalence oracles and the `scale` bench baselines.
+    pub fn round_loop(mut self, round_loop: RoundLoop) -> Self {
+        self.round_loop = round_loop;
+        self
+    }
+
+    /// Shards one simulation's round across `k` scoped worker threads
+    /// (`1` — the default — runs everything on the caller's thread).
+    /// Sharding is purely a wall-clock lever: results and artifacts are
+    /// byte-identical for any `k` (pinned by the sharded rows of the
+    /// byte-identity batteries). Values are clamped to at least 1.
+    pub fn shards(mut self, k: usize) -> Self {
+        self.shards = k.max(1);
+        self
     }
 
     /// Captures a [`SimCheckpoint`](crate::SimCheckpoint) after every
@@ -279,6 +302,8 @@ impl SimulationBuilder {
         }
         let mut sim = Simulation::assemble(self.config, self.population, self.recorder, faults);
         sim.naive_hotpath = self.naive_hotpath;
+        sim.set_round_loop(self.round_loop);
+        sim.set_shards(self.shards);
         sim.set_checkpoint_every(self.checkpoint_every);
         sim.set_profiler(self.profiler);
         Ok(sim)

@@ -100,6 +100,10 @@ pub(crate) struct CheckpointState {
     pub(crate) open_active: usize,
     pub(crate) compliant_completed: usize,
     pub(crate) naive_hotpath: bool,
+    /// The dirty-set membership (sorted peer indices) at capture time, so
+    /// a restored run rebuilds exactly the same visit sets — and hence
+    /// the same work counters — as the straight-through run.
+    pub(crate) dirty: Vec<u32>,
     pub(crate) naive_probe_rebuilds: u64,
     pub(crate) work_visited: u64,
     pub(crate) work_productive: u64,

@@ -41,9 +41,11 @@
 mod builder;
 mod checkpoint;
 mod config;
+mod dirty;
 mod faults;
 mod peer;
 mod result;
+mod shard;
 mod sim;
 mod soa;
 mod transfer;
@@ -56,5 +58,6 @@ pub use config::{
     PeerTags, PieceStrategy, SwarmConfig,
 };
 pub use faults::{FaultEvent, FaultKind, FaultPatch, FaultSchedule};
+pub use dirty::{DirtySet, VisitBits};
 pub use result::{PeerRecord, SimResult, Totals};
-pub use sim::{Simulation, SEEDER_ID};
+pub use sim::{RoundLoop, Simulation, SEEDER_ID};

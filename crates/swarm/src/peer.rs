@@ -225,6 +225,18 @@ impl PeerState {
             self.bootstrap_time = Some(now);
         }
     }
+
+    /// Folds each possession bitfield into its interval-run representation
+    /// where that is strictly smaller (departed identities are typically
+    /// complete, so `have`/`offer` collapse to a single run and
+    /// `locked`/`absent` to none). Observationally a no-op: every
+    /// [`Bitfield`] query answers identically in either representation.
+    pub(crate) fn compress_storage(&mut self) {
+        self.have.compress();
+        self.locked.compress();
+        self.offer.compress();
+        self.absent.compress();
+    }
 }
 
 impl std::fmt::Debug for PeerState {

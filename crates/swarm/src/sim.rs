@@ -19,7 +19,7 @@ use coop_telemetry::{
 };
 use coop_incentives::ledger::{ReportedReputation, ReputationTable};
 use coop_incentives::metrics::TimeSeries;
-use coop_incentives::{GrantReason, Obligation, PeerId, ReciprocationCondition};
+use coop_incentives::{GrantReason, Mechanism, Obligation, PeerId, ReciprocationCondition};
 use coop_piece::{
     AvailabilityIndex, Bitfield, PiecePicker, PieceSelection, RandomFirstPicker, RarestFirstPicker,
     SequentialPicker,
@@ -29,9 +29,11 @@ use rand::RngCore;
 
 use crate::checkpoint::{CheckpointError, CheckpointLog, CheckpointState, SimCheckpoint};
 use crate::config::{ConfigError, PeerSpec, PieceStrategy, SwarmConfig};
+use crate::dirty::{DirtySet, VisitBits};
 use crate::faults::{FaultKind, FaultSchedule};
 use crate::peer::{Departure, PeerState};
 use crate::result::{PeerRecord, SimResult, Totals};
+use crate::shard::{self, shard_ranges, ShardCtx, ShardView, SHARD_MIN_ITEMS};
 use crate::soa::HotPeers;
 use crate::transfer::{InFlight, TransferTable};
 use crate::view_impl::SimView;
@@ -43,6 +45,27 @@ pub const SEEDER_ID: PeerId = PeerId::new(u32::MAX);
 pub(crate) enum Event {
     Arrival(usize),
     RoundTick,
+}
+
+/// Which allocation-loop strategy the round loop runs. All strategies
+/// produce identical [`SimResult`]s (pinned by the three-way
+/// `hotpath_equivalence` battery); they differ only in how much work a
+/// round costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoundLoop {
+    /// Visit every online peer every round, served by the incremental
+    /// indexes (availability histogram, CSR adjacency, SoA membership).
+    /// Retained as the second equivalence oracle beside the
+    /// `hotpath-oracle` naive loop.
+    Indexed,
+    /// Event-driven: visit only the peers marked dirty since last round
+    /// plus their CSR-adjacent candidates (and, live-checked, peers with
+    /// outstanding obligations or outgoing partial transfers). Skipped
+    /// peers are provably no-ops: every built-in mechanism returns no
+    /// grants, draws no RNG, and mutates nothing when none of its
+    /// candidates is interested and no obligations are pending.
+    #[default]
+    Dirty,
 }
 
 /// One simulation run.
@@ -100,6 +123,20 @@ pub struct Simulation {
     /// The `hotpath_equivalence` battery and the `scale` bench flip this
     /// on as the oracle/baseline; results must be identical either way.
     pub(crate) naive_hotpath: bool,
+    /// The allocation-loop strategy ([`RoundLoop::Dirty`] by default;
+    /// `naive_hotpath` overrides both indexed strategies entirely).
+    round_loop: RoundLoop,
+    /// Worker threads sharding one round's read-only scans (1 = all on
+    /// the caller's thread). Observational for results: artifacts are
+    /// byte-identical for any value.
+    shards: usize,
+    /// Peers whose allocation-relevant state changed since the current
+    /// visit set was built (piece/obligation/neighbor/fault churn).
+    dirty: DirtySet,
+    /// The live visit bitmap for the round in progress: dirty ∪
+    /// CSR-neighbors(dirty) ∪ uploaders-with-partials at round start,
+    /// plus mid-round delivery marks.
+    visit: VisitBits,
     /// Fresh availability histogram rebuilds performed by naive-mode
     /// probes (telemetry; always zero on the indexed path).
     naive_probe_rebuilds: u64,
@@ -258,6 +295,10 @@ impl Simulation {
             open_active: 0,
             compliant_completed: 0,
             naive_hotpath: false,
+            round_loop: RoundLoop::Dirty,
+            shards: 1,
+            dirty: DirtySet::new(),
+            visit: VisitBits::default(),
             naive_probe_rebuilds: 0,
             recorder,
             profiler: Profiler::disabled(),
@@ -293,6 +334,34 @@ impl Simulation {
     /// Attaches the wall-clock profiler (builder plumbing).
     pub(crate) fn set_profiler(&mut self, profiler: Profiler) {
         self.profiler = profiler;
+    }
+
+    /// Selects the allocation-loop strategy (builder plumbing).
+    pub(crate) fn set_round_loop(&mut self, round_loop: RoundLoop) {
+        self.round_loop = round_loop;
+    }
+
+    /// Sets the intra-sim shard count (builder plumbing).
+    pub(crate) fn set_shards(&mut self, k: usize) {
+        self.shards = k.max(1);
+    }
+
+    /// Is the dirty-set visit filter live? The naive oracle bypasses
+    /// every index, including this one.
+    fn dirty_active(&self) -> bool {
+        self.round_loop == RoundLoop::Dirty && !self.naive_hotpath
+    }
+
+    /// Marks a peer's allocation-relevant state changed: it (and its
+    /// candidates, via CSR expansion at the next visit-set build) will be
+    /// visited next round, and — because delivery during the allocation
+    /// loop can make a later-in-order peer interested *this* round — its
+    /// live visit bit is set too. Cheap no-op bookkeeping when the
+    /// dirty loop is off; never called with the seeder.
+    fn mark_dirty(&mut self, id: PeerId) {
+        debug_assert_ne!(id, SEEDER_ID, "the seeder is not a peer slot");
+        self.dirty.mark(id.index());
+        self.visit.set(id.index());
     }
 
     /// Attaches a wall-clock profiler to a built simulation. Unlike
@@ -367,33 +436,17 @@ impl Simulation {
     }
 
     /// Does active peer `who` need at least one piece `from` can offer?
+    /// (Delegates to [`shard::needs_with`], the single authority shared
+    /// with the shard workers.)
     pub fn needs(&self, who: PeerId, from: PeerId) -> bool {
-        if who == from || !self.is_online(who) {
-            return false;
-        }
-        // A partially transferred piece keeps the pair interested; without
-        // this, the uploader would never re-select the target and the
-        // transfer could stall one piece short of completion.
-        if self.transfers.get(from, who).is_some() {
-            return true;
-        }
-        let w = self.peer(who);
-        let offer = if from == SEEDER_ID {
-            if !self.seeder_online {
-                return false;
-            }
-            &self.seeder_bf
-        } else if self.is_online(from) {
-            self.peer(from).offer()
-        } else {
-            return false;
-        };
-        if !w.absent().intersects(offer) {
-            return false;
-        }
-        w.absent()
-            .iter_common(offer)
-            .any(|p| !w.inflight.contains(&p))
+        shard::needs_with(
+            &self.peers,
+            &self.transfers,
+            &self.seeder_bf,
+            self.seeder_online,
+            who,
+            from,
+        )
     }
 
     /// Runs the simulation to completion (all compliant peers finished or
@@ -506,6 +559,9 @@ impl Simulation {
         self.open_active = s.open_active;
         self.compliant_completed = s.compliant_completed;
         self.naive_hotpath = s.naive_hotpath;
+        for &d in &s.dirty {
+            self.dirty.mark(d);
+        }
         self.naive_probe_rebuilds = s.naive_probe_rebuilds;
         self.work_visited = s.work_visited;
         self.work_productive = s.work_productive;
@@ -563,6 +619,7 @@ impl Simulation {
             open_active: self.open_active,
             compliant_completed: self.compliant_completed,
             naive_hotpath: self.naive_hotpath,
+            dirty: self.dirty.snapshot_sorted(),
             naive_probe_rebuilds: self.naive_probe_rebuilds,
             work_visited: self.work_visited,
             work_productive: self.work_productive,
@@ -704,6 +761,9 @@ impl Simulation {
             self.open_active += 1;
         }
         self.adj_dirty = true;
+        // CSR expansion of this mark covers the newcomer's edge partners,
+        // whose interest in (and from) it just appeared.
+        self.mark_dirty(id);
     }
 
     fn choose_neighbors(&self, me: PeerId, large_view: bool) -> BTreeSet<PeerId> {
@@ -777,6 +837,74 @@ impl Simulation {
         }
     }
 
+    /// Rebuilds the live visit bitmap for this round: the drained dirty
+    /// set, its CSR-adjacent candidates (a dirty peer's state change can
+    /// re-interest exactly its adjacency row — edges are symmetric), and
+    /// every uploader with an outgoing partial transfer (it must drain
+    /// regardless of interest). With `--shards K` the CSR expansion fans
+    /// out over contiguous ranges of the *sorted* dirty ids onto scoped
+    /// threads whose per-thread bitmaps are OR-merged — a commutative
+    /// reduction, so the result is identical for any K.
+    fn build_visit_set(&mut self) {
+        let scan_t = self.profiler.start();
+        self.visit.clear(self.peers.len());
+        let dirty = self.dirty.drain_sorted();
+        if self.shards > 1 && dirty.len() >= SHARD_MIN_ITEMS {
+            let ranges = shard_ranges(dirty.len(), self.shards);
+            let (adj, adj_off) = (&self.adj, &self.adj_off);
+            let partials: Vec<VisitBits> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .into_iter()
+                    .map(|r| {
+                        let chunk = &dirty[r];
+                        scope.spawn(move || {
+                            let mut bits = VisitBits::default();
+                            bits.clear(adj_off.len().saturating_sub(1));
+                            for &d in chunk {
+                                bits.set(d);
+                                for &nb in shard::candidates_of(adj, adj_off, d) {
+                                    if nb != SEEDER_ID {
+                                        bits.set(nb.index());
+                                    }
+                                }
+                            }
+                            bits
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+            let merge_t = self.profiler.start();
+            for part in &partials {
+                self.visit.merge(part);
+            }
+            self.profiler.stop(phase::SIM_SHARD_MERGE, merge_t);
+        } else {
+            let (adj, adj_off, visit) = (&self.adj, &self.adj_off, &mut self.visit);
+            for &d in &dirty {
+                visit.set(d);
+                for &nb in shard::candidates_of(adj, adj_off, d) {
+                    if nb != SEEDER_ID {
+                        visit.set(nb.index());
+                    }
+                }
+            }
+        }
+        // An uploader's own visit is the only place `targets_of` drains;
+        // a peer can't gain outgoing partials without being visited, so
+        // seeding them at build time is sufficient. `uploaders()` is
+        // unordered — harmless, bitmap insertion commutes.
+        for up in self.transfers.uploaders() {
+            if up != SEEDER_ID {
+                self.visit.set(up.index());
+            }
+        }
+        self.profiler.stop(phase::SIM_DIRTY_SCAN, scan_t);
+    }
+
     fn step_round(&mut self, now: SimTime) {
         let t = self.profiler.start();
         self.apply_faults_pass(now);
@@ -796,6 +924,9 @@ impl Simulation {
         self.profiler.stop(phase::SIM_ADJACENCY, t);
 
         let t = self.profiler.start();
+        if self.dirty_active() {
+            self.build_visit_set();
+        }
         self.seeder_allocate(now);
 
         // Peers allocate in a per-round shuffled order.
@@ -825,13 +956,28 @@ impl Simulation {
             let mut rng = self.round_rng(0);
             order.shuffle(&mut rng);
         }
-        // Work accounting (deterministic): every online peer is visited
-        // whether or not it has anything to do — exactly the O(N·degree)
-        // waste a dirty-set round loop would avoid (ROADMAP item 1).
-        self.work_visited += order.len() as u64;
         self.recorder
             .observe("swarm.round.active_set", order.len() as u64);
+        // The dirty filter is evaluated per-visit against the *live* visit
+        // bits and obligation flags — never pre-applied to `order` —
+        // because a delivery earlier in the shuffled order can make a
+        // later peer interested (or obliged) within the same round.
+        // Skipped peers are provably no-ops (see [`RoundLoop::Dirty`]), so
+        // `work_visited` counts only real visits here: the shrinking
+        // `wasted_visit_ratio` is the dirty loop's own acceptance gate.
+        let filter = self.dirty_active();
         for pid in order {
+            if filter {
+                debug_assert_eq!(
+                    self.hot.is_obliged(pid as usize),
+                    !self.peers[pid as usize].obligations.is_empty(),
+                    "obliged flag diverged from the obligation list"
+                );
+                if !self.visit.get(pid) && !self.hot.is_obliged(pid as usize) {
+                    continue;
+                }
+            }
+            self.work_visited += 1;
             if self.allocate_and_execute(PeerId::new(pid), now) > 0 {
                 self.work_productive += 1;
             }
@@ -949,7 +1095,46 @@ impl Simulation {
         let drained = self.drain_partials(id, now).min(budget);
         let budget = budget - drained;
         if budget == 0 {
+            // Draining ate the whole budget, so the no-op pre-check below
+            // never ran: conservatively re-mark so next round's visit set
+            // still holds this peer (indexed mode would call its
+            // mechanism then).
+            if self.dirty_active() {
+                self.mark_dirty(id);
+            }
             return drained;
+        }
+        if self.dirty_active() {
+            // The skip test, evaluated at visit time: a peer with no
+            // interested candidate and no pending obligations is exactly
+            // the state in which every built-in mechanism early-returns
+            // without drawing RNG or mutating anything — skipping it is
+            // unobservable. Obliged-only peers are re-visited through the
+            // live obliged flag instead (obligations can be granted
+            // toward non-neighbors, so interest does not cover them).
+            let interested = self
+                .round_candidates(id)
+                .iter()
+                .any(|&c| self.needs(c, id));
+            if interested {
+                // Stateful mechanisms may decide differently next round
+                // on identical inputs (unchoke rotations, sticky
+                // targets), so interest alone re-marks them. A
+                // memoryless mechanism repeats a grantless decision
+                // verbatim until an input changes: leave it unmarked and
+                // let the productive re-mark below — or any mark site
+                // firing on an input change — resurrect it.
+                let memoryless = self.peers[idx]
+                    .mechanism
+                    .as_ref()
+                    .expect("mechanism present outside allocation")
+                    .allocate_is_memoryless();
+                if !memoryless {
+                    self.mark_dirty(id);
+                }
+            } else if self.peers[idx].obligations.is_empty() {
+                return drained;
+            }
         }
         self.work_candidate_scans += self.round_candidates(id).len() as u64;
         let mut mech = self.peers[idx]
@@ -979,7 +1164,15 @@ impl Simulation {
             let used = self.execute_grant(id, g.to, bytes, g.reason, g.condition, now, &mut exec_rng);
             remaining -= used;
         }
-        drained + (budget - remaining)
+        let granted = budget - remaining;
+        if granted > 0 && self.dirty_active() {
+            // A productive visit changed this peer's own ledgers and may
+            // leave credit or budget unspent — always worth revisiting
+            // (idempotent for the stateful mechanisms marked above; the
+            // path that keeps productive memoryless peers alive).
+            self.mark_dirty(id);
+        }
+        drained + granted
     }
 
     /// Progresses this uploader's existing partial transfers (oldest-pair
@@ -1213,6 +1406,15 @@ impl Simulation {
         if bytes == 0 {
             return;
         }
+        // Ledger movement is an allocate input for the receiving end:
+        // credit grows with every partial step, not just at delivery,
+        // which can flip a memoryless mechanism's grantless decision.
+        // (The sender re-marks itself through the productive-visit path,
+        // and uploaders with open partials are seeded into every visit
+        // set.)
+        if self.dirty_active() {
+            self.mark_dirty(to);
+        }
         if from == SEEDER_ID {
             self.totals.uploaded_seeder += bytes;
         } else {
@@ -1243,6 +1445,13 @@ impl Simulation {
         let len = done.piece_len;
         let piece = done.piece;
         let to_idx = to.index() as usize;
+        // A delivery changes the receiver's piece/obligation state (and
+        // removes the pair's inflight entry): re-mark it so later visits
+        // this round and next round's visit set observe the change. The
+        // *sender* side needs no mark — delivery removes the piece from
+        // the receiver's absent and inflight sets together, so no other
+        // uploader's interest toward the receiver flips on either.
+        self.mark_dirty(to);
         self.peers[to_idx].inflight.remove(&piece);
         if done.condition.is_some() {
             self.peers[to_idx].inflight_conditional =
@@ -1261,6 +1470,7 @@ impl Simulation {
                         piece,
                         created_round: self.round_idx,
                     });
+                    self.hot.set_obliged(to_idx, true);
                 }
             }
             None => {
@@ -1325,6 +1535,8 @@ impl Simulation {
             });
         let Some(pos) = pos else { return };
         let ob = self.peers[s_idx].obligations.remove(pos);
+        let obliged = !self.peers[s_idx].obligations.is_empty();
+        self.hot.set_obliged(s_idx, obliged);
         self.unlock_for(sender, ob.piece);
         self.notify_chain_outcome(ob.uploader, sender, true);
     }
@@ -1390,6 +1602,9 @@ impl Simulation {
                 if fl.condition.is_some() {
                     p.inflight_conditional = p.inflight_conditional.saturating_sub(1);
                 }
+                // The piece is requestable again: sources regain interest
+                // in this receiver, so it must rejoin the visit set.
+                self.mark_dirty(to);
             }
         }
     }
@@ -1439,11 +1654,19 @@ impl Simulation {
                 .filter(|o| round.saturating_sub(o.created_round) >= ttl)
                 .copied()
                 .collect();
+            let had_expired = !expired.is_empty();
             for ob in expired {
                 self.peers[pid as usize].obligations.retain(|o| o != &ob);
                 self.peers[pid as usize].discard_locked(ob.piece);
                 self.notify_chain_outcome(ob.uploader, id, false);
             }
+            if had_expired {
+                // Discarded pieces are absent again: sources regain
+                // interest in this receiver next round.
+                self.mark_dirty(id);
+            }
+            let obliged = !self.peers[pid as usize].obligations.is_empty();
+            self.hot.set_obliged(pid as usize, obliged);
         }
     }
 
@@ -1500,6 +1723,9 @@ impl Simulation {
                         .inflight_conditional
                         .saturating_sub(1);
                 }
+                // The receiver lost an inflight entry without acquiring
+                // the piece: it wants it (from other sources) again.
+                self.mark_dirty(t);
             }
         }
         let neighbors: Vec<PeerId> = self.peers[idx].neighbors.iter().copied().collect();
@@ -1521,6 +1747,12 @@ impl Simulation {
         if p.tags.compliant && matches!(why, Departure::Completed(_)) {
             self.compliant_completed += 1;
         }
+        // Memory diet: a departed identity's bitfields are read-only from
+        // here (finalize reads, whitewash successors copy) — fold the
+        // dense words into interval runs where strictly smaller. Purely
+        // representational, so it is identical across round-loop modes
+        // and shard counts.
+        self.peers[idx].compress_storage();
     }
 
     /// Applies every fault whose round has come, at the top of the round
@@ -1617,6 +1849,7 @@ impl Simulation {
                 if fl.condition.is_some() {
                     p.inflight_conditional = p.inflight_conditional.saturating_sub(1);
                 }
+                self.mark_dirty(t);
             }
         }
         self.recorder.incr("swarm.fault.seeder_offline", 1);
@@ -1635,6 +1868,7 @@ impl Simulation {
                 if fl.condition.is_some() {
                     p.inflight_conditional = p.inflight_conditional.saturating_sub(1);
                 }
+                self.mark_dirty(t);
             }
         }
         let idx = id.index() as usize;
@@ -1652,6 +1886,9 @@ impl Simulation {
     fn end_outage(&mut self, id: PeerId) {
         let idx = id.index() as usize;
         self.peers[idx].offline = false;
+        // Back online: both its own wants and its candidates' interest in
+        // it resume — CSR expansion of this mark covers the candidates.
+        self.mark_dirty(id);
         let have: Vec<u32> = self.peers[idx].have().iter_ones().collect();
         for p in have {
             self.availability.on_piece_acquired(p);
@@ -1682,6 +1919,9 @@ impl Simulation {
     /// upload-side accounting stands, the sender did spend the bandwidth.
     fn drop_delivery(&mut self, to: PeerId, done: InFlight) {
         let to_idx = to.index() as usize;
+        // The piece stays absent and leaves inflight: sources regain
+        // interest in this receiver.
+        self.mark_dirty(to);
         let r = &mut self.peers[to_idx];
         r.inflight.remove(&done.piece);
         if done.condition.is_some() {
@@ -1780,6 +2020,9 @@ impl Simulation {
                         .inflight_conditional
                         .saturating_sub(1);
                 }
+                if t != old {
+                    self.mark_dirty(t);
+                }
             }
         }
         let neighbors: Vec<PeerId> = self.peers[old_idx].neighbors.iter().copied().collect();
@@ -1846,6 +2089,7 @@ impl Simulation {
             self.open_active += 1;
         }
         self.adj_dirty = true;
+        self.mark_dirty(new_id);
     }
 
     fn collusion_praise_pass(&mut self) {
@@ -1953,6 +2197,10 @@ impl Simulation {
                 self.peers[pid as usize].neighbors.insert(n);
                 self.peers[n.index() as usize].neighbors.insert(id);
                 self.adj_dirty = true;
+                // A fresh edge can make either endpoint interested in the
+                // other; mark both so both are visited.
+                self.mark_dirty(id);
+                self.mark_dirty(n);
             }
         }
     }
@@ -1970,12 +2218,51 @@ impl Simulation {
             return;
         }
         let mut rng = self.round_rng(1);
-        let mut candidates: Vec<PeerId> = self
-            .peers
-            .iter()
-            .filter(|p| p.is_active() && self.needs(p.id, SEEDER_ID))
-            .map(|p| p.id)
-            .collect();
+        // Who still needs seeder pieces. With `--shards K` the scan fans
+        // out over contiguous peer-index ranges; concatenating the
+        // per-range hits in range order *is* id order, so the vector fed
+        // to the shuffle below is identical for any K.
+        let mut candidates: Vec<PeerId> =
+            if self.shards > 1 && self.peers.len() >= SHARD_MIN_ITEMS {
+                let (peers, transfers, seeder_bf) =
+                    (&self.peers, &self.transfers, &self.seeder_bf);
+                let seeder_online = self.seeder_online;
+                let parts: Vec<Vec<PeerId>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = shard_ranges(peers.len(), self.shards)
+                        .into_iter()
+                        .map(|r| {
+                            scope.spawn(move || {
+                                peers[r]
+                                    .iter()
+                                    .filter(|p| {
+                                        p.is_active()
+                                            && shard::needs_with(
+                                                peers,
+                                                transfers,
+                                                seeder_bf,
+                                                seeder_online,
+                                                p.id,
+                                                SEEDER_ID,
+                                            )
+                                    })
+                                    .map(|p| p.id)
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard worker panicked"))
+                        .collect()
+                });
+                parts.concat()
+            } else {
+                self.peers
+                    .iter()
+                    .filter(|p| p.is_active() && self.needs(p.id, SEEDER_ID))
+                    .map(|p| p.id)
+                    .collect()
+            };
         candidates.shuffle(&mut rng);
         if candidates.is_empty() {
             return;
@@ -2034,22 +2321,80 @@ impl Simulation {
             );
             ids
         };
-        for pid in ids {
-            let idx = pid as usize;
-            let Some(mut mech) = self.peers[idx].mechanism.take() else {
-                continue;
-            };
-            {
-                let view = SimView::new(&*self, PeerId::new(pid));
-                mech.on_round_end(&view);
+        if self.shards > 1 && ids.len() >= SHARD_MIN_ITEMS {
+            self.end_round_hooks_sharded(&ids);
+        } else {
+            for pid in ids {
+                let idx = pid as usize;
+                let Some(mut mech) = self.peers[idx].mechanism.take() else {
+                    continue;
+                };
+                {
+                    let view = SimView::new(&*self, PeerId::new(pid));
+                    mech.on_round_end(&view);
+                }
+                self.peers[idx].mechanism = Some(mech);
             }
-            self.peers[idx].mechanism = Some(mech);
         }
         for p in &mut self.peers {
             if p.is_active() {
                 p.ledger.end_round();
             }
         }
+    }
+
+    /// The end-of-round mechanism hooks, sharded over contiguous ranges
+    /// of `ids`. Every mechanism box is taken out up front, so each
+    /// worker mutates only its own slice of boxes while sharing a
+    /// read-only [`ShardCtx`] of the rest of the state — `on_round_end`
+    /// draws no RNG and writes nothing shared, so any interleaving equals
+    /// the sequential loop exactly (pinned by the sharded rows of the
+    /// byte-identity battery). Restoring the boxes afterwards is the
+    /// slot-ordered merge.
+    fn end_round_hooks_sharded(&mut self, ids: &[u32]) {
+        let mut mechs: Vec<Option<Box<dyn Mechanism>>> = ids
+            .iter()
+            .map(|&pid| self.peers[pid as usize].mechanism.take())
+            .collect();
+        let ctx = ShardCtx {
+            peers: &self.peers,
+            adj: &self.adj,
+            adj_off: &self.adj_off,
+            transfers: &self.transfers,
+            seeder_bf: &self.seeder_bf,
+            seeder_online: self.seeder_online,
+            round_idx: self.round_idx,
+            trusted_reputation: self.config.trusted_reputation,
+            trusted_cache: &self.trusted_cache,
+            reputation: &self.reputation,
+            piece_size: self.config.file.piece_size(),
+        };
+        std::thread::scope(|scope| {
+            let ctx = &ctx;
+            let mut rest: &mut [Option<Box<dyn Mechanism>>] = &mut mechs;
+            let mut tail_ids = ids;
+            for r in shard_ranges(ids.len(), self.shards) {
+                let (head, rest_next) = rest.split_at_mut(r.len());
+                rest = rest_next;
+                let (chunk_ids, ids_next) = tail_ids.split_at(r.len());
+                tail_ids = ids_next;
+                scope.spawn(move || {
+                    for (&pid, slot) in chunk_ids.iter().zip(head.iter_mut()) {
+                        if let Some(mech) = slot.as_mut() {
+                            let view = ShardView::new(ctx, PeerId::new(pid));
+                            mech.on_round_end(&view);
+                        }
+                    }
+                });
+            }
+        });
+        let merge_t = self.profiler.start();
+        for (&pid, slot) in ids.iter().zip(mechs.iter_mut()) {
+            if let Some(mech) = slot.take() {
+                self.peers[pid as usize].mechanism = Some(mech);
+            }
+        }
+        self.profiler.stop(phase::SIM_SHARD_MERGE, merge_t);
     }
 
     fn sample_metrics(&mut self, now: SimTime) {
@@ -2159,11 +2504,6 @@ impl Simulation {
                 });
             }
             for p in self.peers.iter().filter(|p| p.is_active()) {
-                let interested = self
-                    .peers
-                    .iter()
-                    .filter(|q| q.is_active() && q.id != p.id && self.needs(q.id, p.id))
-                    .count() as u64;
                 let (peer, have, locked) = (
                     p.id.index(),
                     u64::from(p.have().count_ones()),
@@ -2174,13 +2514,20 @@ impl Simulation {
                     p.inflight.len() as u64,
                     p.neighbors.len() as u64,
                 );
+                // The interested-in-me census is an O(N) scan per peer —
+                // O(N²) over the dump. Built inside the closure so peers
+                // the Final sampling rate drops never pay for it.
                 recorder.emit_sampled(Category::Final, || TraceEvent::PeerAtEnd {
                     peer,
                     have,
                     locked,
                     obligations,
                     inflight,
-                    interested_in_me: interested,
+                    interested_in_me: self
+                        .peers
+                        .iter()
+                        .filter(|q| q.is_active() && q.id != p.id && self.needs(q.id, p.id))
+                        .count() as u64,
                     neighbors,
                 });
             }

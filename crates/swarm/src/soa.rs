@@ -25,6 +25,11 @@ const OFFLINE: u8 = 1 << 1;
 const WHITEWASH: u8 = 1 << 2;
 /// Peer belongs to a collusion ring (`tags.collusion_ring` set).
 const COLLUSION: u8 = 1 << 3;
+/// Peer holds at least one outstanding T-Chain obligation. The dirty-set
+/// round loop must visit obliged peers every round (an obligation can be
+/// granted toward a non-neighbor, so candidate-side dirtiness alone would
+/// miss them); this bit keeps that check off the full `PeerState` structs.
+const OBLIGED: u8 = 1 << 4;
 
 /// Hot per-peer round state in struct-of-arrays layout, indexed by peer
 /// slot (`PeerId::index()`).
@@ -91,6 +96,21 @@ impl HotPeers {
         self.flags[idx] & (ACTIVE | OFFLINE) == ACTIVE
     }
 
+    /// Sets or clears the outstanding-obligations bit (kept in lockstep
+    /// with `PeerState::obligations` emptiness).
+    pub(crate) fn set_obliged(&mut self, idx: usize, obliged: bool) {
+        if obliged {
+            self.flags[idx] |= OBLIGED;
+        } else {
+            self.flags[idx] &= !OBLIGED;
+        }
+    }
+
+    /// Does the slot hold outstanding obligations?
+    pub(crate) fn is_obliged(&self, idx: usize) -> bool {
+        self.flags[idx] & OBLIGED != 0
+    }
+
     /// Online slot that whitewashes its identity.
     pub(crate) fn whitewash_online(&self, idx: usize) -> bool {
         self.is_online(idx) && self.flags[idx] & WHITEWASH != 0
@@ -128,5 +148,18 @@ mod tests {
         assert!(hot.is_online(1));
         hot.retire(0);
         assert!(!hot.is_active(0) && !hot.is_online(0));
+    }
+
+    #[test]
+    fn obliged_bit_toggles_independently() {
+        let mut hot = HotPeers::default();
+        hot.push(&PeerTags::compliant(), 0);
+        assert!(!hot.is_obliged(0));
+        hot.set_obliged(0, true);
+        assert!(hot.is_obliged(0) && hot.is_online(0));
+        hot.set_offline(0, true);
+        assert!(hot.is_obliged(0), "outage must not clear obligations");
+        hot.set_obliged(0, false);
+        assert!(!hot.is_obliged(0));
     }
 }

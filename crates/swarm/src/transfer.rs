@@ -78,6 +78,12 @@ impl TransferTable {
             .unwrap_or_default()
     }
 
+    /// All uploaders that currently have outgoing partials (unordered —
+    /// callers wanting determinism must sort or treat the set as a set).
+    pub fn uploaders(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.by_uploader.keys().copied()
+    }
+
     fn unindex(&mut self, from: PeerId, to: PeerId) {
         if let Some(set) = self.by_uploader.get_mut(&from) {
             set.remove(&to);

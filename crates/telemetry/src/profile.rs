@@ -57,6 +57,14 @@ pub mod phase {
     /// Piece selection alone. Nested inside [`SIM_ALLOCATE`] and
     /// [`SIM_SETTLE`], so it is *not* part of [`ATTRIBUTED`].
     pub const SIM_PIECE_PICK: &str = "sim.piece_pick";
+    /// Dirty-set drain plus CSR expansion into the round's visit bitmap.
+    /// Nested inside [`SIM_ALLOCATE`], so it is *not* part of
+    /// [`ATTRIBUTED`].
+    pub const SIM_DIRTY_SCAN: &str = "sim.dirty_scan";
+    /// Slot-ordered merge of intra-sim shard results (visit-bitmap ORs,
+    /// mechanism-box restores). Nested inside [`SIM_ALLOCATE`] /
+    /// [`SIM_END_ROUND`], so it is *not* part of [`ATTRIBUTED`].
+    pub const SIM_SHARD_MERGE: &str = "sim.shard_merge";
     /// Transfer settlement: stalled-transfer, obligation, and completion
     /// passes.
     pub const SIM_SETTLE: &str = "sim.settle";
@@ -103,6 +111,8 @@ pub mod phase {
         SIM_ADJACENCY,
         SIM_ALLOCATE,
         SIM_PIECE_PICK,
+        SIM_DIRTY_SCAN,
+        SIM_SHARD_MERGE,
         SIM_SETTLE,
         SIM_END_ROUND,
         SIM_SAMPLE,

@@ -1,16 +1,23 @@
-//! The hot-path equivalence battery: proves the incremental availability
-//! index + SoA round loop is **observably identical** to the naive
-//! pre-index path it replaced.
+//! The hot-path equivalence battery: proves both round-loop optimisation
+//! generations — the incremental availability index + SoA loop, and the
+//! dirty-set loop layered on top of it — are **observably identical** to
+//! the naive pre-index path they replaced.
 //!
 //! Three layers of evidence, from strongest to broadest:
 //!
-//! 1. Per-mechanism oracle runs — a fig4-sized swarm executed twice from
-//!    the same seed, once with `naive_hotpath(true)` (the pre-index round
-//!    loop kept behind `coop-swarm`'s `hotpath-oracle` feature: per-round
-//!    candidate rebuilds, per-bit rarest-first picks, full peer-struct
-//!    scans) and once on the indexed path. The full [`SimResult`] must
-//!    compare equal, and its debug fingerprint must match a pinned golden
-//!    constant so *both* paths drifting together is also caught.
+//! 1. Per-mechanism three-way oracle runs — a fig4-sized swarm executed
+//!    three times from the same seed: once with `naive_hotpath(true)`
+//!    (the pre-index round loop kept behind `coop-swarm`'s
+//!    `hotpath-oracle` feature: per-round candidate rebuilds, per-bit
+//!    rarest-first picks, full peer-struct scans), once on the indexed
+//!    full-scan loop (`RoundLoop::Indexed`), and once on the dirty-set
+//!    loop (`RoundLoop::Dirty`, the default). All three [`SimResult`]s
+//!    must compare equal, and the dirty result's debug fingerprint must
+//!    match a pinned golden constant so *all* paths drifting together is
+//!    also caught. A second sweep repeats the three-way comparison with
+//!    a churn/fault plan active (outages, departures, link loss,
+//!    whitewashing and free-riding tags) — the regime where a stale
+//!    dirty set would actually skip work.
 //! 2. Artifact byte-identity across worker counts — `fig4` rendered with
 //!    `--jobs 1` and `--jobs 4` into separate directories must produce
 //!    byte-identical files. Naive-path artifact identity follows from (1)
@@ -33,16 +40,33 @@ use coop_experiments::{runners, Executor, OutputDir, Scale, TelemetryOpts};
 use coop_incentives::analysis::capacity::CapacityClassMix;
 use coop_incentives::MechanismKind;
 use coop_piece::{AvailabilityIndex, AvailabilityMap, Bitfield, PiecePicker, RarestFirstPicker};
-use coop_swarm::{flash_crowd_with, SimResult, Simulation};
+use coop_swarm::{
+    flash_crowd_with, FaultEvent, FaultKind, FaultSchedule, RoundLoop, SimResult, Simulation,
+    SimulationBuilder,
+};
 use coop_telemetry::fingerprint_debug;
 
 const SEED: u64 = 42;
 
-/// One fig4-sized cell (quick scale: 80 peers, 64 pieces), on either the
-/// naive oracle path or the indexed hot path.
-fn run_cell(kind: MechanismKind, naive: bool) -> SimResult {
+/// Which round-loop implementation a cell runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Pre-index oracle (`hotpath-oracle` feature).
+    Naive,
+    /// Indexed full-scan loop: every online peer visited every round.
+    Indexed,
+    /// Dirty-set loop: only changed peers and their candidates visited.
+    Dirty,
+}
+
+const MODES: [Mode; 3] = [Mode::Naive, Mode::Indexed, Mode::Dirty];
+
+/// One fig4-sized cell (quick scale: 80 peers, 64 pieces) on the given
+/// round loop, optionally under a churn/fault plan. Returned as a
+/// builder so tests can attach a recorder before running.
+fn build_cell(kind: MechanismKind, mode: Mode, faults: Option<FaultSchedule>) -> SimulationBuilder {
     let config = Scale::Quick.config(SEED);
-    let population = flash_crowd_with(
+    let mut population = flash_crowd_with(
         &config,
         Scale::Quick.peers(),
         kind,
@@ -50,26 +74,68 @@ fn run_cell(kind: MechanismKind, naive: bool) -> SimResult {
         &CapacityClassMix::paper_default(),
         Scale::Quick.arrival_window(),
     );
-    Simulation::builder(config)
-        .population(population)
-        .naive_hotpath(naive)
+    if faults.is_some() {
+        // Pin arrivals to t=0 so the fault rounds land after every peer
+        // has spawned (the builder rejects faults that predate arrival).
+        for spec in &mut population {
+            spec.arrival = coop_des::SimTime::ZERO;
+        }
+        // Behavioral churn on top of the fault plan: a whitewasher cycles
+        // identities, a free-rider never reciprocates. Both exercise the
+        // spawn/depart mark paths of the dirty loop.
+        population[3].tags.whitewash_interval = Some(8);
+        population[5].tags.compliant = false;
+    }
+    let mut builder = Simulation::builder(config).population(population);
+    if let Some(schedule) = faults {
+        builder = builder.fault_schedule(schedule);
+    }
+    match mode {
+        Mode::Naive => builder = builder.naive_hotpath(true),
+        Mode::Indexed => builder = builder.round_loop(RoundLoop::Indexed),
+        Mode::Dirty => builder = builder.round_loop(RoundLoop::Dirty),
+    }
+    builder
+}
+
+fn run_cell(kind: MechanismKind, mode: Mode, faults: Option<FaultSchedule>) -> SimResult {
+    build_cell(kind, mode, faults)
         .build()
         .expect("quick config validates")
         .run()
 }
 
-/// Oracle equivalence plus the golden pin for one mechanism.
+/// The churn/fault plan for the faulted sweep: an outage spanning several
+/// rounds, a mid-run departure, and 10% link loss throughout.
+fn fault_plan() -> FaultSchedule {
+    FaultSchedule::from_events(
+        vec![
+            FaultEvent { round: 2, peer: 1, kind: FaultKind::OutageStart },
+            FaultEvent { round: 3, peer: 0, kind: FaultKind::Depart },
+            FaultEvent { round: 6, peer: 1, kind: FaultKind::OutageEnd },
+        ],
+        0.1,
+        SEED,
+    )
+}
+
+/// Three-way oracle equivalence plus the golden pin for one mechanism.
 fn check(kind: MechanismKind, golden: u64) {
-    let fast = run_cell(kind, false);
-    let naive = run_cell(kind, true);
+    let [naive, indexed, dirty] = MODES.map(|m| run_cell(kind, m, None));
     assert_eq!(
-        fast,
         naive,
-        "{}: indexed and naive hot paths must produce identical results",
+        indexed,
+        "{}: indexed and naive round loops must produce identical results",
         kind.name()
     );
     assert_eq!(
-        fingerprint_debug(&fast),
+        indexed,
+        dirty,
+        "{}: dirty-set and indexed round loops must produce identical results",
+        kind.name()
+    );
+    assert_eq!(
+        fingerprint_debug(&dirty),
         golden,
         "{}: result fingerprint drifted from the pinned golden value",
         kind.name()
@@ -77,33 +143,87 @@ fn check(kind: MechanismKind, golden: u64) {
 }
 
 #[test]
-fn reciprocity_naive_and_indexed_agree() {
+fn reciprocity_three_way_agree() {
     check(MechanismKind::Reciprocity, 0x5e3f_f605_0864_e5e2);
 }
 
 #[test]
-fn tchain_naive_and_indexed_agree() {
+fn tchain_three_way_agree() {
     check(MechanismKind::TChain, 0x73d0_6216_17a0_3a63);
 }
 
 #[test]
-fn bittorrent_naive_and_indexed_agree() {
+fn bittorrent_three_way_agree() {
     check(MechanismKind::BitTorrent, 0xc4e6_fed2_40b9_65e8);
 }
 
 #[test]
-fn fairtorrent_naive_and_indexed_agree() {
+fn fairtorrent_three_way_agree() {
     check(MechanismKind::FairTorrent, 0x113c_b09b_2808_6c38);
 }
 
 #[test]
-fn reputation_naive_and_indexed_agree() {
+fn reputation_three_way_agree() {
     check(MechanismKind::Reputation, 0x7093_b67d_4da0_ba6e);
 }
 
 #[test]
-fn altruism_naive_and_indexed_agree() {
+fn altruism_three_way_agree() {
     check(MechanismKind::Altruism, 0xa7ad_eca0_39b7_be52);
+}
+
+#[test]
+fn three_way_agree_under_churn_and_faults() {
+    // The dirty loop earns its keep exactly when peers flap: outages,
+    // departures, lost deliveries and identity churn all mutate the set
+    // of peers worth visiting. Every mechanism must stay three-way
+    // identical with the full fault plan active.
+    for kind in MechanismKind::ALL {
+        let [naive, indexed, dirty] = MODES.map(|m| run_cell(kind, m, Some(fault_plan())));
+        assert_eq!(
+            naive,
+            indexed,
+            "{}: indexed loop diverged from oracle under faults",
+            kind.name()
+        );
+        assert_eq!(
+            indexed,
+            dirty,
+            "{}: dirty-set loop diverged under faults",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn dirty_loop_does_strictly_less_visiting() {
+    // Not an equivalence claim but the reason the loop exists: on the
+    // same workload the dirty loop must visit fewer peers than the
+    // full-scan loop while producing the identical result (checked
+    // above). Reciprocity is the sharpest case — allocate is memoryless
+    // and never grants (Lemma 2), so after one grantless round the dirty
+    // loop drops a peer until an input changes; dense always-granting
+    // mechanisms like BitTorrent legitimately re-mark everyone. Work
+    // counters ride on the telemetry report, which needs an attached
+    // recorder (run_traced alone returns an empty report).
+    use coop_telemetry::profile::work;
+    use coop_telemetry::{Recorder, TelemetryConfig};
+    let traced = |mode| {
+        build_cell(MechanismKind::Reciprocity, mode, None)
+            .recorder(Recorder::enabled(TelemetryConfig::default()))
+            .build()
+            .expect("quick config validates")
+            .run_traced()
+    };
+    let (indexed, indexed_report) = traced(Mode::Indexed);
+    let (dirty, dirty_report) = traced(Mode::Dirty);
+    assert_eq!(indexed, dirty, "visit accounting must not change results");
+    let indexed_visits = indexed_report.counter(work::PEERS_VISITED);
+    let dirty_visits = dirty_report.counter(work::PEERS_VISITED);
+    assert!(
+        dirty_visits < indexed_visits,
+        "dirty loop visited {dirty_visits} peers, indexed {indexed_visits} — expected strictly fewer"
+    );
 }
 
 /// A fresh scratch directory under `target/` for this test run.

@@ -154,21 +154,56 @@ fn fig4_artifacts_are_byte_identical_across_profile_modes() {
 }
 
 #[test]
+fn fig4_artifacts_are_byte_identical_across_shard_counts() {
+    // `--shards` is a wall-clock lever like the profiler: it splits one
+    // sim's round across scoped threads and must never show up in the
+    // artifact bytes. The matrix crosses it with the other two levers —
+    // worker count and profiling — against the unsharded sequential
+    // baseline.
+    let seed = 63;
+    let run = |dir: &Path, jobs: usize, shards: usize, opts: &TelemetryOpts| {
+        runners::fig4::run_with_telemetry(
+            Scale::Quick,
+            seed,
+            &Executor::new(jobs).with_shards(shards),
+            opts,
+            &OutputDir::new(dir),
+        )
+        .0
+        .render()
+    };
+
+    let dir_base = scratch("shards-base");
+    let base = run(&dir_base, 1, 1, &TelemetryOpts::disabled());
+
+    let dir_s2 = scratch("shards-2-jobs-4");
+    let s2 = run(&dir_s2, 4, 2, &TelemetryOpts::disabled());
+
+    let dir_s4 = scratch("shards-4-profiled");
+    let s4 = run(&dir_s4, 1, 4, &profile_opts(1));
+
+    assert_eq!(base, s2, "shards=2 × jobs=4 changed the report");
+    assert_eq!(base, s4, "shards=4 under profiling changed the report");
+    assert_same_artifacts(&dir_base, &dir_s2, "shards=2,jobs=4");
+    assert_same_artifacts(&dir_base, &dir_s4, "shards=4,profiled");
+
+    // The sharded profiled run still attributes its phases sanely.
+    let profile = read_profile(&dir_s4);
+    assert_eq!(profile.jobs, profile.profiled_jobs);
+    assert!(profile.work_counter(work::PEERS_VISITED) > 0);
+}
+
+#[test]
 fn scenario_sweep_is_unchanged_by_profiling() {
     let pack = load_pack("flash-crowd-baseline").expect("built-in scenario loads");
     let seed = 91;
-    let run = |dir: &Path, jobs: usize, opts: &TelemetryOpts| {
-        let executor = if jobs == 1 {
-            Executor::sequential()
-        } else {
-            Executor::new(jobs)
-        };
+    let run = |dir: &Path, jobs: usize, shards: usize, opts: &TelemetryOpts| {
         let (report, errors) = runners::sweep::try_run_pack(
             &pack,
             Scale::Quick,
             seed,
             1,
-            &executor,
+            &Executor::new(jobs).with_shards(shards),
             opts,
             &OutputDir::new(dir),
         );
@@ -177,13 +212,19 @@ fn scenario_sweep_is_unchanged_by_profiling() {
     };
 
     let dir_off = scratch("sweep-off");
-    let report_off = run(&dir_off, 1, &TelemetryOpts::disabled());
+    let report_off = run(&dir_off, 1, 1, &TelemetryOpts::disabled());
 
     let dir_on = scratch("sweep-on");
-    let report_on = run(&dir_on, 4, &profile_opts(1));
+    let report_on = run(&dir_on, 4, 1, &profile_opts(1));
+
+    // Sharded + profiled sweep against the same baseline.
+    let dir_sharded = scratch("sweep-sharded");
+    let report_sharded = run(&dir_sharded, 4, 4, &profile_opts(1));
 
     assert_eq!(report_off, report_on);
+    assert_eq!(report_off, report_sharded);
     assert_same_artifacts(&dir_off, &dir_on, "sweep-on");
+    assert_same_artifacts(&dir_off, &dir_sharded, "sweep-shards=4");
 
     let profile = read_profile(&dir_on);
     assert_eq!(profile.jobs, profile.profiled_jobs);
