@@ -105,6 +105,12 @@ pub fn bootstrap_probability(kind: MechanismKind, p: &BootstrapParams) -> f64 {
         }
         MechanismKind::Reputation => ((n - 2.0) / (n - 1.0)).powf(z / 2.0),
         MechanismKind::Altruism => ((n - 2.0) / (n - 1.0)).powf(kz),
+        // Beyond the paper: newcomers have no settled balances, so during
+        // an open epoch only the altruistic remainder reaches them. Each
+        // bootstrapped user spends most of its K pieces repaying settled
+        // creditors, leaving ~one altruistic piece per timeslot — the
+        // reputation row's shape (z/2 effective altruistic uploads).
+        MechanismKind::EpochSettlement => ((n - 2.0) / (n - 1.0)).powf(z / 2.0),
     };
     1.0 - seeder_miss * x
 }

@@ -19,6 +19,15 @@ pub struct EquilibriumParams {
     pub alpha_r: f64,
     /// Total seeder upload rate `u_S` (each user receives `u_S / N`).
     pub seeder_rate: f64,
+    /// Epoch length in rounds for the epoch-settled extension.
+    pub epoch_rounds: f64,
+    /// The contribution horizon in rounds a user's equilibrium behavior
+    /// averages over — the characteristic time its settled balances
+    /// steer allocations before the next epoch reopens. The open-epoch
+    /// fraction `λ = epoch_rounds / (epoch_rounds + epoch_horizon)` is
+    /// served altruistically; the settled fraction `1 − λ`
+    /// contribution-proportionally.
+    pub epoch_horizon: f64,
 }
 
 impl Default for EquilibriumParams {
@@ -28,7 +37,20 @@ impl Default for EquilibriumParams {
             n_bt: 4,
             alpha_r: 0.1,
             seeder_rate: 0.0,
+            epoch_rounds: 16.0,
+            epoch_horizon: 16.0,
         }
+    }
+}
+
+impl EquilibriumParams {
+    /// The open-epoch fraction `λ ∈ [0, 1)` of the epoch-settled row:
+    /// the share of a user's received bandwidth arriving through the
+    /// unsettled (altruistic) channel. `λ → 0` as the epoch shrinks
+    /// (everything settles, FairTorrent-shaped) and `λ → 1` as it grows
+    /// past the horizon (nothing settles, altruism-shaped).
+    pub fn epoch_open_fraction(&self) -> f64 {
+        self.epoch_rounds / (self.epoch_rounds + self.epoch_horizon)
     }
 }
 
@@ -86,6 +108,15 @@ pub fn download_utilization(
                 .map(|j| (1.0 - params.alpha_r) * u[j] / caps.total_excluding(j))
                 .sum();
             u[i] * rep_term + params.alpha_r * altruistic_share
+        }
+        // Beyond the paper, in Table I's style: the settled share of a
+        // user's bandwidth is paid back contribution-proportionally
+        // (`u_i`, the T-Chain/FairTorrent row) and the open-epoch share
+        // arrives altruistically (the Altruism row). Both rows conserve
+        // bandwidth exactly, so any λ-blend does too.
+        MechanismKind::EpochSettlement => {
+            let lambda = params.epoch_open_fraction();
+            (1.0 - lambda) * u[i] + lambda * altruistic_share
         }
     }
 }
@@ -314,5 +345,52 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn download_utilization_bounds_checked() {
         download_utilization(MechanismKind::Altruism, 99, &caps(), &params());
+    }
+
+    #[test]
+    fn epoch_settlement_conserves_bandwidth_exactly() {
+        let c = caps();
+        let p = params();
+        let d: f64 = download_rates(MechanismKind::EpochSettlement, &c, &p)
+            .iter()
+            .sum();
+        let u: f64 = upload_rates(MechanismKind::EpochSettlement, &c).iter().sum();
+        assert!((d - u).abs() < 1e-9, "Σd = {d}, Σu = {u}");
+    }
+
+    #[test]
+    fn epoch_settlement_limits_recover_fairtorrent_and_altruism() {
+        let c = caps();
+        let mut p = params();
+        for i in 0..c.len() {
+            // epoch → 0: every contribution settles immediately, the
+            // FairTorrent/T-Chain row.
+            p.epoch_rounds = 0.0;
+            assert_eq!(
+                download_utilization(MechanismKind::EpochSettlement, i, &c, &p),
+                download_utilization(MechanismKind::FairTorrent, i, &c, &p),
+                "user {i}"
+            );
+            // epoch → ∞: nothing ever settles, the Altruism row.
+            p.epoch_rounds = 1e15;
+            let d = download_utilization(MechanismKind::EpochSettlement, i, &c, &p);
+            let alt = download_utilization(MechanismKind::Altruism, i, &c, &p);
+            assert!((d - alt).abs() < 1e-9 * alt.max(1.0), "user {i}: {d} vs {alt}");
+        }
+    }
+
+    #[test]
+    fn epoch_settlement_interpolates_between_the_extremes() {
+        let c = caps();
+        let p = params(); // default λ = 0.5
+        // The strongest user downloads less than under FairTorrent (some
+        // of its earned bandwidth leaks altruistically), the weakest
+        // downloads more.
+        let ft = |i| download_utilization(MechanismKind::FairTorrent, i, &c, &p);
+        let alt = |i| download_utilization(MechanismKind::Altruism, i, &c, &p);
+        let ep = |i| download_utilization(MechanismKind::EpochSettlement, i, &c, &p);
+        assert!(ep(0) < ft(0) && ep(0) > alt(0));
+        let last = c.len() - 1;
+        assert!(ep(last) > ft(last) && ep(last) < alt(last));
     }
 }

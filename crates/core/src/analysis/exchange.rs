@@ -231,6 +231,12 @@ pub fn expected_exchange_probability(
                     // receiver's interest only.
                     pi_altruism(m_i, m_j, big_m)
                 }
+                MechanismKind::EpochSettlement => {
+                    // Like FairTorrent, settled balances only reorder
+                    // recipients; whether a piece can move is still
+                    // availability-limited.
+                    pi_altruism(m_i, m_j, big_m)
+                }
             };
             acc += p_i * p_j * pi;
         }

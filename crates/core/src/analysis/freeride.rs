@@ -19,6 +19,10 @@ pub struct FreeRideParams {
     /// FairTorrent's probability `ω` that a user owes data to at least one
     /// neighbor (only `1 − ω` of capacity can leak to strangers).
     pub omega: f64,
+    /// The epoch-settled extension's open-epoch fraction `λ`: the share of
+    /// time during which contributions have not yet settled into balances,
+    /// so uploads fall back to the altruistic channel.
+    pub epoch_open_fraction: f64,
 }
 
 impl Default for FreeRideParams {
@@ -28,6 +32,7 @@ impl Default for FreeRideParams {
             alpha_bt: 0.2,
             alpha_r: 0.1,
             omega: 0.75,
+            epoch_open_fraction: 0.5,
         }
     }
 }
@@ -50,6 +55,11 @@ pub fn exploitable_resources(kind: MechanismKind, p: &FreeRideParams) -> f64 {
         MechanismKind::FairTorrent => (1.0 - p.omega) * p.total_capacity,
         MechanismKind::Reputation => p.alpha_r * p.total_capacity,
         MechanismKind::Altruism => p.total_capacity,
+        // Beyond the paper: while an epoch is open, earned balances have
+        // not settled yet, so the whole open-epoch fraction of capacity
+        // leaks through the altruistic fallback. λ → 0 recovers the
+        // FairTorrent-style bound, λ → 1 the altruism row.
+        MechanismKind::EpochSettlement => p.epoch_open_fraction * p.total_capacity,
     }
 }
 
@@ -84,6 +94,9 @@ pub fn collusion_probability(
         MechanismKind::Reciprocity
         | MechanismKind::BitTorrent
         | MechanismKind::FairTorrent
+        // Epoch balances derive from each uploader's local receipt ledger,
+        // like FairTorrent deficits — no third party is ever consulted.
+        | MechanismKind::EpochSettlement
         | MechanismKind::Altruism => None,
     }
 }
@@ -118,6 +131,7 @@ mod tests {
             alpha_bt: 0.2,
             alpha_r: 0.1,
             omega: 0.75,
+            epoch_open_fraction: 0.5,
         };
         assert_eq!(exploitable_resources(MechanismKind::Reciprocity, &p), 0.0);
         assert_eq!(exploitable_resources(MechanismKind::TChain, &p), 0.0);
@@ -125,6 +139,23 @@ mod tests {
         assert!((exploitable_resources(MechanismKind::FairTorrent, &p) - 25.0).abs() < 1e-12);
         assert!((exploitable_resources(MechanismKind::Reputation, &p) - 10.0).abs() < 1e-12);
         assert_eq!(exploitable_resources(MechanismKind::Altruism, &p), 100.0);
+        assert!((exploitable_resources(MechanismKind::EpochSettlement, &p) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_settlement_susceptibility_limits() {
+        let mut p = FreeRideParams::default();
+        p.epoch_open_fraction = 0.0;
+        assert_eq!(exploitable_resources(MechanismKind::EpochSettlement, &p), 0.0);
+        p.epoch_open_fraction = 1.0;
+        assert_eq!(
+            exploitable_resources(MechanismKind::EpochSettlement, &p),
+            exploitable_resources(MechanismKind::Altruism, &p)
+        );
+        assert_eq!(
+            collusion_probability(MechanismKind::EpochSettlement, 0.5, 100, 1000),
+            None
+        );
     }
 
     #[test]

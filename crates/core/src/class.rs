@@ -48,6 +48,12 @@ pub enum MechanismKind {
     /// directly or *indirectly* (forwarding to a third peer), enforced by
     /// encrypting pieces until reciprocation is confirmed.
     TChain,
+    /// Beyond the paper: epoch-settled reward distribution. Contributions
+    /// accrue during an epoch and are paid out proportionally at epoch
+    /// close via O(1) scalable-reward-distribution accounting. The epoch
+    /// length interpolates between FairTorrent-like fairness (epoch → 0)
+    /// and altruism-like exploitability (epoch → ∞).
+    EpochSettlement,
 }
 
 impl MechanismKind {
@@ -62,6 +68,20 @@ impl MechanismKind {
         MechanismKind::Altruism,
     ];
 
+    /// The paper's six mechanisms plus the epoch-settled extension, in
+    /// grid order. [`MechanismKind::ALL`] stays the paper grid (golden
+    /// fingerprints and scenario specs key off it); figure runners that
+    /// include the extension iterate this instead.
+    pub const EXTENDED: [MechanismKind; 7] = [
+        MechanismKind::Reciprocity,
+        MechanismKind::TChain,
+        MechanismKind::BitTorrent,
+        MechanismKind::FairTorrent,
+        MechanismKind::Reputation,
+        MechanismKind::Altruism,
+        MechanismKind::EpochSettlement,
+    ];
+
     /// Short human-readable name (as used in the paper's tables).
     pub fn name(self) -> &'static str {
         match self {
@@ -71,6 +91,7 @@ impl MechanismKind {
             MechanismKind::BitTorrent => "BitTorrent",
             MechanismKind::FairTorrent => "FairTorrent",
             MechanismKind::TChain => "T-Chain",
+            MechanismKind::EpochSettlement => "EpochSettlement",
         }
     }
 
@@ -84,6 +105,9 @@ impl MechanismKind {
             MechanismKind::BitTorrent => &[Reciprocity, Altruism],
             MechanismKind::FairTorrent => &[Reputation, Altruism],
             MechanismKind::TChain => &[Reciprocity, Reputation],
+            // Accrued-contribution payouts are a reputation signal; the
+            // open-epoch window (and bootstrap fallback) serves altruistically.
+            MechanismKind::EpochSettlement => &[Reputation, Altruism],
         }
     }
 
@@ -131,6 +155,14 @@ impl MechanismKind {
                 efficiency: High,
                 bootstrapping: High,
                 freeride_resistance: High,
+            },
+            // Between FairTorrent and Altruism, by construction: fairness
+            // and susceptibility depend on the epoch length.
+            MechanismKind::EpochSettlement => ExpectedPerformance {
+                fairness: Medium,
+                efficiency: High,
+                bootstrapping: High,
+                freeride_resistance: Low, // an open epoch is exploitable
             },
         }
     }
@@ -189,8 +221,23 @@ mod tests {
     }
 
     #[test]
+    fn extended_is_all_plus_epoch_settlement() {
+        assert_eq!(&MechanismKind::EXTENDED[..6], &MechanismKind::ALL[..]);
+        assert_eq!(
+            MechanismKind::EXTENDED[6],
+            MechanismKind::EpochSettlement
+        );
+        let mut kinds = MechanismKind::EXTENDED.to_vec();
+        kinds.sort();
+        kinds.dedup();
+        assert_eq!(kinds.len(), 7);
+        assert_eq!(MechanismKind::EpochSettlement.name(), "EpochSettlement");
+        assert!(MechanismKind::EpochSettlement.is_hybrid());
+    }
+
+    #[test]
     fn hybrids_have_two_classes_basics_one() {
-        for k in MechanismKind::ALL {
+        for k in MechanismKind::EXTENDED {
             let n = k.classes().len();
             assert_eq!(k.is_hybrid(), n == 2, "{k}");
             assert!(n == 1 || n == 2);

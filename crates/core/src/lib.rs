@@ -59,5 +59,6 @@ pub use class::{ExpectedPerformance, MechanismClass, MechanismKind, Rating};
 pub use ids::PeerId;
 pub use mechanism::{
     build_mechanism, Grant, GrantReason, Mechanism, MechanismParams, ReciprocationCondition,
+    SettleCadence,
 };
 pub use view::{Obligation, SwarmView};

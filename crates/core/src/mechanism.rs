@@ -138,6 +138,11 @@ pub struct MechanismParams {
     /// initiate chains beyond it. Low enough that a slow peer can clear
     /// its backlog within the obligation TTL.
     pub tchain_max_backlog: usize,
+    /// Rounds per settlement epoch for [`MechanismKind::EpochSettlement`]:
+    /// accrued contributions pay out every this many rounds. Shorter
+    /// epochs approach FairTorrent-like fairness; longer ones approach
+    /// altruism-like exploitability.
+    pub epoch_rounds: u64,
 }
 
 impl Default for MechanismParams {
@@ -148,6 +153,7 @@ impl Default for MechanismParams {
             alpha_r: 0.1,
             tchain_obligation_ttl: 16,
             tchain_max_backlog: 4,
+            epoch_rounds: 16,
         }
     }
 }
@@ -175,8 +181,36 @@ impl MechanismParams {
         if self.tchain_max_backlog == 0 {
             return Err("tchain_max_backlog must be positive".to_string());
         }
+        if self.epoch_rounds == 0 {
+            return Err("epoch_rounds must be positive".to_string());
+        }
         Ok(())
     }
+}
+
+/// When a mechanism settles the contributions it observes.
+///
+/// Settlement is the act of converting observed transfers into the state
+/// that steers future allocations (credits, deficits, reward balances).
+/// The paper's six mechanisms all settle per-transfer: every received
+/// byte updates their ledgers immediately, inside the transfer
+/// accounting, and the round loop never has to do anything extra.
+/// Production incentive systems instead accrue contributions and settle
+/// them in batches at epoch boundaries; declaring that cadence here lets
+/// the round loop drive the [`Mechanism::on_epoch_close`] hook (and mark
+/// the peer dirty at boundaries) without the mechanism poking at round
+/// numbers itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SettleCadence {
+    /// Every transfer settles immediately through the shared ledgers —
+    /// the paper's model, and the default. The round loop drives no
+    /// epoch hook.
+    PerTransfer,
+    /// Contributions accrue and settle every `.0` rounds; the round loop
+    /// calls [`Mechanism::on_epoch_close`] at each boundary and re-marks
+    /// the peer dirty there (its allocation inputs changed without any
+    /// transfer touching it).
+    Epoch(u64),
 }
 
 /// An incentive mechanism: the per-round upload-allocation policy of one
@@ -211,6 +245,21 @@ pub trait Mechanism: std::fmt::Debug + Send + Sync {
 
     /// Hook called at the end of every round (after transfers execute).
     fn on_round_end(&mut self, _view: &dyn SwarmView) {}
+
+    /// The mechanism's settlement cadence. [`SettleCadence::PerTransfer`]
+    /// (the default) means every ledger update settles in place and the
+    /// round loop never calls [`Mechanism::on_epoch_close`].
+    fn settle_cadence(&self) -> SettleCadence {
+        SettleCadence::PerTransfer
+    }
+
+    /// Hook called by the round loop at each epoch boundary for
+    /// mechanisms declaring [`SettleCadence::Epoch`], after
+    /// [`Mechanism::on_round_end`] of the boundary round. Must not draw
+    /// randomness and may only mutate this mechanism's own state —
+    /// the hook runs inside the (possibly sharded) end-of-round pass,
+    /// and determinism across `--shards`/`--jobs` depends on it.
+    fn on_epoch_close(&mut self, _view: &dyn SwarmView) {}
 
     /// Hook called when a conditional (encrypted) upload this peer made is
     /// resolved: `honored = true` when the receiver reciprocated (key
@@ -257,6 +306,7 @@ pub fn build_mechanism(kind: MechanismKind, params: MechanismParams) -> Box<dyn 
         MechanismKind::BitTorrent => Box::new(BitTorrent::new(params)),
         MechanismKind::FairTorrent => Box::new(FairTorrent::new()),
         MechanismKind::TChain => Box::new(TChain::new(params)),
+        MechanismKind::EpochSettlement => Box::new(EpochSettlement::new(params)),
     }
 }
 
@@ -293,10 +343,32 @@ mod tests {
 
     #[test]
     fn build_covers_all_kinds() {
-        for kind in MechanismKind::ALL {
+        for kind in MechanismKind::EXTENDED {
             let m = build_mechanism(kind, MechanismParams::default());
             assert_eq!(m.kind(), kind);
         }
+    }
+
+    #[test]
+    fn paper_mechanisms_settle_per_transfer() {
+        for kind in MechanismKind::ALL {
+            let m = build_mechanism(kind, MechanismParams::default());
+            assert_eq!(m.settle_cadence(), SettleCadence::PerTransfer, "{kind}");
+        }
+        let epoch = build_mechanism(MechanismKind::EpochSettlement, MechanismParams::default());
+        assert_eq!(
+            epoch.settle_cadence(),
+            SettleCadence::Epoch(MechanismParams::default().epoch_rounds)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_zero_epoch() {
+        let bad = MechanismParams {
+            epoch_rounds: 0,
+            ..MechanismParams::default()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -55,6 +55,12 @@ impl Mechanism for FairTorrent {
         MechanismKind::FairTorrent
     }
 
+    // Settlement cadence: the default `SettleCadence::PerTransfer`. The
+    // deficit counters this mechanism ranks by are mutated only by the
+    // driver's single settlement entry point (`settle_transfer` in the
+    // simulator), never here; epoch-settled inputs go through the
+    // `on_epoch_close` cadence hook instead.
+
     fn allocate(&mut self, view: &dyn SwarmView, budget: u64, rng: &mut dyn RngCore) -> Vec<Grant> {
         let candidates = interested_neighbors(view);
         if candidates.is_empty() {

@@ -1,16 +1,19 @@
-//! The six incentive mechanisms compared by the paper (Section III-A).
+//! The six incentive mechanisms compared by the paper (Section III-A),
+//! plus the epoch-settled extension.
 //!
-//! | Algorithm     | Classes combined          | Module |
-//! |---------------|---------------------------|--------|
-//! | Reciprocity   | reciprocity               | [`reciprocity`] |
-//! | Altruism      | altruism                  | [`altruism`] |
-//! | Reputation    | reputation (+ α_R altruism for bootstrap) | [`reputation`] |
-//! | BitTorrent    | reciprocity / altruism    | [`bittorrent`] |
-//! | FairTorrent   | reputation / altruism     | [`fairtorrent`] |
-//! | T-Chain       | reciprocity / reputation  | [`tchain`] |
+//! | Algorithm       | Classes combined          | Module |
+//! |-----------------|---------------------------|--------|
+//! | Reciprocity     | reciprocity               | [`reciprocity`] |
+//! | Altruism        | altruism                  | [`altruism`] |
+//! | Reputation      | reputation (+ α_R altruism for bootstrap) | [`reputation`] |
+//! | BitTorrent      | reciprocity / altruism    | [`bittorrent`] |
+//! | FairTorrent     | reputation / altruism     | [`fairtorrent`] |
+//! | T-Chain         | reciprocity / reputation  | [`tchain`] |
+//! | EpochSettlement | reputation / altruism, settled per epoch | [`epoch`] |
 
 pub mod altruism;
 pub mod bittorrent;
+pub mod epoch;
 pub mod extensions;
 pub mod fairtorrent;
 pub mod reciprocity;
@@ -19,6 +22,7 @@ pub mod tchain;
 
 pub use altruism::Altruism;
 pub use bittorrent::BitTorrent;
+pub use epoch::EpochSettlement;
 pub use fairtorrent::FairTorrent;
 pub use reciprocity::Reciprocity;
 pub use reputation::Reputation;

@@ -44,6 +44,13 @@ impl Mechanism for Reciprocity {
         MechanismKind::Reciprocity
     }
 
+    // Settlement cadence: the default `SettleCadence::PerTransfer`. The
+    // credit ledger this mechanism reads is mutated only by the driver's
+    // single settlement entry point (`settle_transfer` /
+    // `settle_round_boundary` in the simulator) — mechanisms must not
+    // mutate ledgers directly; epoch-settled inputs go through the
+    // `on_epoch_close` cadence hook instead.
+
     // `allocate` reads only the ledger and interest bits and never draws
     // RNG or mutates `self` (the struct has no fields) — in the paper's
     // regime it returns nothing forever, so skipping grantless peers

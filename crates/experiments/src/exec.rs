@@ -84,21 +84,34 @@ pub struct SimJob {
 }
 
 impl SimJob {
-    /// Expands a run grid into jobs: for each seed (outer), all six
-    /// mechanisms in [`MechanismKind::ALL`] order (inner), with the
-    /// scenario chosen per mechanism by `plan_for`.
+    /// Expands a run grid into jobs: for each seed (outer), all seven
+    /// mechanisms in [`MechanismKind::EXTENDED`] order (inner) — the
+    /// paper's six plus the epoch-settled variant — with the scenario
+    /// chosen per mechanism by `plan_for`.
     ///
-    /// The seed-major layout means `jobs[s * 6 .. (s + 1) * 6]` is exactly
+    /// The seed-major layout means `jobs[s * 7 .. (s + 1) * 7]` is exactly
     /// the figure row set for `seeds[s]`.
     pub fn grid(
         scale: Scale,
         seeds: &[u64],
         plan_for: impl Fn(MechanismKind) -> Option<AttackPlan>,
     ) -> Vec<SimJob> {
+        SimJob::grid_of(scale, seeds, &MechanismKind::EXTENDED, plan_for)
+    }
+
+    /// [`SimJob::grid`] over an explicit mechanism list (scenario packs
+    /// restrict figures to their declared mechanisms; the figure runners
+    /// default to [`MechanismKind::EXTENDED`]).
+    pub fn grid_of(
+        scale: Scale,
+        seeds: &[u64],
+        kinds: &[MechanismKind],
+        plan_for: impl Fn(MechanismKind) -> Option<AttackPlan>,
+    ) -> Vec<SimJob> {
         seeds
             .iter()
             .flat_map(|&seed| {
-                MechanismKind::ALL.iter().map(move |&kind| (seed, kind))
+                kinds.iter().map(move |&kind| (seed, kind))
             })
             .map(|(seed, kind)| SimJob {
                 kind,
@@ -948,12 +961,24 @@ mod tests {
         let jobs = SimJob::grid(Scale::Quick, &[1, 2], |kind| {
             (kind == MechanismKind::Altruism).then(|| AttackPlan::simple(0.2))
         });
-        assert_eq!(jobs.len(), 2 * MechanismKind::ALL.len());
+        assert_eq!(jobs.len(), 2 * MechanismKind::EXTENDED.len());
         for (i, job) in jobs.iter().enumerate() {
-            assert_eq!(job.seed, [1u64, 2][i / MechanismKind::ALL.len()]);
-            assert_eq!(job.kind, MechanismKind::ALL[i % MechanismKind::ALL.len()]);
+            assert_eq!(job.seed, [1u64, 2][i / MechanismKind::EXTENDED.len()]);
+            assert_eq!(
+                job.kind,
+                MechanismKind::EXTENDED[i % MechanismKind::EXTENDED.len()]
+            );
             assert_eq!(job.plan.is_some(), job.kind == MechanismKind::Altruism);
         }
+    }
+
+    #[test]
+    fn grid_of_restricts_to_the_given_kinds() {
+        let kinds = [MechanismKind::Altruism, MechanismKind::FairTorrent];
+        let jobs = SimJob::grid_of(Scale::Quick, &[9], &kinds, |_| None);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].kind, MechanismKind::Altruism);
+        assert_eq!(jobs[1].kind, MechanismKind::FairTorrent);
     }
 
     #[test]

@@ -94,11 +94,13 @@ impl SimFigureReport {
     }
 }
 
-/// Runs the six algorithms and collects the figure series (completion CDF,
-/// fairness-vs-time, bootstrap-vs-time, susceptibility-vs-time) as CSV
-/// artifacts named `{figure}{panel}_{algorithm}_{scale}.csv`.
+/// Runs the figure's algorithm set — [`MechanismKind::EXTENDED`], the
+/// paper's six plus the epoch-settled variant — and collects the figure
+/// series (completion CDF, fairness-vs-time, bootstrap-vs-time,
+/// susceptibility-vs-time) as CSV artifacts named
+/// `{figure}{panel}_{algorithm}_{scale}.csv`.
 ///
-/// Execution is two-phase: the six independent simulations fan out across
+/// Execution is two-phase: the independent simulations fan out across
 /// `executor`'s workers, then every artifact is written sequentially from
 /// the slot-ordered results — so the report and all files on disk are
 /// byte-identical for any worker count.
@@ -161,13 +163,45 @@ pub(crate) fn try_run_figure_traced(
     out: &OutputDir,
     attack: &str,
 ) -> Result<(SimFigureReport, Option<BatchTrace>), BatchError> {
-    let jobs = SimJob::grid(scale, &[seed], plan_for);
+    try_run_figure_traced_for(
+        figure,
+        scale,
+        seed,
+        &MechanismKind::EXTENDED,
+        plan_for,
+        executor,
+        opts,
+        out,
+        attack,
+    )
+}
+
+/// [`try_run_figure_traced`] over an explicit mechanism list (the
+/// scenario-pack path restricts figures to their declared mechanisms; the
+/// figure runners pass [`MechanismKind::EXTENDED`]).
+///
+/// # Errors
+///
+/// Returns the batch's failures when any job fails every attempt.
+#[allow(clippy::too_many_arguments)] // one call site per figure, all distinct
+pub(crate) fn try_run_figure_traced_for(
+    figure: &str,
+    scale: Scale,
+    seed: u64,
+    kinds: &[MechanismKind],
+    plan_for: impl Fn(MechanismKind) -> Option<AttackPlan>,
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+    attack: &str,
+) -> Result<(SimFigureReport, Option<BatchTrace>), BatchError> {
+    let jobs = SimJob::grid_of(scale, &[seed], kinds, plan_for);
     let sim_clock = Stopwatch::start();
     let run = executor.run_sims_robust(&jobs, opts);
     let sim_ms = sim_clock.elapsed_ms();
     let (results, trace) = run.into_complete(figure)?;
     let write_clock = Stopwatch::start();
-    let report = write_figure_artifacts(figure, scale, seed, &results, out);
+    let report = write_figure_artifacts(figure, scale, seed, kinds, &results, out);
     let trace = trace.map(|mut trace| {
         trace.push_phase("simulate", sim_ms);
         trace.push_phase("write_artifacts", write_clock.elapsed_ms());
@@ -234,15 +268,17 @@ pub(crate) fn emit_run_outputs(
 
 /// The sequential artifact phase of [`run_figure`]: renders one figure's
 /// report and writes its CSV/JSON/SVG artifacts from precomputed results
-/// (one per mechanism, in [`MechanismKind::ALL`] order).
+/// (one per mechanism, in `kinds` order — [`MechanismKind::EXTENDED`] for
+/// the figure runners, a scenario's declared list for the sweep path).
 pub(crate) fn write_figure_artifacts(
     figure: &str,
     scale: Scale,
     seed: u64,
+    kinds: &[MechanismKind],
     results: &[SimResult],
     out: &OutputDir,
 ) -> SimFigureReport {
-    assert_eq!(results.len(), MechanismKind::ALL.len());
+    assert_eq!(results.len(), kinds.len());
     // Panel charts collecting every algorithm's series (the shape of the
     // paper's figures).
     let mut panel_cdf = crate::plot::LineChart::new(
@@ -265,7 +301,7 @@ pub(crate) fn write_figure_artifacts(
         "time (s)",
         "free-rider share",
     );
-    let rows = MechanismKind::ALL
+    let rows = kinds
         .iter()
         .zip(results)
         .map(|(&kind, result)| {
@@ -426,6 +462,26 @@ pub fn try_run_with_telemetry(
     try_run_figure_traced("fig4", scale, seed, |_| None, executor, opts, out, "none")
 }
 
+/// [`try_run_with_telemetry`] restricted to an explicit mechanism list —
+/// the byte-identity anchor for `figure`-style scenario packs, whose
+/// artifact sets must match this runner's for the same kinds and seed.
+///
+/// # Errors
+///
+/// Returns the batch's failures when any job fails every attempt.
+pub fn try_run_with_telemetry_for(
+    scale: Scale,
+    seed: u64,
+    kinds: &[MechanismKind],
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+) -> Result<(SimFigureReport, Option<BatchTrace>), BatchError> {
+    try_run_figure_traced_for(
+        "fig4", scale, seed, kinds, |_| None, executor, opts, out, "none",
+    )
+}
+
 /// Mean and sample standard deviation of one metric across replicates.
 #[derive(Clone, Copy, Debug, Serialize)]
 pub struct MeanStd {
@@ -568,7 +624,7 @@ pub(crate) fn replicate_traced(
 }
 
 /// [`replicate_traced`] under the executor's robustness policy. On
-/// failure, per-seed artifacts are still written for every seed whose six
+/// failure, per-seed artifacts are still written for every seed whose
 /// jobs all succeeded (so a resume has less to redo), but the aggregate
 /// report is withheld and `Err` names every failed cell.
 ///
@@ -591,14 +647,14 @@ pub(crate) fn try_replicate_traced(
     let sim_clock = Stopwatch::start();
     let run = executor.run_sims_robust(&jobs, opts);
     let sim_ms = sim_clock.elapsed_ms();
-    let per_seed = MechanismKind::ALL.len();
+    let per_seed = MechanismKind::EXTENDED.len();
     if !run.failures.is_empty() {
         for (i, &s) in seeds.iter().enumerate() {
             let group = &run.results[i * per_seed..(i + 1) * per_seed];
             if group.iter().all(Option::is_some) {
                 let results: Vec<SimResult> =
                     group.iter().map(|r| r.clone().expect("checked")).collect();
-                write_figure_artifacts(figure, scale, s, &results, out);
+                write_figure_artifacts(figure, scale, s, &MechanismKind::EXTENDED, &results, out);
             }
         }
         return Err(BatchError {
@@ -622,12 +678,13 @@ pub(crate) fn try_replicate_traced(
                 figure,
                 scale,
                 s,
+                &MechanismKind::EXTENDED,
                 &results[i * per_seed..(i + 1) * per_seed],
                 out,
             )
         })
         .collect();
-    let rows = MechanismKind::ALL
+    let rows = MechanismKind::EXTENDED
         .iter()
         .map(|&kind| {
             let collect = |f: &dyn Fn(&SimRow) -> Option<f64>| -> Vec<f64> {

@@ -239,6 +239,7 @@ fn try_run_scenario(
                     &scenario.figure,
                     scale,
                     base_seed + i as u64,
+                    &scenario.mechanisms,
                     &results[i * per_seed..(i + 1) * per_seed],
                     out,
                 );

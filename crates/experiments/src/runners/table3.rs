@@ -86,6 +86,7 @@ pub fn run(scale: Scale, seed: u64) -> Table3Report {
         alpha_bt: 0.2,
         alpha_r: 0.1,
         omega: 0.75,
+        ..FreeRideParams::default()
     };
     let n = scale.peers() as u64;
     let colluders = n / 5; // the paper's 20% free-riders

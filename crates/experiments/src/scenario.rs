@@ -440,10 +440,10 @@ impl Scenario {
         };
 
         if style == ArtifactStyle::Figure {
-            if mechanisms != MechanismKind::ALL {
+            if mechanisms != MechanismKind::ALL && mechanisms != MechanismKind::EXTENDED {
                 return Err(ScenarioError::field(
                     "artifacts",
-                    "style 'figure' requires the full mechanism grid (mechanisms: \"all\")",
+                    "style 'figure' requires a full mechanism grid (mechanisms: \"all\" or \"extended\")",
                 ));
             }
             if peers.len() > 1 {
@@ -884,6 +884,7 @@ fn parse_mechanisms(root: &Obj<'_>) -> Result<Vec<MechanismKind>, ScenarioError>
     match root.get("mechanisms") {
         None => Ok(MechanismKind::ALL.to_vec()),
         Some(Json::Str(s)) if s == "all" => Ok(MechanismKind::ALL.to_vec()),
+        Some(Json::Str(s)) if s == "extended" => Ok(MechanismKind::EXTENDED.to_vec()),
         Some(Json::Arr(items)) => {
             if items.is_empty() {
                 return Err(ScenarioError::field("mechanisms", "must not be empty"));
@@ -895,7 +896,7 @@ fn parse_mechanisms(root: &Obj<'_>) -> Result<Vec<MechanismKind>, ScenarioError>
                 })?;
                 let kind = parse_mechanism(name).ok_or_else(|| {
                     let known: Vec<&str> =
-                        MechanismKind::ALL.iter().map(|k| k.name()).collect();
+                        MechanismKind::EXTENDED.iter().map(|k| k.name()).collect();
                     ScenarioError::field(
                         format!("mechanisms[{i}]"),
                         format!("unknown mechanism '{name}' (known: {})", known.join(", ")),
@@ -913,7 +914,7 @@ fn parse_mechanisms(root: &Obj<'_>) -> Result<Vec<MechanismKind>, ScenarioError>
         }
         Some(_) => Err(ScenarioError::field(
             "mechanisms",
-            "must be \"all\" or an array of mechanism names",
+            "must be \"all\", \"extended\", or an array of mechanism names",
         )),
     }
 }
@@ -925,7 +926,7 @@ pub fn parse_mechanism(name: &str) -> Option<MechanismKind> {
         .filter(|c| *c != '-')
         .collect::<String>()
         .to_ascii_lowercase();
-    MechanismKind::ALL.iter().copied().find(|k| {
+    MechanismKind::EXTENDED.iter().copied().find(|k| {
         k.name()
             .chars()
             .filter(|c| *c != '-')
@@ -1150,6 +1151,10 @@ pub const BUILTIN_SCENARIOS: &[(&str, &str)] = &[
     (
         "seeder-starved-archive",
         include_str!("../scenarios/seeder-starved-archive.json"),
+    ),
+    (
+        "epoch-settlement",
+        include_str!("../scenarios/epoch-settlement.json"),
     ),
 ];
 

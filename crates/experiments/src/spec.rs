@@ -39,6 +39,10 @@ pub enum Artifact {
     Fig4Scale,
     Fig5,
     Fig6,
+    /// The settlement-cadence sweep (epoch ladder × free-ride attack,
+    /// closed-form λ column). Not part of `all`: it studies the repo's
+    /// epoch-settled extension, not a paper artifact.
+    FigEpoch,
     Fluid,
     Ablations,
     Extensions,
@@ -99,6 +103,7 @@ impl Artifact {
             "fig4-scale" | "fig4scale" => Ok(Artifact::Fig4Scale),
             "fig5" => Ok(Artifact::Fig5),
             "fig6" => Ok(Artifact::Fig6),
+            "fig-epoch" | "figepoch" => Ok(Artifact::FigEpoch),
             "fluid" => Ok(Artifact::Fluid),
             "ablations" => Ok(Artifact::Ablations),
             "extensions" => Ok(Artifact::Extensions),
@@ -123,6 +128,7 @@ impl Artifact {
             Artifact::Fig4Scale => "fig4-scale",
             Artifact::Fig5 => "fig5",
             Artifact::Fig6 => "fig6",
+            Artifact::FigEpoch => "fig-epoch",
             Artifact::Fluid => "fluid",
             Artifact::Ablations => "ablations",
             Artifact::Extensions => "extensions",
@@ -708,7 +714,7 @@ pub fn usage() -> String {
     let artifacts: Vec<&str> = Artifact::ALL
         .iter()
         .map(|a| a.name())
-        .chain(["fig4-scale", "all"])
+        .chain(["fig4-scale", "fig-epoch", "all"])
         .collect();
     let mut out = format!(
         "usage: coop-experiments <{}>\n       coop-experiments sweep <scenario|spec.json|pack-dir>\n       coop-experiments perf-diff --baseline FILE --current FILE [--tolerance SHARE]",
@@ -1235,10 +1241,11 @@ mod tests {
 
     #[test]
     fn artifact_names_round_trip() {
-        // fig4-scale and sweep are parseable but deliberately not part of
-        // `all`.
+        // fig4-scale, fig-epoch and sweep are parseable but deliberately
+        // not part of `all`.
         for artifact in Artifact::ALL.into_iter().chain([
             Artifact::Fig4Scale,
+            Artifact::FigEpoch,
             Artifact::All,
             Artifact::Sweep,
             Artifact::PerfDiff,
@@ -1246,8 +1253,10 @@ mod tests {
             assert_eq!(Artifact::parse(artifact.name()).unwrap(), artifact);
         }
         assert!(!Artifact::ALL.contains(&Artifact::Fig4Scale));
+        assert!(!Artifact::ALL.contains(&Artifact::FigEpoch));
         assert!(!Artifact::ALL.contains(&Artifact::Sweep));
         assert!(!Artifact::ALL.contains(&Artifact::PerfDiff));
+        assert_eq!(Artifact::parse("figepoch").unwrap(), Artifact::FigEpoch);
         assert!(Artifact::Fig4.supports_replicates());
         assert!(Artifact::Sweep.supports_replicates());
         assert!(!Artifact::Table1.supports_replicates());

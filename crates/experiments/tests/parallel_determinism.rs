@@ -8,19 +8,19 @@ use coop_incentives::MechanismKind;
 
 #[test]
 fn parallel_batches_match_sequential_byte_for_byte() {
-    // All six mechanisms at quick scale, each under its most effective
-    // attack — covering compliant allocation, free-riding, collusion and
-    // whitewashing code paths in one grid.
+    // All seven mechanisms at quick scale, each under its most effective
+    // attack — covering compliant allocation, free-riding, collusion,
+    // whitewashing and epoch-settled code paths in one grid.
     let jobs = SimJob::grid(Scale::Quick, &[9], |kind| {
         Some(AttackPlan::most_effective(kind, 0.2))
     });
-    assert_eq!(jobs.len(), MechanismKind::ALL.len());
+    assert_eq!(jobs.len(), MechanismKind::EXTENDED.len());
 
     let sequential = Executor::sequential().run_sims(&jobs);
     let parallel = Executor::new(4).run_sims(&jobs);
 
     assert_eq!(sequential.len(), parallel.len());
-    for ((kind, seq), par) in MechanismKind::ALL.iter().zip(&sequential).zip(&parallel) {
+    for ((kind, seq), par) in MechanismKind::EXTENDED.iter().zip(&sequential).zip(&parallel) {
         // SimResult derives PartialEq over every observable — peer records,
         // totals, byte counters and all six time series — so equality here
         // means the artifacts rendered from these results are identical.

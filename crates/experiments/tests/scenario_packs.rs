@@ -9,6 +9,7 @@ use std::path::PathBuf;
 use coop_experiments::runners::{fig4, sweep};
 use coop_experiments::scenario::{builtin_names, BUILTIN_SCENARIOS};
 use coop_experiments::{load_pack, Executor, OutputDir, Scale, Scenario, TelemetryOpts};
+use coop_incentives::MechanismKind;
 
 fn tmp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -47,6 +48,7 @@ fn builtin_fingerprints_are_pinned() {
         ("software-update-push", 0x4be3_15b3_0b40_2fe5),
         ("mobile-churn-storm", 0xb069_7c5f_e4ba_d236),
         ("seeder-starved-archive", 0x8c13_4418_f432_7e62),
+        ("epoch-settlement", 0xe137_b39e_b041_f318),
     ];
     assert_eq!(builtin_names().len(), golden.len());
     for (name, expected) in golden {
@@ -99,8 +101,17 @@ fn zero_fault_baseline_scenario_matches_plain_fig4_byte_for_byte() {
     let executor = Executor::default();
     let opts = TelemetryOpts::disabled();
 
-    fig4::try_run_with_telemetry(Scale::Quick, seed, &executor, &opts, &plain_out)
-        .expect("plain fig4 runs");
+    // The scenario's `mechanisms: "all"` means the paper's six; restrict
+    // the plain runner (which defaults to `EXTENDED`) to the same list.
+    fig4::try_run_with_telemetry_for(
+        Scale::Quick,
+        seed,
+        &MechanismKind::ALL,
+        &executor,
+        &opts,
+        &plain_out,
+    )
+    .expect("plain fig4 runs");
 
     let pack = load_pack("flash-crowd-baseline").unwrap();
     let (report, errors) =
@@ -128,6 +139,28 @@ fn zero_fault_baseline_scenario_matches_plain_fig4_byte_for_byte() {
     assert!(compared >= 6, "expected the full fig4 artifact set, compared {compared}");
     let _ = std::fs::remove_dir_all(&plain_dir);
     let _ = std::fs::remove_dir_all(&sweep_dir);
+}
+
+#[test]
+fn epoch_settlement_builtin_compiles_to_the_declared_grid() {
+    let pack = load_pack("epoch-settlement").unwrap();
+    assert_eq!(pack.scenarios.len(), 1);
+    let s = &pack.scenarios[0];
+    assert_eq!(
+        s.mechanisms,
+        [
+            MechanismKind::EpochSettlement,
+            MechanismKind::FairTorrent,
+            MechanismKind::Reputation,
+            MechanismKind::Altruism,
+        ]
+    );
+    assert_eq!(s.replicates, 2);
+    let jobs = s.jobs(Scale::Quick, 11, 1);
+    // replicates (outer) x mechanisms (inner), every job under the attack.
+    assert_eq!(jobs.len(), 2 * s.mechanisms.len());
+    assert_eq!(jobs[0].kind, MechanismKind::EpochSettlement);
+    assert!(jobs.iter().all(|j| j.plan.is_some()));
 }
 
 #[test]

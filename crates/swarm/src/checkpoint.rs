@@ -108,6 +108,8 @@ pub(crate) struct CheckpointState {
     pub(crate) work_visited: u64,
     pub(crate) work_productive: u64,
     pub(crate) work_candidate_scans: u64,
+    pub(crate) epoch_settlements: u64,
+    pub(crate) epoch_boundaries: u64,
     pub(crate) probe_prev_bytes: [u64; GrantReason::ALL.len()],
     pub(crate) faults: crate::faults::FaultSchedule,
     pub(crate) fault_cursor: usize,

@@ -19,7 +19,9 @@ use coop_telemetry::{
 };
 use coop_incentives::ledger::{ReportedReputation, ReputationTable};
 use coop_incentives::metrics::TimeSeries;
-use coop_incentives::{GrantReason, Mechanism, Obligation, PeerId, ReciprocationCondition};
+use coop_incentives::{
+    GrantReason, Mechanism, Obligation, PeerId, ReciprocationCondition, SettleCadence,
+};
 use coop_piece::{
     AvailabilityIndex, Bitfield, PiecePicker, PieceSelection, RandomFirstPicker, RarestFirstPicker,
     SequentialPicker,
@@ -40,6 +42,17 @@ use crate::view_impl::SimView;
 
 /// The reserved id of the seeder (not a peer slot).
 pub const SEEDER_ID: PeerId = PeerId::new(u32::MAX);
+
+/// Does this mechanism settle at the end of the round after which
+/// `finished_rounds` rounds have completed? Per-transfer mechanisms never
+/// do; epoch mechanisms settle whenever their epoch length divides the
+/// finished-round count.
+fn at_epoch_boundary(mech: &dyn Mechanism, finished_rounds: u64) -> bool {
+    match mech.settle_cadence() {
+        SettleCadence::PerTransfer => false,
+        SettleCadence::Epoch(n) => finished_rounds.is_multiple_of(n.max(1)),
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Event {
@@ -158,6 +171,16 @@ pub struct Simulation {
     /// Total candidate-list length scanned across allocation visits
     /// (`swarm.work.candidate_scans`).
     work_candidate_scans: u64,
+    /// True once any spawned mechanism declared [`SettleCadence::Epoch`]
+    /// — the one-branch per-round gate that keeps the epoch-settlement
+    /// pass free for the six per-transfer mechanisms.
+    has_epoch_cadence: bool,
+    /// Per-peer `on_epoch_close` invocations
+    /// (`swarm.epoch.settlements`).
+    epoch_settlements: u64,
+    /// Rounds at which at least one mechanism settled
+    /// (`swarm.epoch.boundaries`).
+    epoch_boundaries: u64,
     /// [`Totals::bytes_by_reason`] as of the previous round probe, for
     /// per-probe deltas.
     probe_prev_bytes: [u64; GrantReason::ALL.len()],
@@ -305,6 +328,9 @@ impl Simulation {
             work_visited: 0,
             work_productive: 0,
             work_candidate_scans: 0,
+            has_epoch_cadence: false,
+            epoch_settlements: 0,
+            epoch_boundaries: 0,
             probe_prev_bytes: [0; GrantReason::ALL.len()],
             spec_peer: vec![None; spec_count],
             faults,
@@ -566,6 +592,15 @@ impl Simulation {
         self.work_visited = s.work_visited;
         self.work_productive = s.work_productive;
         self.work_candidate_scans = s.work_candidate_scans;
+        self.epoch_settlements = s.epoch_settlements;
+        self.epoch_boundaries = s.epoch_boundaries;
+        // Derived gate: recomputed from the restored peers (future
+        // arrivals re-set it through `spawn_peer` as usual).
+        self.has_epoch_cadence = self.peers.iter().any(|p| {
+            p.mechanism
+                .as_ref()
+                .is_some_and(|m| matches!(m.settle_cadence(), SettleCadence::Epoch(_)))
+        });
         self.probe_prev_bytes = s.probe_prev_bytes;
         self.faults = s.faults.clone();
         self.fault_cursor = s.fault_cursor;
@@ -624,6 +659,8 @@ impl Simulation {
             work_visited: self.work_visited,
             work_productive: self.work_productive,
             work_candidate_scans: self.work_candidate_scans,
+            epoch_settlements: self.epoch_settlements,
+            epoch_boundaries: self.epoch_boundaries,
             probe_prev_bytes: self.probe_prev_bytes,
             faults: self.faults.clone(),
             fault_cursor: self.fault_cursor,
@@ -721,6 +758,9 @@ impl Simulation {
         // through this map.
         self.spec_peer[idx] = Some(id);
         let mechanism = (spec.mechanism)();
+        if matches!(mechanism.settle_cadence(), SettleCadence::Epoch(_)) {
+            self.has_epoch_cadence = true;
+        }
         let mut peer = PeerState::new(
             id,
             spec.capacity_bps,
@@ -1419,14 +1459,33 @@ impl Simulation {
             self.totals.uploaded_seeder += bytes;
         } else {
             let s = &mut self.peers[from.index() as usize];
-            s.bytes_sent += bytes;
-            s.ledger.record_sent(to, bytes);
-            s.deficits.on_sent(to, bytes);
             if s.tags.compliant {
                 self.totals.uploaded_compliant += bytes;
             } else {
                 self.totals.uploaded_freeriders += bytes;
             }
+        }
+        if !self.peers[to.index() as usize].tags.compliant {
+            self.totals.freerider_received_raw += bytes;
+        }
+        self.settle_transfer(from, to, bytes);
+    }
+
+    /// The per-transfer settlement entry point: the *only* place moved
+    /// bytes enter the mechanism-visible ledgers (contribution ledgers,
+    /// FairTorrent deficits, reputation tables, reported receipts).
+    /// Mechanisms declaring [`SettleCadence::PerTransfer`] read these
+    /// inputs directly; [`SettleCadence::Epoch`] mechanisms additionally
+    /// fold them into balances at [`Self::epoch_close_pass`] boundaries.
+    /// Keeping settlement out of the mechanisms themselves is what lets
+    /// the cadence hook own it (and what pins artifacts byte-identical
+    /// across the refactor).
+    fn settle_transfer(&mut self, from: PeerId, to: PeerId, bytes: u64) {
+        if from != SEEDER_ID {
+            let s = &mut self.peers[from.index() as usize];
+            s.bytes_sent += bytes;
+            s.ledger.record_sent(to, bytes);
+            s.deficits.on_sent(to, bytes);
             self.reputation.credit_upload(from, bytes);
             self.reports.record(to, from, bytes);
         }
@@ -1435,9 +1494,6 @@ impl Simulation {
         r.ledger.record_received(from, bytes);
         if from != SEEDER_ID {
             r.deficits.on_received(from, bytes);
-        }
-        if !r.tags.compliant {
-            self.totals.freerider_received_raw += bytes;
         }
     }
 
@@ -2324,7 +2380,7 @@ impl Simulation {
         if self.shards > 1 && ids.len() >= SHARD_MIN_ITEMS {
             self.end_round_hooks_sharded(&ids);
         } else {
-            for pid in ids {
+            for &pid in &ids {
                 let idx = pid as usize;
                 let Some(mut mech) = self.peers[idx].mechanism.take() else {
                     continue;
@@ -2336,11 +2392,135 @@ impl Simulation {
                 self.peers[idx].mechanism = Some(mech);
             }
         }
+        // Epoch-cadence settlement runs after the round-end hooks (same
+        // receipts visible) and before the ledger window rolls below. The
+        // gate is one branch, so the six per-transfer mechanisms pay
+        // nothing for the pass.
+        if self.has_epoch_cadence {
+            self.epoch_close_pass(&ids);
+        }
+        self.settle_round_boundary();
+    }
+
+    /// The per-round settlement boundary: rolls every active peer's
+    /// ledger window. Together with [`Self::settle_transfer`] this is the
+    /// only place per-transfer (`SettleCadence::PerTransfer`) mechanism
+    /// inputs move — reciprocity credits, FairTorrent deficits, and
+    /// BitTorrent rate windows all settle through these two entry points,
+    /// never inside the mechanisms themselves.
+    fn settle_round_boundary(&mut self) {
         for p in &mut self.peers {
             if p.is_active() {
                 p.ledger.end_round();
             }
         }
+    }
+
+    /// The epoch-boundary settlement pass: invokes
+    /// [`Mechanism::on_epoch_close`] on every active mechanism whose
+    /// [`SettleCadence::Epoch`] length divides the just-finished round.
+    /// The hook draws no RNG and writes only its own mechanism box, so
+    /// the sharded pass equals the sequential one exactly; dirty marking
+    /// happens afterwards on the caller's thread because the
+    /// [`DirtySet`] is shared.
+    fn epoch_close_pass(&mut self, ids: &[u32]) {
+        let t = self.profiler.start();
+        // `round_idx` is 0-based inside `step_round`: the first epoch of
+        // length n closes at the end of round index n − 1.
+        let finished_rounds = self.round_idx + 1;
+        let settled: Vec<u32> = if self.shards > 1 && ids.len() >= SHARD_MIN_ITEMS {
+            self.epoch_close_hooks_sharded(ids, finished_rounds)
+        } else {
+            let mut settled = Vec::new();
+            for &pid in ids {
+                let idx = pid as usize;
+                let Some(mut mech) = self.peers[idx].mechanism.take() else {
+                    continue;
+                };
+                if at_epoch_boundary(&*mech, finished_rounds) {
+                    let view = SimView::new(&*self, PeerId::new(pid));
+                    mech.on_epoch_close(&view);
+                    settled.push(pid);
+                }
+                self.peers[idx].mechanism = Some(mech);
+            }
+            settled
+        };
+        if !settled.is_empty() {
+            self.epoch_boundaries += 1;
+            self.epoch_settlements += settled.len() as u64;
+            // A settlement changes the settled peer's own next
+            // allocation (fresh balances reorder its creditor service),
+            // so the dirty loop must re-visit it; CSR expansion of the
+            // mark covers the neighbors it may now serve.
+            if self.dirty_active() {
+                for &pid in &settled {
+                    self.mark_dirty(PeerId::new(pid));
+                }
+            }
+        }
+        self.profiler.stop(phase::SIM_EPOCH, t);
+    }
+
+    /// The epoch hooks, sharded exactly like
+    /// [`Self::end_round_hooks_sharded`]: boxes out, contiguous ranges,
+    /// slot-ordered restore. Returns the settled peer ids in `ids` order
+    /// (shard ranges are contiguous, so concatenation preserves it).
+    fn epoch_close_hooks_sharded(&mut self, ids: &[u32], finished_rounds: u64) -> Vec<u32> {
+        let mut mechs: Vec<Option<Box<dyn Mechanism>>> = ids
+            .iter()
+            .map(|&pid| self.peers[pid as usize].mechanism.take())
+            .collect();
+        let ctx = ShardCtx {
+            peers: &self.peers,
+            adj: &self.adj,
+            adj_off: &self.adj_off,
+            transfers: &self.transfers,
+            seeder_bf: &self.seeder_bf,
+            seeder_online: self.seeder_online,
+            round_idx: self.round_idx,
+            trusted_reputation: self.config.trusted_reputation,
+            trusted_cache: &self.trusted_cache,
+            reputation: &self.reputation,
+            piece_size: self.config.file.piece_size(),
+        };
+        let settled: Vec<Vec<u32>> = std::thread::scope(|scope| {
+            let ctx = &ctx;
+            let mut handles = Vec::new();
+            let mut rest: &mut [Option<Box<dyn Mechanism>>] = &mut mechs;
+            let mut tail_ids = ids;
+            for r in shard_ranges(ids.len(), self.shards) {
+                let (head, rest_next) = rest.split_at_mut(r.len());
+                rest = rest_next;
+                let (chunk_ids, ids_next) = tail_ids.split_at(r.len());
+                tail_ids = ids_next;
+                handles.push(scope.spawn(move || {
+                    let mut settled = Vec::new();
+                    for (&pid, slot) in chunk_ids.iter().zip(head.iter_mut()) {
+                        if let Some(mech) = slot.as_mut() {
+                            if at_epoch_boundary(&**mech, finished_rounds) {
+                                let view = ShardView::new(ctx, PeerId::new(pid));
+                                mech.on_epoch_close(&view);
+                                settled.push(pid);
+                            }
+                        }
+                    }
+                    settled
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        let merge_t = self.profiler.start();
+        for (&pid, slot) in ids.iter().zip(mechs.iter_mut()) {
+            if let Some(mech) = slot.take() {
+                self.peers[pid as usize].mechanism = Some(mech);
+            }
+        }
+        self.profiler.stop(phase::SIM_SHARD_MERGE, merge_t);
+        settled.concat()
     }
 
     /// The end-of-round mechanism hooks, sharded over contiguous ranges
@@ -2473,6 +2653,14 @@ impl Simulation {
         recorder.incr(
             coop_telemetry::profile::work::CANDIDATE_SCANS,
             self.work_candidate_scans,
+        );
+        recorder.incr(
+            coop_telemetry::profile::work::EPOCH_SETTLEMENTS,
+            self.epoch_settlements,
+        );
+        recorder.incr(
+            coop_telemetry::profile::work::EPOCH_BOUNDARIES,
+            self.epoch_boundaries,
         );
         if recorder.is_enabled() {
             recorder.incr("engine.events_processed", self.engine.events_processed());

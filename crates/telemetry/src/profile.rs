@@ -70,6 +70,10 @@ pub mod phase {
     pub const SIM_SETTLE: &str = "sim.settle";
     /// End-of-round mechanism hooks.
     pub const SIM_END_ROUND: &str = "sim.end_round";
+    /// Epoch-boundary settlement hooks (`Mechanism::on_epoch_close`).
+    /// Nested inside [`SIM_END_ROUND`], so it is *not* part of
+    /// [`ATTRIBUTED`].
+    pub const SIM_EPOCH: &str = "sim.epoch";
     /// Metric sampling and telemetry round probes.
     pub const SIM_SAMPLE: &str = "sim.sample";
     /// Round close-out: run-open check, stall detection, next-tick
@@ -115,6 +119,7 @@ pub mod phase {
         SIM_SHARD_MERGE,
         SIM_SETTLE,
         SIM_END_ROUND,
+        SIM_EPOCH,
         SIM_SAMPLE,
         SIM_ROUND_CLOSE,
         SIM_FINALIZE,
@@ -140,6 +145,11 @@ pub mod work {
     pub const PEERS_PRODUCTIVE: &str = "swarm.work.peers_productive";
     /// Total candidate-list length scanned across all allocation visits.
     pub const CANDIDATE_SCANS: &str = "swarm.work.candidate_scans";
+    /// Per-peer `on_epoch_close` invocations across the run (zero for
+    /// every per-transfer mechanism).
+    pub const EPOCH_SETTLEMENTS: &str = "swarm.epoch.settlements";
+    /// Rounds at which at least one mechanism settled an epoch.
+    pub const EPOCH_BOUNDARIES: &str = "swarm.epoch.boundaries";
 }
 
 /// A started wall-clock stopwatch for coarse one-shot phases. The scoped
