@@ -38,6 +38,26 @@ pub struct AttackPlan {
     pub fake_praise_bytes: u64,
     /// Large-view exploit: free-riders connect to the entire swarm.
     pub large_view: bool,
+    /// Adaptive consensus defection: deny counterpart transfer reports,
+    /// but only while the attacker's strike level stays below the ban
+    /// threshold (threshold-aware free-riding).
+    pub underreport: bool,
+    /// Sybil report stuffing: ring members fabricate matched transfer
+    /// reports toward quorum and file phantom claims against honest
+    /// bystanders.
+    pub stuff_reports: bool,
+    /// Ban evasion: rotate to a fresh identity just before a strike
+    /// level would trigger a permanent ban.
+    pub ban_evade: bool,
+}
+
+/// One adaptive consensus-attack role, used to split a mixed plan's
+/// free-riders round-robin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AdaptiveRole {
+    Underreport,
+    StuffReports,
+    BanEvade,
 }
 
 impl AttackPlan {
@@ -50,6 +70,9 @@ impl AttackPlan {
             whitewash_interval: None,
             fake_praise_bytes: 0,
             large_view: false,
+            underreport: false,
+            stuff_reports: false,
+            ban_evade: false,
         }
     }
 
@@ -62,8 +85,47 @@ impl AttackPlan {
         match kind {
             MechanismKind::TChain => plan.collusion = true,
             MechanismKind::FairTorrent => plan.whitewash_interval = Some(WHITEWASH_INTERVAL),
+            MechanismKind::ConsensusReputation => plan = AttackPlan::adaptive_mix(fraction),
             _ => {}
         }
+        plan
+    }
+
+    /// Threshold-aware adaptive defectors (the consensus-reputation
+    /// counterpart of simple free-riding): deny counterpart reports but
+    /// keep the strike level just below the ban threshold.
+    pub fn adaptive_defectors(fraction: f64) -> Self {
+        let mut plan = AttackPlan::simple(fraction);
+        plan.underreport = true;
+        plan
+    }
+
+    /// A Sybil report-stuffing ring: colluding free-riders coordinate
+    /// fabricated transfer reports toward quorum.
+    pub fn sybil_ring(fraction: f64) -> Self {
+        let mut plan = AttackPlan::simple(fraction);
+        plan.collusion = true;
+        plan.stuff_reports = true;
+        plan
+    }
+
+    /// A ban-evading whitewash ring: free-riders rotate to fresh
+    /// identities just before a ban would become permanent.
+    pub fn ban_evading_ring(fraction: f64) -> Self {
+        let mut plan = AttackPlan::simple(fraction);
+        plan.ban_evade = true;
+        plan
+    }
+
+    /// The combined adaptive attack: converted peers split round-robin
+    /// across the three roles (defector, stuffer, evader), all sharing
+    /// one collusion ring.
+    pub fn adaptive_mix(fraction: f64) -> Self {
+        let mut plan = AttackPlan::simple(fraction);
+        plan.collusion = true;
+        plan.underreport = true;
+        plan.stuff_reports = true;
+        plan.ban_evade = true;
         plan
     }
 
@@ -96,7 +158,25 @@ impl AttackPlan {
             collusion_ring: if self.collusion { Some(RING) } else { None },
             whitewash_interval: self.whitewash_interval,
             fake_praise_bytes: self.fake_praise_bytes,
+            underreport: self.underreport,
+            stuff_reports: self.stuff_reports,
+            ban_evade: self.ban_evade,
         }
+    }
+
+    /// The adaptive roles this plan enables, in declaration order.
+    fn adaptive_roles(&self) -> Vec<AdaptiveRole> {
+        let mut roles = Vec::new();
+        if self.underreport {
+            roles.push(AdaptiveRole::Underreport);
+        }
+        if self.stuff_reports {
+            roles.push(AdaptiveRole::StuffReports);
+        }
+        if self.ban_evade {
+            roles.push(AdaptiveRole::BanEvade);
+        }
+        roles
     }
 }
 
@@ -109,13 +189,33 @@ pub fn apply_attack(population: &mut [PeerSpec], plan: &AttackPlan, seed: u64) -
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xA77AC4);
     order.shuffle(&mut rng);
-    for &i in order.iter().take(count) {
+    let roles = plan.adaptive_roles();
+    for (j, &i) in order.iter().take(count).enumerate() {
         let spec = &mut population[i];
         let mimic = MechanismKind::ALL[i % MechanismKind::ALL.len()];
         // The mimicked kind is cosmetic; reuse the population's kind where
         // derivable is unnecessary since free-riders never allocate.
         spec.mechanism = Box::new(move || Box::new(FreeRider::new(mimic)));
-        spec.tags = plan.tags();
+        let mut tags = plan.tags();
+        if roles.len() > 1 {
+            // Mixed plans split the attackers round-robin: each converted
+            // peer plays exactly one adaptive role, in conversion order
+            // (deterministic in seed).
+            tags.underreport = false;
+            tags.stuff_reports = false;
+            tags.ban_evade = false;
+            match roles[j % roles.len()] {
+                AdaptiveRole::Underreport => tags.underreport = true,
+                AdaptiveRole::StuffReports => tags.stuff_reports = true,
+                AdaptiveRole::BanEvade => tags.ban_evade = true,
+            }
+        }
+        // Report stuffers fabricate toward ring mates; ring membership is
+        // what makes them Sybils rather than loners.
+        if tags.stuff_reports && tags.collusion_ring.is_none() {
+            tags.collusion_ring = Some(RING);
+        }
+        spec.tags = tags;
     }
     count
 }

@@ -111,6 +111,10 @@ pub fn bootstrap_probability(kind: MechanismKind, p: &BootstrapParams) -> f64 {
         // creditors, leaving ~one altruistic piece per timeslot — the
         // reputation row's shape (z/2 effective altruistic uploads).
         MechanismKind::EpochSettlement => ((n - 2.0) / (n - 1.0)).powf(z / 2.0),
+        // Beyond the paper: newcomers start with zero consensus score
+        // (there is no pre-trusted root to inherit from), so exactly as in
+        // the reputation row only the altruistic α_R share reaches them.
+        MechanismKind::ConsensusReputation => ((n - 2.0) / (n - 1.0)).powf(z / 2.0),
     };
     1.0 - seeder_miss * x
 }

@@ -100,7 +100,11 @@ pub fn download_utilization(
             let window_avg: f64 = u[start..end].iter().sum::<f64>() / (end - start) as f64;
             (1.0 - params.alpha_bt) * window_avg + params.alpha_bt * altruistic_share
         }
-        MechanismKind::Reputation => {
+        // ConsensusReputation shares the reputation row: in equilibrium
+        // every transfer is confirmed by its counterpart, so consensus
+        // scores equal claimed upload totals and the allocation law is
+        // identical (score-proportional plus the α_R bootstrap share).
+        MechanismKind::Reputation | MechanismKind::ConsensusReputation => {
             // d_i − u_S/N = U_i Σ_{j≠i} (1−α_R) U_j / Σ_{k≠j} U_k
             //             + α_R Σ_{k≠i} U_k / (N−1).
             let rep_term: f64 = (0..n)

@@ -226,9 +226,9 @@ pub fn expected_exchange_probability(
                 MechanismKind::FairTorrent | MechanismKind::Altruism => {
                     pi_altruism(m_i, m_j, big_m)
                 }
-                MechanismKind::Reputation => {
-                    // Reputation-weighted targets still require the
-                    // receiver's interest only.
+                MechanismKind::Reputation | MechanismKind::ConsensusReputation => {
+                    // Reputation- and consensus-score-weighted targets
+                    // still require the receiver's interest only.
                     pi_altruism(m_i, m_j, big_m)
                 }
                 MechanismKind::EpochSettlement => {

@@ -53,7 +53,12 @@ pub fn exploitable_resources(kind: MechanismKind, p: &FreeRideParams) -> f64 {
         MechanismKind::Reciprocity | MechanismKind::TChain => 0.0,
         MechanismKind::BitTorrent => p.alpha_bt * p.total_capacity,
         MechanismKind::FairTorrent => (1.0 - p.omega) * p.total_capacity,
-        MechanismKind::Reputation => p.alpha_r * p.total_capacity,
+        // ConsensusReputation exposes the same α_R bootstrap share while a
+        // free-rider is unbanned; bans (a dynamic effect the simulator
+        // measures) then cut even that off.
+        MechanismKind::Reputation | MechanismKind::ConsensusReputation => {
+            p.alpha_r * p.total_capacity
+        }
         MechanismKind::Altruism => p.total_capacity,
         // Beyond the paper: while an epoch is open, earned balances have
         // not settled yet, so the whole open-epoch fraction of capacity
@@ -90,7 +95,10 @@ pub fn collusion_probability(
             let n = n as f64;
             Some((pi_ir * m * (m - 1.0) / (n * (n - 1.0))).clamp(0.0, 1.0))
         }
-        MechanismKind::Reputation => Some(1.0),
+        // A consensus ring's matched fabricated reports also credit on
+        // every interaction; the defense punishes afterward (strikes and
+        // bans), which the static table does not model.
+        MechanismKind::Reputation | MechanismKind::ConsensusReputation => Some(1.0),
         MechanismKind::Reciprocity
         | MechanismKind::BitTorrent
         | MechanismKind::FairTorrent

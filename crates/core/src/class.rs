@@ -54,6 +54,13 @@ pub enum MechanismKind {
     /// length interpolates between FairTorrent-like fairness (epoch → 0)
     /// and altruism-like exploitability (epoch → ∞).
     EpochSettlement,
+    /// Beyond the paper: quorum-consensus reputation with bans. Peers
+    /// submit per-round transfer reports; a deterministic quorum
+    /// aggregation cross-checks claims against counterpart acknowledgments,
+    /// non-consensus submitters accrue decaying strikes, and strike
+    /// thresholds trigger temporary then permanent bans. Replaces the
+    /// trusted pre-seeded EigenTrust root with consensus across reporters.
+    ConsensusReputation,
 }
 
 impl MechanismKind {
@@ -68,11 +75,11 @@ impl MechanismKind {
         MechanismKind::Altruism,
     ];
 
-    /// The paper's six mechanisms plus the epoch-settled extension, in
-    /// grid order. [`MechanismKind::ALL`] stays the paper grid (golden
-    /// fingerprints and scenario specs key off it); figure runners that
-    /// include the extension iterate this instead.
-    pub const EXTENDED: [MechanismKind; 7] = [
+    /// The paper's six mechanisms plus the extensions, in grid order.
+    /// [`MechanismKind::ALL`] stays the paper grid (golden fingerprints
+    /// and scenario specs key off it); figure runners that include the
+    /// extensions iterate this instead.
+    pub const EXTENDED: [MechanismKind; 8] = [
         MechanismKind::Reciprocity,
         MechanismKind::TChain,
         MechanismKind::BitTorrent,
@@ -80,6 +87,7 @@ impl MechanismKind {
         MechanismKind::Reputation,
         MechanismKind::Altruism,
         MechanismKind::EpochSettlement,
+        MechanismKind::ConsensusReputation,
     ];
 
     /// Short human-readable name (as used in the paper's tables).
@@ -92,6 +100,7 @@ impl MechanismKind {
             MechanismKind::FairTorrent => "FairTorrent",
             MechanismKind::TChain => "T-Chain",
             MechanismKind::EpochSettlement => "EpochSettlement",
+            MechanismKind::ConsensusReputation => "ConsensusReputation",
         }
     }
 
@@ -108,6 +117,9 @@ impl MechanismKind {
             // Accrued-contribution payouts are a reputation signal; the
             // open-epoch window (and bootstrap fallback) serves altruistically.
             MechanismKind::EpochSettlement => &[Reputation, Altruism],
+            // Consensus scores are a reputation signal; the α_R bootstrap
+            // share serves altruistically, exactly like `Reputation`.
+            MechanismKind::ConsensusReputation => &[Reputation, Altruism],
         }
     }
 
@@ -163,6 +175,15 @@ impl MechanismKind {
                 efficiency: High,
                 bootstrapping: High,
                 freeride_resistance: Low, // an open epoch is exploitable
+            },
+            // Reputation's profile, but bans convert reputation from a
+            // preference into an exclusion — free-ride resistance hinges
+            // on the defense parameters, not on goodwill.
+            MechanismKind::ConsensusReputation => ExpectedPerformance {
+                fairness: Medium,
+                efficiency: Medium,
+                bootstrapping: Low,
+                freeride_resistance: High,
             },
         }
     }
@@ -221,18 +242,27 @@ mod tests {
     }
 
     #[test]
-    fn extended_is_all_plus_epoch_settlement() {
+    fn extended_is_all_plus_extensions() {
         assert_eq!(&MechanismKind::EXTENDED[..6], &MechanismKind::ALL[..]);
         assert_eq!(
             MechanismKind::EXTENDED[6],
             MechanismKind::EpochSettlement
         );
+        assert_eq!(
+            MechanismKind::EXTENDED[7],
+            MechanismKind::ConsensusReputation
+        );
         let mut kinds = MechanismKind::EXTENDED.to_vec();
         kinds.sort();
         kinds.dedup();
-        assert_eq!(kinds.len(), 7);
+        assert_eq!(kinds.len(), 8);
         assert_eq!(MechanismKind::EpochSettlement.name(), "EpochSettlement");
         assert!(MechanismKind::EpochSettlement.is_hybrid());
+        assert_eq!(
+            MechanismKind::ConsensusReputation.name(),
+            "ConsensusReputation"
+        );
+        assert!(MechanismKind::ConsensusReputation.is_hybrid());
     }
 
     #[test]

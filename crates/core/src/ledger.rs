@@ -317,11 +317,35 @@ impl ReputationTable {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct ReportedReputation {
-    /// subject → (reporter → bytes claimed).
-    reports: HashMap<PeerId, HashMap<PeerId, u64>>,
-    /// subject → total claimed bytes (the basic reputation).
+    /// subject → (reporter → claim with decay bookkeeping).
+    reports: HashMap<PeerId, HashMap<PeerId, Claim>>,
+    /// subject → total claimed bytes (the basic reputation, undecayed).
     basic: HashMap<PeerId, u64>,
+    /// Current round, advanced by the caller; claim ages are measured
+    /// against it. Stays 0 (no decay) unless [`Self::advance_to`] is used.
+    round: u64,
 }
+
+/// One reporter→subject claim edge: exponentially decayed weight plus the
+/// raw byte total (kept for [`ReportedReputation::forget`]'s basic-score
+/// bookkeeping).
+#[derive(Clone, Copy, Debug)]
+struct Claim {
+    /// Claimed bytes, decayed by [`REPORT_DECAY`] per round of age as of
+    /// `last_round` (fold-in accumulation).
+    decayed: f64,
+    /// Undecayed claimed bytes.
+    raw: u64,
+    /// Round of the most recent fold-in.
+    last_round: u64,
+}
+
+/// Per-round multiplicative decay of a report's trust weight (half-life
+/// ≈ 69 rounds). Applied to each claim *before* row normalization in
+/// [`ReportedReputation::trusted_scores`], so a reporter's trust flows
+/// toward its recently-vouched subjects and long-idle peers cannot hold
+/// stale top scores indefinitely.
+const REPORT_DECAY: f64 = 0.99;
 
 impl ReportedReputation {
     /// Creates an empty store.
@@ -329,14 +353,30 @@ impl ReportedReputation {
         Self::default()
     }
 
+    /// Advances the decay clock to `round` (monotonic; earlier rounds are
+    /// ignored). The swarm calls this once per round so claim ages in
+    /// [`Self::trusted_scores`] track simulation time.
+    pub fn advance_to(&mut self, round: u64) {
+        self.round = self.round.max(round);
+    }
+
     /// Records `reporter`'s claim that `subject` uploaded `bytes` to it.
     pub fn record(&mut self, reporter: PeerId, subject: PeerId, bytes: u64) {
-        *self
+        let now = self.round;
+        let claim = self
             .reports
             .entry(subject)
             .or_default()
             .entry(reporter)
-            .or_insert(0) += bytes;
+            .or_insert(Claim {
+                decayed: 0.0,
+                raw: 0,
+                last_round: now,
+            });
+        let age = (now - claim.last_round) as i32;
+        claim.decayed = claim.decayed * REPORT_DECAY.powi(age) + bytes as f64;
+        claim.raw += bytes;
+        claim.last_round = now;
         *self.basic.entry(subject).or_insert(0) += bytes;
     }
 
@@ -356,9 +396,18 @@ impl ReportedReputation {
     /// If `pretrusted` is empty, the pre-trust falls back to uniform over
     /// all participants — weaker, because closed rings then retain their
     /// own pre-trust share.
+    ///
+    /// Claims age: each edge's weight is decayed by [`REPORT_DECAY`] per
+    /// round since its last report *before* the row is normalized, so a
+    /// reporter's trust share shifts toward whoever it vouched for
+    /// recently and a long-idle subject's stale claims fade instead of
+    /// being re-inflated to a full row share.
     pub fn trusted_scores(&self, pretrusted: &[PeerId]) -> HashMap<PeerId, f64> {
         const DAMPING: f64 = 0.15;
         const ITERATIONS: usize = 15;
+        let now = self.round;
+        let effective =
+            |c: &Claim| c.decayed * REPORT_DECAY.powi((now - c.last_round) as i32);
         // Collect every peer seen as reporter or subject.
         let mut members: Vec<PeerId> = self.reports.keys().copied().collect();
         for reporters in self.reports.values() {
@@ -378,11 +427,11 @@ impl ReportedReputation {
             pretrusted.iter().map(|&m| (m, share)).collect()
         };
         let pre_of = |m: PeerId| pre.get(&m).copied().unwrap_or(0.0);
-        // Row-normalized outgoing claims per reporter.
+        // Row-normalized outgoing claims per reporter, decayed first.
         let mut outgoing_total: HashMap<PeerId, f64> = HashMap::new();
         for reporters in self.reports.values() {
-            for (&r, &bytes) in reporters {
-                *outgoing_total.entry(r).or_insert(0.0) += bytes as f64;
+            for (&r, claim) in reporters {
+                *outgoing_total.entry(r).or_insert(0.0) += effective(claim);
             }
         }
         let mut trust: HashMap<PeerId, f64> =
@@ -394,10 +443,10 @@ impl ReportedReputation {
                 .collect();
             for (&subject, reporters) in &self.reports {
                 let mut inflow = 0.0;
-                for (&reporter, &bytes) in reporters {
+                for (&reporter, claim) in reporters {
                     let total = outgoing_total.get(&reporter).copied().unwrap_or(0.0);
                     if total > 0.0 {
-                        let weight = bytes as f64 / total;
+                        let weight = effective(claim) / total;
                         inflow += weight * trust.get(&reporter).copied().unwrap_or(0.0);
                     }
                 }
@@ -412,16 +461,16 @@ impl ReportedReputation {
     /// retirement).
     pub fn forget(&mut self, peer: PeerId) {
         if let Some(reporters) = self.reports.remove(&peer) {
-            let removed: u64 = reporters.values().sum();
+            let removed: u64 = reporters.values().map(|c| c.raw).sum();
             if let Some(b) = self.basic.get_mut(&peer) {
                 *b = b.saturating_sub(removed);
             }
             self.basic.remove(&peer);
         }
         for (subject, reporters) in self.reports.iter_mut() {
-            if let Some(bytes) = reporters.remove(&peer) {
+            if let Some(claim) = reporters.remove(&peer) {
                 if let Some(b) = self.basic.get_mut(subject) {
-                    *b = b.saturating_sub(bytes);
+                    *b = b.saturating_sub(claim.raw);
                 }
             }
         }
@@ -609,6 +658,48 @@ mod tests {
     #[test]
     fn trusted_scores_empty_when_no_reports() {
         assert!(ReportedReputation::new().trusted_scores(&[]).is_empty());
+    }
+
+    #[test]
+    fn decay_before_normalization_fades_idle_top_scores() {
+        // Regression: without per-claim decay ahead of row normalization,
+        // a huge early claim held the top trusted score forever — a
+        // long-idle peer outranked every active one indefinitely.
+        let mut r = ReportedReputation::new();
+        // Round 0: peer 1 uploads enormously to pre-trusted reporter 9.
+        r.record(p(9), p(1), 1_000_000);
+        // Peer 1 then idles for 600 rounds; peer 2 uploads modestly.
+        r.advance_to(600);
+        r.record(p(9), p(2), 10_000);
+        let t = r.trusted_scores(&[p(9)]);
+        assert!(
+            t[&p(2)] > t[&p(1)],
+            "recent modest claim {} must outrank stale huge claim {}",
+            t[&p(2)],
+            t[&p(1)]
+        );
+        // Same claims with no idle gap: magnitude wins as before.
+        let mut fresh = ReportedReputation::new();
+        fresh.record(p(9), p(1), 1_000_000);
+        fresh.record(p(9), p(2), 10_000);
+        let t = fresh.trusted_scores(&[p(9)]);
+        assert!(t[&p(1)] > t[&p(2)]);
+        // The basic (undecayed) score is untouched by the clock.
+        assert_eq!(r.basic(p(1)), 1_000_000.0);
+    }
+
+    #[test]
+    fn record_folds_decay_into_repeated_claims() {
+        let mut r = ReportedReputation::new();
+        r.record(p(0), p(1), 1000);
+        r.advance_to(100);
+        // A fresh claim after 100 idle rounds: the old 1000 has decayed to
+        // ~366, so the fresh 1000 dominates the edge weight but the raw
+        // basic total still sums both.
+        r.record(p(0), p(1), 1000);
+        assert_eq!(r.basic(p(1)), 2000.0);
+        let t = r.trusted_scores(&[p(0)]);
+        assert!(t[&p(1)] > 0.0);
     }
 
     #[test]

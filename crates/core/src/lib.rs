@@ -58,7 +58,7 @@ mod view;
 pub use class::{ExpectedPerformance, MechanismClass, MechanismKind, Rating};
 pub use ids::PeerId;
 pub use mechanism::{
-    build_mechanism, Grant, GrantReason, Mechanism, MechanismParams, ReciprocationCondition,
-    SettleCadence,
+    build_mechanism, ConsensusPolicy, Grant, GrantReason, Mechanism, MechanismParams,
+    ReciprocationCondition, SettleCadence,
 };
 pub use view::{Obligation, SwarmView};

@@ -143,6 +143,23 @@ pub struct MechanismParams {
     /// epochs approach FairTorrent-like fairness; longer ones approach
     /// altruism-like exploitability.
     pub epoch_rounds: u64,
+    /// Consensus quorum for [`MechanismKind::ConsensusReputation`]: the
+    /// number of matching counterpart reports that corroborate an
+    /// uploader's claims in a dispute. Small quorums attribute disputes to
+    /// the deviating receiver; oversized quorums starve honest uploaders
+    /// of corroboration and mis-strike them instead (friendly fire).
+    pub consensus_quorum: usize,
+    /// Strike count at which [`MechanismKind::ConsensusReputation`] bans a
+    /// peer: the first crossing triggers a temporary ban, a repeat
+    /// crossing after the temporary ban a permanent one.
+    pub consensus_ban_threshold: u32,
+    /// Per-round multiplicative decay applied to consensus strikes *and*
+    /// scores before the round's reports are aggregated, in `[0, 1]`.
+    /// Near 1 strikes stick and bans fire; low values let strikes
+    /// evaporate faster than attackers accrue them.
+    pub consensus_decay: f64,
+    /// Length of a temporary consensus ban in rounds.
+    pub consensus_temp_ban_rounds: u64,
 }
 
 impl Default for MechanismParams {
@@ -154,6 +171,10 @@ impl Default for MechanismParams {
             tchain_obligation_ttl: 16,
             tchain_max_backlog: 4,
             epoch_rounds: 16,
+            consensus_quorum: 2,
+            consensus_ban_threshold: 4,
+            consensus_decay: 0.9,
+            consensus_temp_ban_rounds: 16,
         }
     }
 }
@@ -184,7 +205,52 @@ impl MechanismParams {
         if self.epoch_rounds == 0 {
             return Err("epoch_rounds must be positive".to_string());
         }
+        if self.consensus_quorum == 0 {
+            return Err("consensus_quorum must be positive".to_string());
+        }
+        if self.consensus_ban_threshold == 0 {
+            return Err("consensus_ban_threshold must be positive".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.consensus_decay) {
+            return Err(format!(
+                "consensus_decay must be in [0,1], got {}",
+                self.consensus_decay
+            ));
+        }
+        if self.consensus_temp_ban_rounds == 0 {
+            return Err("consensus_temp_ban_rounds must be positive".to_string());
+        }
         Ok(())
+    }
+}
+
+/// The defense parameters a [`MechanismKind::ConsensusReputation`] peer
+/// declares to the swarm. The swarm — not the mechanism — runs the
+/// per-round quorum aggregation, strike accounting and ban eviction,
+/// because reports span peers; declaring the policy here (like
+/// [`SettleCadence`]) lets the round loop drive the consensus pass only
+/// when the population actually uses it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConsensusPolicy {
+    /// Matching counterpart reports that corroborate an uploader.
+    pub quorum: usize,
+    /// Strikes that trigger a ban (temporary first, then permanent).
+    pub ban_threshold: u32,
+    /// Per-round multiplicative decay of strikes and scores, in `[0, 1]`.
+    pub decay: f64,
+    /// Temporary ban length in rounds.
+    pub temp_ban_rounds: u64,
+}
+
+impl ConsensusPolicy {
+    /// The policy encoded in `params`.
+    pub fn from_params(params: &MechanismParams) -> Self {
+        ConsensusPolicy {
+            quorum: params.consensus_quorum,
+            ban_threshold: params.consensus_ban_threshold,
+            decay: params.consensus_decay,
+            temp_ban_rounds: params.consensus_temp_ban_rounds,
+        }
     }
 }
 
@@ -261,6 +327,14 @@ pub trait Mechanism: std::fmt::Debug + Send + Sync {
     /// and determinism across `--shards`/`--jobs` depends on it.
     fn on_epoch_close(&mut self, _view: &dyn SwarmView) {}
 
+    /// The consensus-reputation defense policy this mechanism wants the
+    /// swarm to enforce, or `None` (the default) for no consensus layer.
+    /// Like [`Mechanism::settle_cadence`], this is a declaration: the
+    /// swarm runs the report aggregation, strike accounting and bans.
+    fn consensus_policy(&self) -> Option<ConsensusPolicy> {
+        None
+    }
+
     /// Hook called when a conditional (encrypted) upload this peer made is
     /// resolved: `honored = true` when the receiver reciprocated (key
     /// released), `false` when the obligation expired unfulfilled.
@@ -307,6 +381,7 @@ pub fn build_mechanism(kind: MechanismKind, params: MechanismParams) -> Box<dyn 
         MechanismKind::FairTorrent => Box::new(FairTorrent::new()),
         MechanismKind::TChain => Box::new(TChain::new(params)),
         MechanismKind::EpochSettlement => Box::new(EpochSettlement::new(params)),
+        MechanismKind::ConsensusReputation => Box::new(ConsensusReputation::new(params)),
     }
 }
 
@@ -360,6 +435,43 @@ mod tests {
             epoch.settle_cadence(),
             SettleCadence::Epoch(MechanismParams::default().epoch_rounds)
         );
+    }
+
+    #[test]
+    fn consensus_policy_declared_only_by_consensus_reputation() {
+        for kind in MechanismKind::EXTENDED {
+            let m = build_mechanism(kind, MechanismParams::default());
+            if kind == MechanismKind::ConsensusReputation {
+                let policy = m.consensus_policy().expect("declares a policy");
+                assert_eq!(policy, ConsensusPolicy::from_params(&MechanismParams::default()));
+            } else {
+                assert!(m.consensus_policy().is_none(), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_consensus_params() {
+        for bad in [
+            MechanismParams {
+                consensus_quorum: 0,
+                ..MechanismParams::default()
+            },
+            MechanismParams {
+                consensus_ban_threshold: 0,
+                ..MechanismParams::default()
+            },
+            MechanismParams {
+                consensus_decay: 1.5,
+                ..MechanismParams::default()
+            },
+            MechanismParams {
+                consensus_temp_ban_rounds: 0,
+                ..MechanismParams::default()
+            },
+        ] {
+            assert!(bad.validate().is_err());
+        }
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //! | FairTorrent     | reputation / altruism     | [`fairtorrent`] |
 //! | T-Chain         | reciprocity / reputation  | [`tchain`] |
 //! | EpochSettlement | reputation / altruism, settled per epoch | [`epoch`] |
+//! | ConsensusReputation | reputation / altruism, quorum consensus + bans | [`consensus`] |
 
 pub mod altruism;
 pub mod bittorrent;
+pub mod consensus;
 pub mod epoch;
 pub mod extensions;
 pub mod fairtorrent;
@@ -22,6 +24,7 @@ pub mod tchain;
 
 pub use altruism::Altruism;
 pub use bittorrent::BitTorrent;
+pub use consensus::ConsensusReputation;
 pub use epoch::EpochSettlement;
 pub use fairtorrent::FairTorrent;
 pub use reciprocity::Reciprocity;

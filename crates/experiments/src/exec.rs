@@ -84,12 +84,12 @@ pub struct SimJob {
 }
 
 impl SimJob {
-    /// Expands a run grid into jobs: for each seed (outer), all seven
+    /// Expands a run grid into jobs: for each seed (outer), all eight
     /// mechanisms in [`MechanismKind::EXTENDED`] order (inner) — the
-    /// paper's six plus the epoch-settled variant — with the scenario
-    /// chosen per mechanism by `plan_for`.
+    /// paper's six plus the epoch-settled and consensus-reputation
+    /// variants — with the scenario chosen per mechanism by `plan_for`.
     ///
-    /// The seed-major layout means `jobs[s * 7 .. (s + 1) * 7]` is exactly
+    /// The seed-major layout means `jobs[s * 8 .. (s + 1) * 8]` is exactly
     /// the figure row set for `seeds[s]`.
     pub fn grid(
         scale: Scale,

@@ -1,7 +1,7 @@
 //! `coop-experiments` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! coop-experiments <table1|table2|table3|fig1|fig2|fig3|fig4|fig4-churn|fig4-scale|fig5|fig6|fig-epoch|fluid|ablations|extensions|all>
+//! coop-experiments <table1|table2|table3|fig1|fig2|fig3|fig4|fig4-churn|fig4-scale|fig5|fig6|fig-epoch|fig-consensus|fluid|ablations|extensions|all>
 //! coop-experiments sweep <scenario|spec.json|pack-dir>
 //! coop-experiments perf-diff --baseline FILE --current FILE [--tolerance SHARE]
 //!                  [--scale quick|default|paper] [--seed N] [--replicates N]
@@ -324,6 +324,18 @@ fn run_one(artifact: Artifact, spec: &RunSpec, executor: &Executor, errors: &mut
         }
         Artifact::FigEpoch => batch!(runners::fig_epoch::try_run_with_telemetry(
             scale, seed, None, executor, &telemetry, &out
+        )
+        .map(|r| r.0)),
+        // fig-consensus sweeps one population; `--peers` overrides it
+        // (first entry wins — the flag's list form belongs to fig4-scale).
+        Artifact::FigConsensus => batch!(runners::fig_consensus::try_run_with_telemetry(
+            scale,
+            seed,
+            spec.peers.as_ref().and_then(|p| p.first().copied()),
+            None,
+            executor,
+            &telemetry,
+            &out
         )
         .map(|r| r.0)),
         Artifact::Fig4Churn => batch!(runners::fig4_churn::try_run_with_telemetry(

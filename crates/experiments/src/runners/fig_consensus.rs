@@ -1,0 +1,501 @@
+//! **fig-consensus** — the consensus-reputation defense sweep: the
+//! consensus mechanism re-run over an adaptive-attacker-fraction ladder
+//! under three named defense policies (ban threshold × decay × quorum).
+//!
+//! Every attacked cell faces the full adaptive mix
+//! ([`coop_attacks::AttackPlan::adaptive_mix`]): threshold-aware
+//! defectors that park their strike level just under the ban threshold,
+//! ban-evading whitewash rings that rotate identities ahead of the
+//! permanent ban, and Sybil report-stuffers fabricating matched transfer
+//! pairs inside a collusion ring. The `fraction = 0` column is the
+//! attack-free baseline each policy is judged against.
+//!
+//! The three policies bracket the defense space:
+//!
+//! * `defense` — the tuned default (small quorum, moderate threshold,
+//!   fast decay): bans land on reckless attackers while compliant
+//!   completion stays near the attack-free baseline.
+//! * `lax` — threshold and decay so forgiving that the ban ladder never
+//!   engages: the susceptibility cost of running consensus with teeth
+//!   removed.
+//! * `collapse` — a quorum larger than most uploaders' corroboration
+//!   set, so legitimate claims fail consensus and honest uploaders
+//!   accrue strikes: the friendly-fire failure mode.
+//!
+//! Outputs follow the sweep convention: `figconsensus_sweep_{scale}.csv`
+//! and `figconsensus_{scale}.json` hold only deterministic columns and
+//! are byte-identical for any `--jobs`/`--shards` count.
+
+use coop_attacks::AttackPlan;
+use coop_incentives::analysis::capacity::CapacityClassMix;
+use coop_incentives::MechanismKind;
+use coop_swarm::flash_crowd_with;
+use coop_telemetry::{profile::phase, Profiler, Recorder, Stopwatch};
+use serde::Serialize;
+
+use crate::exec::{backoff_ms, BatchError, Executor, FailureKind, JobFailure};
+use crate::runners::fig4::emit_run_outputs;
+use crate::table::num;
+use crate::telemetry::{BatchTrace, JobTrace, TelemetryOpts};
+use crate::{OutputDir, Scale, Table};
+
+/// The default adaptive-attacker-fraction ladder. `0.0` is the
+/// attack-free baseline column every policy is compared against.
+pub const FRACTIONS: [f64; 4] = [0.0, 0.1, 0.2, 0.3];
+
+/// One named defense policy: the consensus knobs a cell runs under.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct DefensePolicy {
+    /// Short policy name (the sweep's row label).
+    pub name: &'static str,
+    /// Corroborating reports required before a disputed claim is
+    /// credited against the receiver.
+    pub quorum: usize,
+    /// Strike level at which the ban ladder fires.
+    pub ban_threshold: u32,
+    /// Per-round multiplicative strike/score decay.
+    pub decay: f64,
+    /// Length of the first (temporary) ban in rounds.
+    pub temp_ban_rounds: u64,
+}
+
+/// The three policies the default sweep brackets the defense space with.
+pub const POLICIES: [DefensePolicy; 3] = [
+    DefensePolicy {
+        name: "defense",
+        quorum: 1,
+        ban_threshold: 4,
+        decay: 0.9,
+        temp_ban_rounds: 16,
+    },
+    DefensePolicy {
+        name: "lax",
+        quorum: 1,
+        ban_threshold: 64,
+        decay: 0.995,
+        temp_ban_rounds: 16,
+    },
+    DefensePolicy {
+        name: "collapse",
+        quorum: 8,
+        ban_threshold: 4,
+        decay: 0.9,
+        temp_ban_rounds: 16,
+    },
+];
+
+/// One deterministic cell of the sweep.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ConsensusRow {
+    /// Defense policy name.
+    pub policy: String,
+    /// Corroboration quorum of the policy.
+    pub quorum: usize,
+    /// Ban threshold of the policy.
+    pub ban_threshold: u32,
+    /// Strike decay of the policy.
+    pub decay: f64,
+    /// Adaptive-attacker population fraction (0 = attack-free baseline).
+    pub attack_fraction: f64,
+    /// Population simulated.
+    pub peers: usize,
+    /// Fraction of compliant peers that completed the download.
+    pub completed_fraction: f64,
+    /// Mean completion time (seconds) over completed compliant peers.
+    pub mean_completion_s: Option<f64>,
+    /// Final fairness statistic `F` (0 = perfectly fair).
+    pub fairness_f: f64,
+    /// Cumulative susceptibility (free-rider share of peer upload bytes).
+    pub susceptibility: f64,
+    /// Transfer reports aggregated over the run.
+    pub reports: u64,
+    /// Claim/ack mismatches put to quorum.
+    pub disputes: u64,
+    /// Temporary bans issued.
+    pub bans_temp: u64,
+    /// Permanent bans issued.
+    pub bans_perm: u64,
+    /// Bans (of either kind) that landed on compliant peers.
+    pub bans_compliant: u64,
+    /// Bans that landed on attackers.
+    pub bans_noncompliant: u64,
+    /// Whether the run ended in an unsatisfiable (stalled) swarm.
+    pub stalled: bool,
+}
+
+/// The sweep report: policies in [`POLICIES`] order, fractions ascending
+/// within each policy.
+#[derive(Clone, Debug, Serialize)]
+pub struct ConsensusReport {
+    /// Artifact name ("fig-consensus").
+    pub figure: String,
+    /// Scale used.
+    pub scale: String,
+    /// Seed used.
+    pub seed: u64,
+    /// Rows: policy-major, fraction ascending.
+    pub rows: Vec<ConsensusRow>,
+}
+
+impl ConsensusReport {
+    /// The cell for one policy at one attacker fraction.
+    pub fn cell(&self, policy: &str, fraction: f64) -> &ConsensusRow {
+        self.rows
+            .iter()
+            .find(|r| r.policy == policy && r.attack_fraction == fraction)
+            .expect("all grid cells present")
+    }
+
+    /// Renders the sweep table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "policy",
+            "quorum",
+            "thresh",
+            "decay",
+            "attackers",
+            "completed",
+            "mean ct (s)",
+            "F",
+            "suscept.",
+            "disputes",
+            "bans t/p",
+            "bans hon/atk",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.policy.clone(),
+                r.quorum.to_string(),
+                r.ban_threshold.to_string(),
+                num(r.decay),
+                num(r.attack_fraction),
+                num(r.completed_fraction),
+                r.mean_completion_s.map_or("n/a".into(), num),
+                num(r.fairness_f),
+                num(r.susceptibility),
+                r.disputes.to_string(),
+                format!("{}/{}", r.bans_temp, r.bans_perm),
+                format!("{}/{}", r.bans_compliant, r.bans_noncompliant),
+            ]);
+        }
+        format!(
+            "fig-consensus — consensus-reputation defense sweep ({} scale, seed {}, {} peers, adaptive mix)\n{}",
+            self.scale,
+            self.seed,
+            self.rows.first().map_or(0, |r| r.peers),
+            t.render()
+        )
+    }
+}
+
+/// One cell of the grid.
+#[derive(Clone, Copy, Debug)]
+struct Cell {
+    policy: DefensePolicy,
+    fraction: f64,
+}
+
+impl Cell {
+    fn label(self) -> String {
+        format!("consensus:{}@{}", self.policy.name, self.fraction)
+    }
+}
+
+/// Runs the default sweep with machine-sized parallelism and no telemetry.
+pub fn run(scale: Scale, seed: u64) -> ConsensusReport {
+    let (report, _) = run_with_telemetry(
+        scale,
+        seed,
+        None,
+        None,
+        &Executor::default(),
+        &TelemetryOpts::disabled(),
+        &OutputDir::default_dir(),
+    );
+    report
+}
+
+/// Runs the defense sweep: every [`POLICIES`] entry at every rung of
+/// `fractions` (default [`FRACTIONS`]), the attacked cells under the
+/// adaptive mix. `peers` overrides the scale's population (the `--peers`
+/// flag; the ISSUE-scale run uses 10 000). Cells fan out across
+/// `executor`; artifacts are written sequentially from slot-ordered
+/// results, so they are byte-identical for any worker count.
+pub fn run_with_telemetry(
+    scale: Scale,
+    seed: u64,
+    peers: Option<usize>,
+    fractions: Option<&[f64]>,
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+) -> (ConsensusReport, Option<BatchTrace>) {
+    try_run_with_telemetry(scale, seed, peers, fractions, executor, opts, out)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_with_telemetry`] with per-cell panic isolation: a cell that
+/// fails every attempt yields `Err` naming it, after every healthy cell
+/// has still run. No artifacts are written on failure.
+///
+/// # Errors
+///
+/// Returns the batch's failures when any cell fails every attempt.
+#[allow(clippy::too_many_arguments)] // one parameter per orthogonal override
+pub fn try_run_with_telemetry(
+    scale: Scale,
+    seed: u64,
+    peers: Option<usize>,
+    fractions: Option<&[f64]>,
+    executor: &Executor,
+    opts: &TelemetryOpts,
+    out: &OutputDir,
+) -> Result<(ConsensusReport, Option<BatchTrace>), BatchError> {
+    let fractions: Vec<f64> = fractions.unwrap_or(&FRACTIONS).to_vec();
+    let peers = peers.unwrap_or_else(|| scale.peers());
+    let mut cells = Vec::with_capacity(POLICIES.len() * fractions.len());
+    for policy in POLICIES {
+        for &fraction in &fractions {
+            cells.push(Cell { policy, fraction });
+        }
+    }
+    let recorder_config = opts.is_enabled().then(|| opts.recorder_config());
+    let shards = executor.shards();
+    let sim_clock = Stopwatch::start();
+    let runs = executor.try_map(&cells, |slot, &cell| {
+        let cell_clock = Stopwatch::start();
+        let recorder = match &recorder_config {
+            Some(config) => Recorder::enabled(config.clone()),
+            None => Recorder::disabled(),
+        };
+        let mut profiler = if opts.profile_due(slot) {
+            Profiler::enabled()
+        } else {
+            Profiler::disabled()
+        };
+        let build_t = profiler.start();
+        let mut config = scale.config(seed);
+        config.mechanism_params.consensus_quorum = cell.policy.quorum;
+        config.mechanism_params.consensus_ban_threshold = cell.policy.ban_threshold;
+        config.mechanism_params.consensus_decay = cell.policy.decay;
+        config.mechanism_params.consensus_temp_ban_rounds = cell.policy.temp_ban_rounds;
+        let mix = CapacityClassMix::paper_default();
+        let population = flash_crowd_with(
+            &config,
+            peers,
+            MechanismKind::ConsensusReputation,
+            seed,
+            &mix,
+            scale.arrival_window(),
+        );
+        let mut builder = coop_swarm::Simulation::builder(config)
+            .population(population)
+            .recorder(recorder)
+            .shards(shards);
+        if cell.fraction > 0.0 {
+            builder = builder.attack_plan(AttackPlan::adaptive_mix(cell.fraction));
+        }
+        let sim = builder.build().expect("scale configs validate");
+        profiler.stop(phase::EXEC_BUILD, build_t);
+        let (result, report, profile) = sim.with_profiler(profiler).run_profiled();
+        let trace = JobTrace {
+            slot,
+            label: cell.label(),
+            seed,
+            wall_ms: cell_clock.elapsed_ms(),
+            slow: false,
+            // `try_map` retries opaquely; per-attempt counts are only
+            // tracked for `SimJob` batches.
+            retries: 0,
+            peers: peers as u64,
+            report,
+            profile: opts.profile_due(slot).then_some(profile),
+        };
+        (result, trace)
+    });
+    let sim_ms = sim_clock.elapsed_ms();
+    let write_clock = Stopwatch::start();
+
+    let failures: Vec<JobFailure> = cells
+        .iter()
+        .zip(&runs)
+        .enumerate()
+        .filter_map(|(slot, (&cell, run))| {
+            run.as_ref().err().map(|message| JobFailure {
+                slot,
+                mechanism: cell.label(),
+                peers,
+                seed,
+                attempts: executor.retries() + 1,
+                kind: FailureKind::Panic,
+                message: message.clone(),
+                backoff_ms: (0..executor.retries())
+                    .map(|a| backoff_ms(slot as u64, a))
+                    .collect(),
+            })
+        })
+        .collect();
+    if !failures.is_empty() {
+        return Err(BatchError {
+            figure: "fig-consensus".to_string(),
+            total: cells.len(),
+            failures,
+        });
+    }
+
+    let mut rows = Vec::with_capacity(cells.len());
+    let mut traces = Vec::with_capacity(cells.len());
+    for (&cell, run) in cells.iter().zip(runs) {
+        let (result, trace) = run.expect("failures were returned above");
+        let summary = result
+            .consensus
+            .expect("the consensus mechanism reports its summary");
+        rows.push(ConsensusRow {
+            policy: cell.policy.name.to_string(),
+            quorum: cell.policy.quorum,
+            ban_threshold: cell.policy.ban_threshold,
+            decay: cell.policy.decay,
+            attack_fraction: cell.fraction,
+            peers,
+            completed_fraction: result.completed_fraction(),
+            mean_completion_s: result.mean_completion_time(),
+            fairness_f: result.final_fairness_stat(),
+            susceptibility: result.final_susceptibility(),
+            reports: summary.reports,
+            disputes: summary.disputes,
+            bans_temp: summary.bans_temp,
+            bans_perm: summary.bans_perm,
+            bans_compliant: summary.bans_compliant,
+            bans_noncompliant: summary.bans_noncompliant,
+            stalled: result.stalled,
+        });
+        traces.push(trace);
+    }
+    let report = ConsensusReport {
+        figure: "fig-consensus".to_string(),
+        scale: scale.name().to_string(),
+        seed,
+        rows,
+    };
+
+    let csv_rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                r.quorum.to_string(),
+                r.ban_threshold.to_string(),
+                format!("{}", r.decay),
+                format!("{}", r.attack_fraction),
+                r.peers.to_string(),
+                format!("{}", r.completed_fraction),
+                r.mean_completion_s.map_or(String::new(), |v| format!("{v}")),
+                format!("{}", r.fairness_f),
+                format!("{}", r.susceptibility),
+                r.reports.to_string(),
+                r.disputes.to_string(),
+                r.bans_temp.to_string(),
+                r.bans_perm.to_string(),
+                r.bans_compliant.to_string(),
+                r.bans_noncompliant.to_string(),
+                r.stalled.to_string(),
+            ]
+        })
+        .collect();
+    let _ = out.csv_rows(
+        &format!("figconsensus_sweep_{}", scale.name()),
+        &[
+            "policy",
+            "quorum",
+            "ban_threshold",
+            "decay",
+            "attack_fraction",
+            "peers",
+            "completed_fraction",
+            "mean_completion_s",
+            "fairness_f",
+            "susceptibility",
+            "reports",
+            "disputes",
+            "bans_temp",
+            "bans_perm",
+            "bans_compliant",
+            "bans_noncompliant",
+            "stalled",
+        ],
+        &csv_rows,
+    );
+    let _ = out.json(&format!("figconsensus_{}", scale.name()), &report);
+
+    let trace = recorder_config.is_some().then(|| {
+        let mut trace = BatchTrace::new(traces);
+        trace.push_phase("simulate", sim_ms);
+        trace.push_phase("write_artifacts", write_clock.elapsed_ms());
+        emit_run_outputs(
+            "fig-consensus",
+            &trace,
+            opts,
+            out,
+            scale,
+            seed,
+            1,
+            executor.jobs() as u64,
+            "adaptive-mix",
+        );
+        trace
+    });
+    Ok((report, trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> OutputDir {
+        OutputDir::new(std::env::temp_dir().join(format!(
+            "coop-consensus-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        )))
+    }
+
+    #[test]
+    fn sweep_covers_grid_and_is_deterministic_across_worker_counts() {
+        let out = tmp();
+        let opts = TelemetryOpts::disabled();
+        let run = |jobs: usize| {
+            run_with_telemetry(
+                Scale::Quick,
+                17,
+                None,
+                Some(&[0.0, 0.2]),
+                &Executor::new(jobs),
+                &opts,
+                &out,
+            )
+        };
+        let (seq, trace) = run(1);
+        assert!(trace.is_none());
+        assert_eq!(seq.rows.len(), POLICIES.len() * 2);
+        // The attack-free baselines carry no disputes from attackers but
+        // still aggregate reports every round.
+        for policy in POLICIES {
+            let baseline = seq.cell(policy.name, 0.0);
+            assert!(baseline.reports > 0, "{}: no reports", policy.name);
+            assert_eq!(baseline.attack_fraction, 0.0);
+        }
+        // The attacked defense cell sees the adaptive mix actually bite:
+        // disputes happen and bans land.
+        let attacked = seq.cell("defense", 0.2);
+        assert!(attacked.disputes > 0);
+        assert!(attacked.bans_temp > 0);
+
+        // Deterministic artifacts: identical report for any worker count.
+        let (par, _) = run(4);
+        assert_eq!(seq.rows, par.rows);
+        assert!(seq.render().contains("fig-consensus"));
+        assert!(out.path().join("figconsensus_sweep_quick.csv").is_file());
+        let _ = std::fs::remove_dir_all(out.path());
+    }
+}

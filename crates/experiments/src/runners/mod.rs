@@ -10,6 +10,7 @@ pub mod fig4_churn;
 pub mod fig4_scale;
 pub mod fig5;
 pub mod fig6;
+pub mod fig_consensus;
 pub mod fig_epoch;
 pub mod fluid;
 pub mod perf_diff;

@@ -80,9 +80,10 @@ fn paper_example_value(kind: MechanismKind) -> f64 {
         MechanismKind::FairTorrent => 0.714,
         MechanismKind::Reputation => 0.222,
         MechanismKind::Altruism => 0.918,
-        // Not in the paper; the epoch-settled extension shares the
-        // reputation row's bootstrap form (see `bootstrap_probability`).
-        MechanismKind::EpochSettlement => 0.222,
+        // Not in the paper; the epoch-settled and consensus extensions
+        // share the reputation row's bootstrap form (see
+        // `bootstrap_probability`).
+        MechanismKind::EpochSettlement | MechanismKind::ConsensusReputation => 0.222,
     }
 }
 

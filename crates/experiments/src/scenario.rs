@@ -1156,6 +1156,10 @@ pub const BUILTIN_SCENARIOS: &[(&str, &str)] = &[
         "epoch-settlement",
         include_str!("../scenarios/epoch-settlement.json"),
     ),
+    (
+        "consensus-bans",
+        include_str!("../scenarios/consensus-bans.json"),
+    ),
 ];
 
 /// Names of the built-in scenarios, in library order.

@@ -43,6 +43,10 @@ pub enum Artifact {
     /// closed-form λ column). Not part of `all`: it studies the repo's
     /// epoch-settled extension, not a paper artifact.
     FigEpoch,
+    /// The consensus-reputation defense sweep (adaptive-attacker ladder ×
+    /// named ban policies). Not part of `all`: it studies the repo's
+    /// consensus extension, not a paper artifact.
+    FigConsensus,
     Fluid,
     Ablations,
     Extensions,
@@ -104,6 +108,7 @@ impl Artifact {
             "fig5" => Ok(Artifact::Fig5),
             "fig6" => Ok(Artifact::Fig6),
             "fig-epoch" | "figepoch" => Ok(Artifact::FigEpoch),
+            "fig-consensus" | "figconsensus" => Ok(Artifact::FigConsensus),
             "fluid" => Ok(Artifact::Fluid),
             "ablations" => Ok(Artifact::Ablations),
             "extensions" => Ok(Artifact::Extensions),
@@ -129,6 +134,7 @@ impl Artifact {
             Artifact::Fig5 => "fig5",
             Artifact::Fig6 => "fig6",
             Artifact::FigEpoch => "fig-epoch",
+            Artifact::FigConsensus => "fig-consensus",
             Artifact::Fluid => "fluid",
             Artifact::Ablations => "ablations",
             Artifact::Extensions => "extensions",
@@ -652,7 +658,7 @@ static FLAGS: &[FlagDef] = &[
     FlagDef {
         name: "--peers",
         metavar: Some("N[,N...]"),
-        only: Some(&[Artifact::Fig4Scale]),
+        only: Some(&[Artifact::Fig4Scale, Artifact::FigConsensus]),
         deprecated: false,
         set: set_peers,
         is_set: |d| d.peers.is_some(),
@@ -714,7 +720,7 @@ pub fn usage() -> String {
     let artifacts: Vec<&str> = Artifact::ALL
         .iter()
         .map(|a| a.name())
-        .chain(["fig4-scale", "fig-epoch", "all"])
+        .chain(["fig4-scale", "fig-epoch", "fig-consensus", "all"])
         .collect();
     let mut out = format!(
         "usage: coop-experiments <{}>\n       coop-experiments sweep <scenario|spec.json|pack-dir>\n       coop-experiments perf-diff --baseline FILE --current FILE [--tolerance SHARE]",
@@ -1246,6 +1252,7 @@ mod tests {
         for artifact in Artifact::ALL.into_iter().chain([
             Artifact::Fig4Scale,
             Artifact::FigEpoch,
+            Artifact::FigConsensus,
             Artifact::All,
             Artifact::Sweep,
             Artifact::PerfDiff,
@@ -1254,6 +1261,7 @@ mod tests {
         }
         assert!(!Artifact::ALL.contains(&Artifact::Fig4Scale));
         assert!(!Artifact::ALL.contains(&Artifact::FigEpoch));
+        assert!(!Artifact::ALL.contains(&Artifact::FigConsensus));
         assert!(!Artifact::ALL.contains(&Artifact::Sweep));
         assert!(!Artifact::ALL.contains(&Artifact::PerfDiff));
         assert_eq!(Artifact::parse("figepoch").unwrap(), Artifact::FigEpoch);

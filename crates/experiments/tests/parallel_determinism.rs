@@ -8,9 +8,10 @@ use coop_incentives::MechanismKind;
 
 #[test]
 fn parallel_batches_match_sequential_byte_for_byte() {
-    // All seven mechanisms at quick scale, each under its most effective
+    // All eight mechanisms at quick scale, each under its most effective
     // attack — covering compliant allocation, free-riding, collusion,
-    // whitewashing and epoch-settled code paths in one grid.
+    // whitewashing, epoch-settled and consensus-reputation code paths
+    // in one grid.
     let jobs = SimJob::grid(Scale::Quick, &[9], |kind| {
         Some(AttackPlan::most_effective(kind, 0.2))
     });

@@ -49,6 +49,7 @@ fn builtin_fingerprints_are_pinned() {
         ("mobile-churn-storm", 0xb069_7c5f_e4ba_d236),
         ("seeder-starved-archive", 0x8c13_4418_f432_7e62),
         ("epoch-settlement", 0xe137_b39e_b041_f318),
+        ("consensus-bans", 0x4f2b_4262_7b23_9ecc),
     ];
     assert_eq!(builtin_names().len(), golden.len());
     for (name, expected) in golden {

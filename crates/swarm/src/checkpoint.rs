@@ -110,6 +110,7 @@ pub(crate) struct CheckpointState {
     pub(crate) work_candidate_scans: u64,
     pub(crate) epoch_settlements: u64,
     pub(crate) epoch_boundaries: u64,
+    pub(crate) consensus: Option<crate::consensus::ConsensusState>,
     pub(crate) probe_prev_bytes: [u64; GrantReason::ALL.len()],
     pub(crate) faults: crate::faults::FaultSchedule,
     pub(crate) fault_cursor: usize,

@@ -49,6 +49,18 @@ pub struct PeerTags {
     /// Bytes per round of fictitious upload credit each ring member
     /// reports for this peer (reputation false praise).
     pub fake_praise_bytes: u64,
+    /// Threshold-aware defector against the consensus-reputation layer:
+    /// denies received-byte acknowledgements, but only within the strike
+    /// budget that keeps it strictly below the observed ban threshold.
+    pub underreport: bool,
+    /// Sybil report stuffer: fabricates matched consensus report pairs
+    /// with its collusion-ring mates and phantom claims against honest
+    /// bystanders. Requires `collusion_ring` to take effect.
+    pub stuff_reports: bool,
+    /// Ban-evading whitewasher: rotates to a fresh identity once
+    /// permanently banned, or one strike short of a permanent repeat
+    /// crossing after a served temporary ban.
+    pub ban_evade: bool,
 }
 
 impl Default for PeerTags {
@@ -59,6 +71,9 @@ impl Default for PeerTags {
             collusion_ring: None,
             whitewash_interval: None,
             fake_praise_bytes: 0,
+            underreport: false,
+            stuff_reports: false,
+            ban_evade: false,
         }
     }
 }

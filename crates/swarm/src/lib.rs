@@ -41,6 +41,7 @@
 mod builder;
 mod checkpoint;
 mod config;
+mod consensus;
 mod dirty;
 mod faults;
 mod peer;
@@ -59,5 +60,5 @@ pub use config::{
 };
 pub use faults::{FaultEvent, FaultKind, FaultPatch, FaultSchedule};
 pub use dirty::{DirtySet, VisitBits};
-pub use result::{PeerRecord, SimResult, Totals};
+pub use result::{ConsensusSummary, PeerRecord, SimResult, Totals};
 pub use sim::{RoundLoop, Simulation, SEEDER_ID};

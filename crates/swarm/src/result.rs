@@ -64,6 +64,26 @@ impl Totals {
     }
 }
 
+/// Lifetime tallies of the consensus-reputation layer, present when the
+/// population ran [`coop_incentives::MechanismKind::ConsensusReputation`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ConsensusSummary {
+    /// Individual reports considered (two per transfer pair).
+    pub reports: u64,
+    /// Report pairs that disagreed (denied, voided, or phantom).
+    pub disputes: u64,
+    /// Temporary bans issued.
+    pub bans_temp: u64,
+    /// Permanent bans issued.
+    pub bans_perm: u64,
+    /// Bans (either kind) that hit a compliant peer — friendly fire.
+    pub bans_compliant: u64,
+    /// Bans (either kind) that hit a non-compliant peer.
+    pub bans_noncompliant: u64,
+    /// The highest strike level any peer ever reached.
+    pub max_strikes: f64,
+}
+
 /// The outcome of one simulation run.
 ///
 /// `PartialEq` compares every recorded number bit-for-bit; the batch
@@ -101,6 +121,9 @@ pub struct SimResult {
     /// holds, and no bytes can ever move again. Only fault schedules can
     /// cause this (the fault-free seeder offers every piece forever).
     pub stalled: bool,
+    /// Consensus-reputation tallies; `None` unless the population ran the
+    /// consensus mechanism.
+    pub consensus: Option<ConsensusSummary>,
 }
 
 impl SimResult {

@@ -129,6 +129,10 @@ pub(crate) struct ShardCtx<'a> {
     pub trusted_reputation: bool,
     pub trusted_cache: &'a HashMap<PeerId, f64>,
     pub reputation: &'a ReputationTable,
+    /// Consensus-reputation scores by slot when the population runs the
+    /// consensus mechanism; they then override both reputation sources,
+    /// exactly like [`Simulation::reputation_of`](crate::Simulation).
+    pub consensus_scores: Option<&'a [f64]>,
     pub piece_size: u64,
 }
 
@@ -206,6 +210,9 @@ impl SwarmView for ShardView<'_> {
     }
 
     fn reputation(&self, peer: PeerId) -> f64 {
+        if let Some(scores) = self.ctx.consensus_scores {
+            return scores.get(peer.index() as usize).copied().unwrap_or(0.0);
+        }
         if self.ctx.trusted_reputation {
             self.ctx.trusted_cache.get(&peer).copied().unwrap_or(0.0)
         } else {

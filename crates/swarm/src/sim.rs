@@ -31,10 +31,11 @@ use rand::RngCore;
 
 use crate::checkpoint::{CheckpointError, CheckpointLog, CheckpointState, SimCheckpoint};
 use crate::config::{ConfigError, PeerSpec, PieceStrategy, SwarmConfig};
+use crate::consensus::{self, ConsensusState, SlotBehavior};
 use crate::dirty::{DirtySet, VisitBits};
 use crate::faults::{FaultKind, FaultSchedule};
 use crate::peer::{Departure, PeerState};
-use crate::result::{PeerRecord, SimResult, Totals};
+use crate::result::{ConsensusSummary, PeerRecord, SimResult, Totals};
 use crate::shard::{self, shard_ranges, ShardCtx, ShardView, SHARD_MIN_ITEMS};
 use crate::soa::HotPeers;
 use crate::transfer::{InFlight, TransferTable};
@@ -181,6 +182,10 @@ pub struct Simulation {
     /// Rounds at which at least one mechanism settled
     /// (`swarm.epoch.boundaries`).
     epoch_boundaries: u64,
+    /// Consensus-reputation bookkeeping, present once any spawned
+    /// mechanism declared a [`coop_incentives::ConsensusPolicy`]. Drives
+    /// the end-of-round report aggregation, strikes, and bans.
+    consensus: Option<ConsensusState>,
     /// [`Totals::bytes_by_reason`] as of the previous round probe, for
     /// per-probe deltas.
     probe_prev_bytes: [u64; GrantReason::ALL.len()],
@@ -331,6 +336,7 @@ impl Simulation {
             has_epoch_cadence: false,
             epoch_settlements: 0,
             epoch_boundaries: 0,
+            consensus: None,
             probe_prev_bytes: [0; GrantReason::ALL.len()],
             spec_peer: vec![None; spec_count],
             faults,
@@ -449,11 +455,26 @@ impl Simulation {
     /// (recomputed once per round); otherwise the raw claimed-upload
     /// total, which false praise can inflate.
     pub fn reputation_of(&self, id: PeerId) -> f64 {
+        if let Some(c) = &self.consensus {
+            // Consensus populations score by corroborated uploads only;
+            // unilateral claims (and false praise) never credit.
+            return c.score_of(id.index());
+        }
         if self.config.trusted_reputation {
             self.trusted_cache.get(&id).copied().unwrap_or(0.0)
         } else {
             self.reputation.reputation(id)
         }
+    }
+
+    /// Is `id` serving a consensus-reputation ban this round? Always
+    /// false for populations without a consensus mechanism.
+    pub fn is_banned(&self, id: PeerId) -> bool {
+        id != SEEDER_ID
+            && self
+                .consensus
+                .as_ref()
+                .is_some_and(|c| c.is_banned_slot(id.index(), self.round_idx))
     }
 
     /// Is a transfer currently in flight from `from` to `to`?
@@ -594,6 +615,7 @@ impl Simulation {
         self.work_candidate_scans = s.work_candidate_scans;
         self.epoch_settlements = s.epoch_settlements;
         self.epoch_boundaries = s.epoch_boundaries;
+        self.consensus = s.consensus.clone();
         // Derived gate: recomputed from the restored peers (future
         // arrivals re-set it through `spawn_peer` as usual).
         self.has_epoch_cadence = self.peers.iter().any(|p| {
@@ -661,6 +683,7 @@ impl Simulation {
             work_candidate_scans: self.work_candidate_scans,
             epoch_settlements: self.epoch_settlements,
             epoch_boundaries: self.epoch_boundaries,
+            consensus: self.consensus.clone(),
             probe_prev_bytes: self.probe_prev_bytes,
             faults: self.faults.clone(),
             fault_cursor: self.fault_cursor,
@@ -761,6 +784,11 @@ impl Simulation {
         if matches!(mechanism.settle_cadence(), SettleCadence::Epoch(_)) {
             self.has_epoch_cadence = true;
         }
+        if let Some(policy) = mechanism.consensus_policy() {
+            if self.consensus.is_none() {
+                self.consensus = Some(ConsensusState::new(policy));
+            }
+        }
         let mut peer = PeerState::new(
             id,
             spec.capacity_bps,
@@ -810,7 +838,7 @@ impl Simulation {
         let active: Vec<PeerId> = self
             .peers
             .iter()
-            .filter(|p| p.is_active() && p.id != me)
+            .filter(|p| p.is_active() && p.id != me && !self.is_banned(p.id))
             .map(|p| p.id)
             .collect();
         if large_view {
@@ -849,18 +877,24 @@ impl Simulation {
     fn rebuild_adjacency(&mut self) {
         self.adjacency_rebuilds += 1;
         self.adj_dirty = false;
+        let round = self.round_idx;
+        let consensus = self.consensus.as_ref();
+        let banned = |id: PeerId| consensus.is_some_and(|c| c.is_banned_slot(id.index(), round));
         let (peers, adj, off) = (&self.peers, &mut self.adj, &mut self.adj_off);
         adj.clear();
         off.clear();
         off.reserve(peers.len() + 1);
         off.push(0);
         for p in peers {
-            if p.is_active() && !p.offline {
+            // Banned peers are evicted from the candidate graph in both
+            // directions: they serve no one and no one serves them.
+            if p.is_active() && !p.offline && !banned(p.id) {
                 adj.extend(p.neighbors.iter().copied().filter(|&n| {
                     n == SEEDER_ID
-                        || peers
+                        || (peers
                             .get(n.index() as usize)
                             .is_some_and(|q| q.is_active() && !q.offline)
+                            && !banned(n))
                 }));
             }
             off.push(adj.len() as u32);
@@ -953,6 +987,9 @@ impl Simulation {
         let t = self.profiler.start();
         self.whitewash_pass(now);
         self.collusion_praise_pass();
+        // Advance the report ledger's decay clock before any claim is
+        // recorded or read this round.
+        self.reports.advance_to(self.round_idx);
         if self.config.trusted_reputation {
             self.trusted_cache = self.reports.trusted_scores(&self.pretrusted);
         }
@@ -1122,6 +1159,14 @@ impl Simulation {
     fn allocate_and_execute(&mut self, id: PeerId, now: SimTime) -> u64 {
         let idx = id.index() as usize;
         if !self.peers[idx].is_active() || self.peers[idx].offline {
+            return 0;
+        }
+        // A banned uploader is skipped wholesale, before the drain and
+        // before any RNG could be touched, so every round-loop mode (and
+        // any dirty/visit state) takes exactly the same branch. Its
+        // outgoing partials stall out; in-flight transfers *to* banned
+        // peers are allowed to finish.
+        if self.is_banned(id) {
             return 0;
         }
         let budget = self.config.bytes_per_round(self.peers[idx].capacity_bps);
@@ -1488,6 +1533,9 @@ impl Simulation {
             s.deficits.on_sent(to, bytes);
             self.reputation.credit_upload(from, bytes);
             self.reports.record(to, from, bytes);
+            if let Some(c) = self.consensus.as_mut() {
+                c.record_transfer(from.index(), to.index(), bytes);
+            }
         }
         let r = &mut self.peers[to.index() as usize];
         r.bytes_received_raw += bytes;
@@ -2058,6 +2106,24 @@ impl Simulation {
         for pid in targets {
             self.re_identity(PeerId::new(pid), now);
         }
+        // Ban evaders rotate on the consensus layer's observable state
+        // instead of a fixed interval: once permanently banned, or one
+        // strike short of a permanent repeat crossing. The successor
+        // inherits the tags, so each rotation retires exactly one
+        // identity and spawns exactly one.
+        if let Some(c) = &self.consensus {
+            let evaders: Vec<u32> = self
+                .peers
+                .iter()
+                .filter(|p| {
+                    p.is_active() && !p.offline && p.tags.ban_evade && c.evade_due(p.id.index())
+                })
+                .map(|p| p.id.index())
+                .collect();
+            for pid in evaders {
+                self.re_identity(PeerId::new(pid), now);
+            }
+        }
     }
 
     /// Whitewashing: retire `old` and rejoin as a fresh identity that keeps
@@ -2235,7 +2301,12 @@ impl Simulation {
             let mut pool: Vec<PeerId> = self
                 .peers
                 .iter()
-                .filter(|p| p.is_active() && p.id != id && !self.peer(id).neighbors.contains(&p.id))
+                .filter(|p| {
+                    p.is_active()
+                        && p.id != id
+                        && !self.is_banned(p.id)
+                        && !self.peer(id).neighbors.contains(&p.id)
+                })
                 .map(|p| p.id)
                 .collect();
             pool.shuffle(&mut rng);
@@ -2283,6 +2354,8 @@ impl Simulation {
                 let (peers, transfers, seeder_bf) =
                     (&self.peers, &self.transfers, &self.seeder_bf);
                 let seeder_online = self.seeder_online;
+                let consensus = self.consensus.as_ref();
+                let round = self.round_idx;
                 let parts: Vec<Vec<PeerId>> = std::thread::scope(|scope| {
                     let handles: Vec<_> = shard_ranges(peers.len(), self.shards)
                         .into_iter()
@@ -2292,6 +2365,9 @@ impl Simulation {
                                     .iter()
                                     .filter(|p| {
                                         p.is_active()
+                                            && !consensus.is_some_and(|c| {
+                                                c.is_banned_slot(p.id.index(), round)
+                                            })
                                             && shard::needs_with(
                                                 peers,
                                                 transfers,
@@ -2315,7 +2391,9 @@ impl Simulation {
             } else {
                 self.peers
                     .iter()
-                    .filter(|p| p.is_active() && self.needs(p.id, SEEDER_ID))
+                    .filter(|p| {
+                        p.is_active() && !self.is_banned(p.id) && self.needs(p.id, SEEDER_ID)
+                    })
                     .map(|p| p.id)
                     .collect()
             };
@@ -2399,7 +2477,152 @@ impl Simulation {
         if self.has_epoch_cadence {
             self.epoch_close_pass(&ids);
         }
+        // Consensus report aggregation closes the round for
+        // consensus-reputation populations (one branch otherwise).
+        if self.consensus.is_some() {
+            self.consensus_pass();
+        }
         self.settle_round_boundary();
+    }
+
+    /// The end-of-round consensus pass (see [`crate::consensus`]): builds
+    /// the round's report pairs from the settled transfers, distorts them
+    /// through the attacker tags, cross-checks them — sharded over
+    /// uploader groups when the round is large enough — and applies
+    /// strikes, credits, and ban transitions. Draws no RNG; debug builds
+    /// re-run the aggregation sequentially and assert the sharded result
+    /// is identical.
+    fn consensus_pass(&mut self) {
+        let Some(mut c) = self.consensus.take() else {
+            return;
+        };
+        let t = self.profiler.start();
+        let round = self.round_idx;
+        c.ensure_slots(self.peers.len());
+        // Decay strikes and scores before this round's reports land.
+        let decay = c.policy.decay;
+        for s in &mut c.strikes {
+            *s *= decay;
+        }
+        for s in &mut c.scores {
+            *s *= decay;
+        }
+        let behaviors: Vec<SlotBehavior> = self
+            .peers
+            .iter()
+            .enumerate()
+            .map(|(i, p)| SlotBehavior {
+                online: p.is_active() && !p.offline,
+                banned: c.is_banned_slot(i as u32, round),
+                underreport: p.tags.underreport,
+                deny_all: p.tags.ban_evade,
+                stuff_reports: p.tags.stuff_reports,
+                ring: p.tags.collusion_ring,
+            })
+            .collect();
+        let transfers = std::mem::take(&mut c.transfers);
+        let pairs = consensus::build_reports(
+            &c.policy,
+            &transfers,
+            &behaviors,
+            &c.strikes,
+            self.config.file.piece_size(),
+            round,
+        );
+        let shards = if self.shards > 1 && pairs.len() >= SHARD_MIN_ITEMS {
+            self.shards
+        } else {
+            1
+        };
+        #[cfg(debug_assertions)]
+        let pairs_check = pairs.clone();
+        let outcome = consensus::aggregate(&c.policy, pairs, &transfers, shards);
+        #[cfg(debug_assertions)]
+        if shards > 1 {
+            let sequential = consensus::aggregate(&c.policy, pairs_check, &transfers, 1);
+            debug_assert_eq!(
+                outcome, sequential,
+                "sharded consensus aggregation diverged from sequential"
+            );
+        }
+        c.counters.reports += outcome.reports;
+        c.counters.disputes += outcome.disputes;
+        for &(slot, credit) in &outcome.credits {
+            c.scores[slot as usize] += credit as f64;
+        }
+        for &(slot, amount) in &outcome.strikes {
+            let s = &mut c.strikes[slot as usize];
+            *s += amount;
+            if *s > c.max_strikes {
+                c.max_strikes = *s;
+            }
+        }
+        // Threshold scan in slot order: a first crossing bans temporarily,
+        // a repeat crossing after a served temporary ban bans permanently.
+        let threshold = f64::from(c.policy.ban_threshold);
+        let mut transitions: Vec<(u32, &'static str, f64)> = Vec::new();
+        for i in 0..self.peers.len() {
+            if c.perm_banned[i] || !self.peers[i].is_active() {
+                continue;
+            }
+            if c.strikes[i] >= threshold {
+                let strikes = c.strikes[i];
+                if c.temp_bans_served[i] >= 1 {
+                    c.perm_banned[i] = true;
+                    c.scores[i] = 0.0;
+                    c.counters.bans_perm += 1;
+                    transitions.push((i as u32, "ban_perm", strikes));
+                } else {
+                    c.banned_until[i] = round + 1 + c.policy.temp_ban_rounds;
+                    c.temp_bans_served[i] += 1;
+                    c.counters.bans_temp += 1;
+                    transitions.push((i as u32, "ban_temp", strikes));
+                }
+                if self.peers[i].tags.compliant {
+                    c.counters.bans_compliant += 1;
+                } else {
+                    c.counters.bans_noncompliant += 1;
+                }
+                c.strikes[i] = 0.0;
+            }
+        }
+        // Temporary bans expiring at the next round boundary re-admit the
+        // peer; surface the transition so adjacency and dirty state
+        // pick the edge back up.
+        for i in 0..self.peers.len() {
+            if !c.perm_banned[i] && c.banned_until[i] == round + 1 && self.peers[i].is_active() {
+                transitions.push((i as u32, "unban", c.strikes[i]));
+            }
+        }
+        self.consensus = Some(c);
+        for &(peer, kind, strikes) in &transitions {
+            // Every transition changes the candidate graph; mark the peer
+            // and its neighbors so the dirty loop re-visits both sides of
+            // each vanishing or reappearing edge.
+            self.adj_dirty = true;
+            if self.dirty_active() {
+                self.mark_dirty(PeerId::new(peer));
+                let neighbors: Vec<PeerId> = self.peers[peer as usize]
+                    .neighbors
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != SEEDER_ID && self.is_online(n))
+                    .collect();
+                for n in neighbors {
+                    self.mark_dirty(n);
+                }
+            }
+            if self.recorder.is_enabled() {
+                self.recorder
+                    .emit_sampled(Category::Consensus, || TraceEvent::ConsensusBan {
+                        round,
+                        peer,
+                        kind,
+                        strikes,
+                    });
+            }
+        }
+        self.profiler.stop(phase::SIM_CONSENSUS, t);
     }
 
     /// The per-round settlement boundary: rolls every active peer's
@@ -2482,6 +2705,7 @@ impl Simulation {
             trusted_reputation: self.config.trusted_reputation,
             trusted_cache: &self.trusted_cache,
             reputation: &self.reputation,
+            consensus_scores: self.consensus.as_ref().map(|c| c.scores.as_slice()),
             piece_size: self.config.file.piece_size(),
         };
         let settled: Vec<Vec<u32>> = std::thread::scope(|scope| {
@@ -2547,6 +2771,7 @@ impl Simulation {
             trusted_reputation: self.config.trusted_reputation,
             trusted_cache: &self.trusted_cache,
             reputation: &self.reputation,
+            consensus_scores: self.consensus.as_ref().map(|c| c.scores.as_slice()),
             piece_size: self.config.file.piece_size(),
         };
         std::thread::scope(|scope| {
@@ -2662,6 +2887,12 @@ impl Simulation {
             coop_telemetry::profile::work::EPOCH_BOUNDARIES,
             self.epoch_boundaries,
         );
+        if let Some(c) = &self.consensus {
+            recorder.incr("swarm.consensus.reports", c.counters.reports);
+            recorder.incr("swarm.consensus.disputes", c.counters.disputes);
+            recorder.incr("swarm.consensus.bans_temp", c.counters.bans_temp);
+            recorder.incr("swarm.consensus.bans_perm", c.counters.bans_perm);
+        }
         if recorder.is_enabled() {
             recorder.incr("engine.events_processed", self.engine.events_processed());
             recorder.record_max(
@@ -2751,6 +2982,15 @@ impl Simulation {
             diversity: self.diversity,
             totals: self.totals,
             stalled: self.stalled,
+            consensus: self.consensus.as_ref().map(|c| ConsensusSummary {
+                reports: c.counters.reports,
+                disputes: c.counters.disputes,
+                bans_temp: c.counters.bans_temp,
+                bans_perm: c.counters.bans_perm,
+                bans_compliant: c.counters.bans_compliant,
+                bans_noncompliant: c.counters.bans_noncompliant,
+                max_strikes: c.max_strikes,
+            }),
         };
         profiler.stop(phase::SIM_FINALIZE, fin_t);
         profiler.stop(phase::SIM_RUN, run_t);

@@ -140,6 +140,7 @@ proptest! {
                 collusion_ring: if collude { Some(1) } else { None },
                 whitewash_interval: whitewash,
                 fake_praise_bytes: if collude { 8192 } else { 0 },
+                ..PeerTags::compliant()
             };
             spec.mechanism = Box::new(move || Box::new(coop_attacks::FreeRider::new(kind)));
         }

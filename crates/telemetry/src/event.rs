@@ -26,11 +26,14 @@ pub enum Category {
     /// Fault-injection lifecycle (`Fault`): churn departures, outages,
     /// dropped piece transfers, seeder failure, stall detection.
     Fault,
+    /// Consensus-reputation lifecycle (`ConsensusBan`): temporary and
+    /// permanent bans issued by quorum aggregation, and unbans.
+    Consensus,
 }
 
 impl Category {
     /// All categories, in declaration order.
-    pub const ALL: [Category; 7] = [
+    pub const ALL: [Category; 8] = [
         Category::Probe,
         Category::Grant,
         Category::Transfer,
@@ -38,6 +41,7 @@ impl Category {
         Category::Engine,
         Category::Exec,
         Category::Fault,
+        Category::Consensus,
     ];
 
     /// Stable index for per-category bookkeeping.
@@ -55,6 +59,7 @@ impl Category {
             Category::Engine => "engine",
             Category::Exec => "exec",
             Category::Fault => "fault",
+            Category::Consensus => "consensus",
         }
     }
 }
@@ -189,6 +194,19 @@ pub enum TraceEvent {
         /// first-attempt success or a journal-cache hit.
         retries: u64,
     },
+    /// A consensus-reputation ban transition: a peer crossed the strike
+    /// threshold (temporary or permanent ban) or served out a temporary
+    /// ban (unban).
+    ConsensusBan {
+        /// Round index of the transition.
+        round: u64,
+        /// The affected peer.
+        peer: u32,
+        /// The transition kind (`ban_temp`, `ban_perm`, `unban`).
+        kind: &'static str,
+        /// The peer's strike level at the transition.
+        strikes: f64,
+    },
     /// A mid-run simulation checkpoint was captured (`--checkpoint-every`).
     /// Shares the engine category: like `EngineStats` it describes run
     /// machinery, not swarm behavior, and adding a category would resize
@@ -209,6 +227,7 @@ impl TraceEvent {
             TraceEvent::InflightAtEnd { .. } | TraceEvent::PeerAtEnd { .. } => Category::Final,
             TraceEvent::EngineStats { .. } | TraceEvent::Checkpoint { .. } => Category::Engine,
             TraceEvent::Fault { .. } => Category::Fault,
+            TraceEvent::ConsensusBan { .. } => Category::Consensus,
             TraceEvent::JobSpan { .. } => Category::Exec,
         }
     }
@@ -333,6 +352,19 @@ impl TraceEvent {
                     .str("kind", kind)
                     .uint("bytes", *bytes);
             }
+            TraceEvent::ConsensusBan {
+                round,
+                peer,
+                kind,
+                strikes,
+            } => {
+                o.str("type", "consensus_ban")
+                    .str("cat", Category::Consensus.name())
+                    .uint("round", *round)
+                    .uint("peer", u64::from(*peer))
+                    .str("kind", kind)
+                    .f64("strikes", *strikes);
+            }
             TraceEvent::JobSpan {
                 slot,
                 label,
@@ -420,6 +452,12 @@ mod tests {
                 peer: 4,
                 kind: "churn_depart",
                 bytes: 0,
+            },
+            TraceEvent::ConsensusBan {
+                round: 21,
+                peer: 6,
+                kind: "ban_temp",
+                strikes: 4.0,
             },
             TraceEvent::JobSpan {
                 slot: 0,

@@ -74,6 +74,10 @@ pub mod phase {
     /// Nested inside [`SIM_END_ROUND`], so it is *not* part of
     /// [`ATTRIBUTED`].
     pub const SIM_EPOCH: &str = "sim.epoch";
+    /// Consensus-reputation report aggregation and ban bookkeeping.
+    /// Nested inside [`SIM_END_ROUND`], so it is *not* part of
+    /// [`ATTRIBUTED`].
+    pub const SIM_CONSENSUS: &str = "sim.consensus";
     /// Metric sampling and telemetry round probes.
     pub const SIM_SAMPLE: &str = "sim.sample";
     /// Round close-out: run-open check, stall detection, next-tick
@@ -120,6 +124,7 @@ pub mod phase {
         SIM_SETTLE,
         SIM_END_ROUND,
         SIM_EPOCH,
+        SIM_CONSENSUS,
         SIM_SAMPLE,
         SIM_ROUND_CLOSE,
         SIM_FINALIZE,

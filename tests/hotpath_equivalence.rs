@@ -144,32 +144,32 @@ fn check(kind: MechanismKind, golden: u64) {
 
 #[test]
 fn reciprocity_three_way_agree() {
-    check(MechanismKind::Reciprocity, 0x5e3f_f605_0864_e5e2);
+    check(MechanismKind::Reciprocity, 0xf142_e8cd_df73_62f3);
 }
 
 #[test]
 fn tchain_three_way_agree() {
-    check(MechanismKind::TChain, 0x73d0_6216_17a0_3a63);
+    check(MechanismKind::TChain, 0xd770_50a3_a4b5_4488);
 }
 
 #[test]
 fn bittorrent_three_way_agree() {
-    check(MechanismKind::BitTorrent, 0xc4e6_fed2_40b9_65e8);
+    check(MechanismKind::BitTorrent, 0x1747_b4f4_a04f_9a41);
 }
 
 #[test]
 fn fairtorrent_three_way_agree() {
-    check(MechanismKind::FairTorrent, 0x113c_b09b_2808_6c38);
+    check(MechanismKind::FairTorrent, 0xa9e1_af1e_5a0b_1e11);
 }
 
 #[test]
 fn reputation_three_way_agree() {
-    check(MechanismKind::Reputation, 0x7093_b67d_4da0_ba6e);
+    check(MechanismKind::Reputation, 0x7808_d994_c6ab_a357);
 }
 
 #[test]
 fn altruism_three_way_agree() {
-    check(MechanismKind::Altruism, 0xa7ad_eca0_39b7_be52);
+    check(MechanismKind::Altruism, 0x5d96_b918_3757_35a3);
 }
 
 /// An epoch-settled cell at an explicit settlement cadence. Unlike
@@ -220,14 +220,98 @@ fn check_epoch(epoch_rounds: u64, golden: u64) {
     );
 }
 
+/// A consensus-reputation cell under the combined adaptive attack:
+/// threshold-aware defectors, Sybil report stuffers and ban evaders
+/// split round-robin across 20% of the crowd. The attack is driven by
+/// observable mechanism state (strike levels, served bans), so it is the
+/// sharpest stress for round-loop equivalence: a stale dirty set would
+/// desync the ban transitions the attackers key off.
+fn build_consensus_cell(mode: Mode) -> SimulationBuilder {
+    let config = Scale::Quick.config(SEED);
+    let mut population = flash_crowd_with(
+        &config,
+        Scale::Quick.peers(),
+        MechanismKind::ConsensusReputation,
+        SEED,
+        &CapacityClassMix::paper_default(),
+        Scale::Quick.arrival_window(),
+    );
+    coop_attacks::apply_attack(
+        &mut population,
+        &coop_attacks::AttackPlan::adaptive_mix(0.2),
+        SEED,
+    );
+    let builder = Simulation::builder(config).population(population);
+    match mode {
+        Mode::Naive => builder.naive_hotpath(true),
+        Mode::Indexed => builder.round_loop(RoundLoop::Indexed),
+        Mode::Dirty => builder.round_loop(RoundLoop::Dirty),
+    }
+}
+
+#[test]
+fn consensus_three_way_agree_under_adaptive_attack() {
+    let [naive, indexed, dirty] = MODES.map(|m| {
+        build_consensus_cell(m)
+            .build()
+            .expect("quick config validates")
+            .run()
+    });
+    assert_eq!(
+        naive, indexed,
+        "consensus: indexed and naive round loops must produce identical results"
+    );
+    assert_eq!(
+        indexed, dirty,
+        "consensus: dirty-set and indexed round loops must produce identical results"
+    );
+    // The cell must actually exercise the consensus layer, or the
+    // equivalence claim is vacuous.
+    let summary = dirty.consensus.expect("consensus summary present");
+    assert!(summary.reports > 0, "no reports were aggregated");
+    assert!(summary.disputes > 0, "the adaptive attack raised no disputes");
+    assert_eq!(
+        fingerprint_debug(&dirty),
+        0x0bd0_dee6_271c_9f15,
+        "consensus: result fingerprint drifted from the pinned golden value"
+    );
+}
+
+#[test]
+fn consensus_dirty_loop_does_strictly_less_visiting() {
+    // Bans shrink the visit set: banned peers are skipped wholesale by
+    // the allocation scan and evicted from every candidate row, so on the
+    // same adaptive-attack workload the dirty loop must visit strictly
+    // fewer peers than the indexed full scan while producing the
+    // identical result.
+    use coop_telemetry::profile::work;
+    use coop_telemetry::{Recorder, TelemetryConfig};
+    let traced = |mode| {
+        build_consensus_cell(mode)
+            .recorder(Recorder::enabled(TelemetryConfig::default()))
+            .build()
+            .expect("quick config validates")
+            .run_traced()
+    };
+    let (indexed, indexed_report) = traced(Mode::Indexed);
+    let (dirty, dirty_report) = traced(Mode::Dirty);
+    assert_eq!(indexed, dirty, "visit accounting must not change results");
+    let indexed_visits = indexed_report.counter(work::PEERS_VISITED);
+    let dirty_visits = dirty_report.counter(work::PEERS_VISITED);
+    assert!(
+        dirty_visits < indexed_visits,
+        "dirty loop visited {dirty_visits} peers, indexed {indexed_visits} — expected strictly fewer"
+    );
+}
+
 #[test]
 fn epoch_settlement_three_way_agree_short_epochs() {
-    check_epoch(2, 0xb6c1_8b1c_fdc2_24eb);
+    check_epoch(2, 0x8a51_97be_7d96_99a0);
 }
 
 #[test]
 fn epoch_settlement_three_way_agree_long_epochs() {
-    check_epoch(64, 0xdc01_715b_cfc7_30a3);
+    check_epoch(64, 0x1389_739d_a649_38c8);
 }
 
 #[test]

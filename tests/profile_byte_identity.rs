@@ -125,7 +125,7 @@ fn fig4_artifacts_are_byte_identical_across_profile_modes() {
     // The profile itself is structurally sound and attributes the run.
     let full = read_profile(&dir_on);
     assert_eq!(full.artifact, "fig4");
-    assert_eq!((full.jobs, full.profiled_jobs), (7, 7));
+    assert_eq!((full.jobs, full.profiled_jobs), (8, 8));
     let attributed = full.attributed_fraction().expect("sim.run recorded");
     assert!(
         attributed >= 0.95,
@@ -140,12 +140,12 @@ fn fig4_artifacts_are_byte_identical_across_profile_modes() {
     );
     let wasted = full.wasted_visit_ratio().expect("visits recorded");
     assert!((0.0..1.0).contains(&wasted), "{wasted}");
-    assert_eq!(full.per_job.len(), 7, "one work row per mechanism");
+    assert_eq!(full.per_job.len(), 8, "one work row per mechanism");
 
-    // Sampling halves the profiled slots (0,2,4,6 of 7) but the
+    // Sampling halves the profiled slots (0,2,4,6 of 8) but the
     // deterministic work counters still cover every job.
     let sampled = read_profile(&dir_sampled);
-    assert_eq!((sampled.jobs, sampled.profiled_jobs), (7, 4));
+    assert_eq!((sampled.jobs, sampled.profiled_jobs), (8, 4));
     assert_eq!(
         sampled.work_counter(work::PEERS_VISITED),
         full.work_counter(work::PEERS_VISITED),

@@ -143,7 +143,7 @@ fn fig4_artifacts_are_byte_identical_across_telemetry_modes() {
     assert_eq!(manifest.artifact, "fig4");
     assert_eq!(manifest.seed, seed);
     assert_eq!(manifest.attack, "none");
-    assert_eq!(manifest.mechanisms.len(), 7);
+    assert_eq!(manifest.mechanisms.len(), 8);
     assert!(manifest.events_kept > 0);
     assert!(
         manifest.counters.iter().any(|(n, v)| n == "swarm.rounds" && *v > 0),
@@ -207,7 +207,7 @@ fn replicated_fig4_is_unchanged_by_telemetry() {
     assert_eq!(report_off.render(), report_on.render());
 
     let trace = trace.expect("trace gathered");
-    assert_eq!(trace.jobs.len(), 14, "7 mechanisms × 2 seeds");
+    assert_eq!(trace.jobs.len(), 16, "8 mechanisms × 2 seeds");
 
     let base = artifact_bytes(&dir_off);
     let other = artifact_bytes(&dir_on);
@@ -218,5 +218,5 @@ fn replicated_fig4_is_unchanged_by_telemetry() {
     )
     .expect("manifest parses");
     assert_eq!(manifest.replicates, 2);
-    assert_eq!(manifest.mechanisms.len(), 7, "labels deduplicated");
+    assert_eq!(manifest.mechanisms.len(), 8, "labels deduplicated");
 }
